@@ -1,0 +1,86 @@
+//! Ablation benches for the design choices DESIGN.md calls out: fab-yield
+//! sensitivity, PUE sensitivity, packaging-model variants and the
+//! parallel-vs-sequential trace synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_core::db::ProcessNode;
+use hpcarbon_core::embodied::{
+    default_fab_yield, packaging_from_ics, packaging_from_ratio, processor_manufacturing,
+};
+use hpcarbon_core::operational::{operational_carbon, Pue};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_year;
+use hpcarbon_units::{CarbonIntensity, Energy, Fraction, SiliconArea};
+use std::hint::black_box;
+
+fn yield_sensitivity(c: &mut Criterion) {
+    // The paper fixes yield at 0.875; this sweep quantifies the model's
+    // sensitivity to that assumption.
+    c.bench_function("ablation/yield_sweep_eq3", |b| {
+        let area = SiliconArea::from_mm2(826.0);
+        let d = ProcessNode::N7.fab_densities();
+        b.iter(|| {
+            for y in [0.5, 0.6, 0.7, 0.8, 0.875, 0.95] {
+                black_box(processor_manufacturing(
+                    d,
+                    area,
+                    Fraction::new_unchecked(y),
+                ));
+            }
+        })
+    });
+    // Reference point: the paper's constant.
+    c.bench_function("ablation/yield_default", |b| {
+        let area = SiliconArea::from_mm2(826.0);
+        let d = ProcessNode::N7.fab_densities();
+        b.iter(|| black_box(processor_manufacturing(d, area, default_fab_yield())))
+    });
+}
+
+fn pue_sensitivity(c: &mut Criterion) {
+    c.bench_function("ablation/pue_sweep_eq6", |b| {
+        let e = Energy::from_mwh(10.0);
+        let i = CarbonIntensity::from_g_per_kwh(200.0);
+        b.iter(|| {
+            for pue in [1.03, 1.1, 1.2, 1.4, 1.6, 2.0] {
+                black_box(operational_carbon(e, Pue::new(pue), i));
+            }
+        })
+    });
+}
+
+fn packaging_models(c: &mut Criterion) {
+    // Eq. 5 per-IC counting vs the storage ratio model.
+    c.bench_function("ablation/packaging_ic_vs_ratio", |b| {
+        let mfg = hpcarbon_units::CarbonMass::from_kg(20.0);
+        b.iter(|| {
+            black_box(packaging_from_ics(21));
+            black_box(packaging_from_ratio(mfg, 0.0204));
+        })
+    });
+}
+
+fn parallel_vs_sequential_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/trace_synthesis");
+    g.sample_size(10);
+    g.bench_function("sequential_7_regions", |b| {
+        b.iter(|| {
+            for op in OperatorId::ALL {
+                black_box(simulate_year(op, 2021, 42));
+            }
+        })
+    });
+    g.bench_function("parallel_7_regions", |b| {
+        b.iter(|| black_box(hpcarbon_grid::sim::simulate_all_regions(2021, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    yield_sensitivity,
+    pue_sensitivity,
+    packaging_models,
+    parallel_vs_sequential_traces
+);
+criterion_main!(benches);

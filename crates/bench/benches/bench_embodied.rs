@@ -1,0 +1,47 @@
+//! Benches for the embodied-carbon artifacts: Figs. 1, 2, 3 and 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_core::db::{all_parts, PartId};
+use hpcarbon_core::systems::HpcSystem;
+use std::hint::black_box;
+
+fn fig1(c: &mut Criterion) {
+    c.bench_function("fig1/embodied_gpu_cpu_chart", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig1()))
+    });
+    c.bench_function("fig1/single_part_embodied", |b| {
+        b.iter(|| black_box(PartId::GpuA100Pcie40.spec().embodied()))
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    c.bench_function("fig2/memory_storage_chart", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig2()))
+    });
+}
+
+fn fig3(c: &mut Criterion) {
+    c.bench_function("fig3/packaging_split_chart", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig3()))
+    });
+    c.bench_function("fig3/catalog_breakdowns", |b| {
+        b.iter(|| {
+            for p in all_parts() {
+                black_box(p.spec().embodied().packaging_share());
+            }
+        })
+    });
+}
+
+fn fig5(c: &mut Criterion) {
+    c.bench_function("fig5/system_composition_chart", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig5()))
+    });
+    c.bench_function("fig5/frontier_inventory_rollup", |b| {
+        let frontier = HpcSystem::frontier();
+        b.iter(|| black_box(frontier.embodied_by_class()))
+    });
+}
+
+criterion_group!(benches, fig1, fig2, fig3, fig5);
+criterion_main!(benches);

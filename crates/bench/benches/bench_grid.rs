@@ -1,0 +1,47 @@
+//! Benches for the grid artifacts: Figs. 6 and 7 (trace synthesis +
+//! cross-region analytics).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_grid::analysis::{regional_summary, winner_counts};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::{simulate_all_regions, simulate_year};
+use hpcarbon_timeseries::datetime::TimeZone;
+use std::hint::black_box;
+
+fn trace_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6/trace_synthesis");
+    g.sample_size(20);
+    g.bench_function("one_region_year", |b| {
+        b.iter(|| black_box(simulate_year(OperatorId::Eso, 2021, 42)))
+    });
+    g.bench_function("all_regions_parallel", |b| {
+        b.iter(|| black_box(simulate_all_regions(2021, 42)))
+    });
+    g.finish();
+}
+
+fn fig6_stats(c: &mut Criterion) {
+    let traces = simulate_all_regions(2021, 42);
+    c.bench_function("fig6/regional_summary", |b| {
+        b.iter(|| black_box(regional_summary(&traces)))
+    });
+    let mut g = c.benchmark_group("fig6/full_artifact");
+    g.sample_size(10);
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig6(42)))
+    });
+    g.finish();
+}
+
+fn fig7_winners(c: &mut Criterion) {
+    let traces: Vec<_> = OperatorId::FIG7_REGIONS
+        .iter()
+        .map(|op| simulate_year(*op, 2021, 42))
+        .collect();
+    c.bench_function("fig7/winner_counts_jst", |b| {
+        b.iter(|| black_box(winner_counts(&traces, TimeZone::JST)))
+    });
+}
+
+criterion_group!(benches, trace_synthesis, fig6_stats, fig7_winners);
+criterion_main!(benches);

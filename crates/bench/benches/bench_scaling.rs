@@ -1,0 +1,45 @@
+//! Benches for Fig. 4: multi-GPU scaling of the workload model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+use hpcarbon_workloads::perf;
+use std::hint::black_box;
+
+fn fig4(c: &mut Criterion) {
+    c.bench_function("fig4/suite_scaling_1_2_4", |b| {
+        b.iter(|| {
+            for suite in Suite::ALL {
+                for n in [1u32, 2, 4] {
+                    black_box(perf::suite_scaling(suite, NodeGen::V100Node, n));
+                }
+            }
+        })
+    });
+    c.bench_function("fig4/node_embodied_sweep", |b| {
+        b.iter(|| {
+            for n in [1u32, 2, 4] {
+                black_box(NodeGen::V100Node.embodied_with_gpus(n));
+            }
+        })
+    });
+    c.bench_function("fig4/full_artifact", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig4()))
+    });
+}
+
+fn throughput_model(c: &mut Criterion) {
+    let benches = hpcarbon_workloads::benchmarks::ALL_BENCHMARKS;
+    c.bench_function("fig4/roofline_all_benchmarks", |b| {
+        b.iter(|| {
+            for bench in &benches {
+                for gpu in hpcarbon_workloads::GpuModel::ALL {
+                    black_box(perf::sample_time(bench, gpu));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, fig4, throughput_model);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benches for the carbon-aware scheduler (the paper's §4 implications).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_year;
+use hpcarbon_sched::{Cluster, JobTraceGenerator, Policy, Simulation};
+use std::hint::black_box;
+
+fn policies(c: &mut Criterion) {
+    let gb = Cluster::new("gb", simulate_year(OperatorId::Eso, 2021, 7), 128);
+    let ca = Cluster::new("ca", simulate_year(OperatorId::Ciso, 2021, 7), 128);
+    let jobs = JobTraceGenerator::default_rates().generate(300, 42);
+
+    let mut g = c.benchmark_group("sched/policies_300_jobs");
+    g.sample_size(20);
+    for policy in [
+        Policy::Fifo,
+        Policy::ThresholdDefer {
+            threshold_g_per_kwh: 180.0,
+        },
+        Policy::GreenestWindow { horizon_hours: 24 },
+        Policy::LowestIntensityRegion,
+        Policy::RegionAndTime { horizon_hours: 24 },
+    ] {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::multi_region(vec![gb.clone(), ca.clone()], policy, &jobs).run(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn trace_generation(c: &mut Criterion) {
+    c.bench_function("sched/job_trace_1000", |b| {
+        let gen = JobTraceGenerator::default_rates();
+        b.iter(|| black_box(gen.generate(1000, 7)))
+    });
+}
+
+criterion_group!(benches, policies, trace_generation);
+criterion_main!(benches);

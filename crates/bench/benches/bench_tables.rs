@@ -1,0 +1,25 @@
+//! Benches for Tables 1–5 regeneration (catalog + inventory queries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_report::tables;
+use std::hint::black_box;
+
+fn table_rendering(c: &mut Criterion) {
+    c.bench_function("table1/render", |b| b.iter(|| black_box(tables::table1())));
+    c.bench_function("table2/render", |b| b.iter(|| black_box(tables::table2())));
+    c.bench_function("table3/render", |b| b.iter(|| black_box(tables::table3())));
+    c.bench_function("table4/render", |b| b.iter(|| black_box(tables::table4())));
+    c.bench_function("table5/render", |b| b.iter(|| black_box(tables::table5())));
+}
+
+fn full_report(c: &mut Criterion) {
+    let mut g = c.benchmark_group("report/render_all");
+    g.sample_size(10);
+    g.bench_function("all_fifteen_artifacts", |b| {
+        b.iter(|| black_box(hpcarbon_report::render_all(42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table_rendering, full_report);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benches for Table 6 and Figs. 8/9: the upgrade decision machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_grid::IntensityLevel;
+use hpcarbon_units::TimeSpan;
+use hpcarbon_upgrade::savings::UpgradeScenario;
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+use hpcarbon_workloads::perf;
+use std::hint::black_box;
+
+fn table6(c: &mut Criterion) {
+    c.bench_function("table6/speedup_matrix", |b| {
+        b.iter(|| black_box(perf::table6()))
+    });
+}
+
+fn fig8(c: &mut Criterion) {
+    c.bench_function("fig8/savings_curves_grid", |b| {
+        b.iter(|| {
+            for suite in Suite::ALL {
+                for s in UpgradeScenario::paper_options(suite) {
+                    for level in IntensityLevel::ALL {
+                        black_box(s.savings_curve(
+                            TimeSpan::from_years(5.0),
+                            20,
+                            level.intensity(),
+                        ));
+                    }
+                }
+            }
+        })
+    });
+    c.bench_function("fig8/break_even_grid", |b| {
+        b.iter(|| {
+            for suite in Suite::ALL {
+                for s in UpgradeScenario::paper_options(suite) {
+                    for level in IntensityLevel::ALL {
+                        black_box(s.break_even(level.intensity()));
+                    }
+                }
+            }
+        })
+    });
+    let mut g = c.benchmark_group("fig8/full_artifact");
+    g.sample_size(20);
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig8()))
+    });
+    g.finish();
+}
+
+fn fig9(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9/full_artifact");
+    g.sample_size(20);
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(hpcarbon_report::figures::fig9()))
+    });
+    g.finish();
+    c.bench_function("fig9/advisor_verdicts", |b| {
+        let advisor = hpcarbon_upgrade::UpgradeAdvisor::with_five_year_horizon();
+        let s = UpgradeScenario::paper_default(
+            NodeGen::V100Node,
+            NodeGen::A100Node,
+            Suite::Nlp,
+        );
+        b.iter(|| {
+            for level in IntensityLevel::ALL {
+                black_box(advisor.recommend(&s, level.intensity()));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, table6, fig8, fig9);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmark crate for the sustainable-hpc workspace.
+//! See the `benches/` directory; this library is intentionally empty.

@@ -1,0 +1,237 @@
+//! Multi-criteria RFP scoring — the paper's procurement implication as a
+//! decision tool.
+//!
+//! > "Carbon-conscious HPC facilities should explicitly request the
+//! > embodied carbon specifications for CPUs and other computer
+//! > accelerators from the chip vendor as a part of their request for
+//! > proposal (RFP), in addition to performance benchmarking numbers.
+//! > Performance benchmarking alone is not sufficient." (paper, RQ1)
+//!
+//! A [`RfpWeights`] profile blends three normalized criteria — delivered
+//! performance, embodied carbon per performance, and operational power per
+//! performance — into a single score per candidate, so a procurement team
+//! can rank accelerators under an explicit carbon policy instead of a
+//! FLOPS-only shortlist.
+
+use crate::db::PartId;
+use hpcarbon_units::Fraction;
+
+/// Criterion weights (will be normalized to sum to 1).
+#[derive(Debug, Clone, Copy)]
+pub struct RfpWeights {
+    /// Weight on raw FP64 performance (more is better).
+    pub performance: f64,
+    /// Weight on embodied carbon per TFLOPS (less is better).
+    pub embodied_per_perf: f64,
+    /// Weight on TDP per TFLOPS (less is better — operational proxy).
+    pub power_per_perf: f64,
+}
+
+impl RfpWeights {
+    /// The pre-carbon-era profile: performance only.
+    pub fn performance_only() -> RfpWeights {
+        RfpWeights {
+            performance: 1.0,
+            embodied_per_perf: 0.0,
+            power_per_perf: 0.0,
+        }
+    }
+
+    /// A carbon-conscious profile: the paper's recommendation.
+    pub fn carbon_conscious() -> RfpWeights {
+        RfpWeights {
+            performance: 0.4,
+            embodied_per_perf: 0.35,
+            power_per_perf: 0.25,
+        }
+    }
+
+    fn normalized(self) -> RfpWeights {
+        let total = self.performance + self.embodied_per_perf + self.power_per_perf;
+        assert!(total > 0.0, "weights must not all be zero");
+        RfpWeights {
+            performance: self.performance / total,
+            embodied_per_perf: self.embodied_per_perf / total,
+            power_per_perf: self.power_per_perf / total,
+        }
+    }
+}
+
+/// One scored candidate.
+#[derive(Debug, Clone)]
+pub struct RfpScore {
+    /// Candidate part.
+    pub part: PartId,
+    /// Blended score in [0, 1] (higher is better).
+    pub score: Fraction,
+    /// Normalized performance criterion.
+    pub performance: f64,
+    /// Normalized embodied-efficiency criterion (1 = best in field).
+    pub embodied_efficiency: f64,
+    /// Normalized power-efficiency criterion (1 = best in field).
+    pub power_efficiency: f64,
+}
+
+/// Scores and ranks processor candidates. Criteria are min-max normalized
+/// within the candidate field; "less is better" criteria are inverted so 1
+/// is always best.
+///
+/// # Panics
+/// If fewer than two candidates are given, or a candidate lacks an FP64
+/// rating or TDP (only processors are rankable this way).
+pub fn rank(candidates: &[PartId], weights: RfpWeights) -> Vec<RfpScore> {
+    assert!(candidates.len() >= 2, "need at least two candidates");
+    let w = weights.normalized();
+    let perf: Vec<f64> = candidates
+        .iter()
+        .map(|p| {
+            p.spec()
+                .fp64_peak
+                .expect("RFP candidates must have FP64 ratings")
+                .as_tflops()
+        })
+        .collect();
+    let em_per: Vec<f64> = candidates
+        .iter()
+        .map(|p| p.spec().embodied_per_tflops().expect("has FP64"))
+        .collect();
+    let pw_per: Vec<f64> = candidates
+        .iter()
+        .zip(&perf)
+        .map(|(p, tf)| p.spec().tdp.expect("candidates declare TDP").as_w() / tf)
+        .collect();
+
+    let norm_hi = |xs: &[f64], x: f64| {
+        let (lo, hi) = bounds(xs);
+        if hi > lo {
+            (x - lo) / (hi - lo)
+        } else {
+            1.0
+        }
+    };
+    let norm_lo = |xs: &[f64], x: f64| 1.0 - norm_hi(xs, x);
+
+    let mut scores: Vec<RfpScore> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, part)| {
+            let p = norm_hi(&perf, perf[i]);
+            let e = norm_lo(&em_per, em_per[i]);
+            let q = norm_lo(&pw_per, pw_per[i]);
+            RfpScore {
+                part: *part,
+                score: Fraction::saturating(
+                    w.performance * p + w.embodied_per_perf * e + w.power_per_perf * q,
+                ),
+                performance: p,
+                embodied_efficiency: e,
+                power_efficiency: q,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    scores
+}
+
+fn bounds(xs: &[f64]) -> (f64, f64) {
+    let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu_field() -> Vec<PartId> {
+        vec![
+            PartId::GpuMi250x,
+            PartId::GpuA100Pcie40,
+            PartId::GpuV100Sxm2_32,
+            PartId::GpuP100Pcie16,
+        ]
+    }
+
+    #[test]
+    fn performance_only_ranks_by_flops() {
+        let ranked = rank(&gpu_field(), RfpWeights::performance_only());
+        assert_eq!(ranked[0].part, PartId::GpuMi250x);
+        let scores: Vec<f64> = ranked.iter().map(|s| s.score.value()).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Winner gets a perfect performance criterion.
+        assert_eq!(ranked[0].performance, 1.0);
+    }
+
+    #[test]
+    fn carbon_conscious_still_prefers_mi250x() {
+        // MI250X dominates: best absolute FP64 AND best embodied per
+        // TFLOPS — carbon awareness only strengthens its case.
+        let ranked = rank(&gpu_field(), RfpWeights::carbon_conscious());
+        assert_eq!(ranked[0].part, PartId::GpuMi250x);
+        assert!(ranked[0].embodied_efficiency > 0.9);
+    }
+
+    #[test]
+    fn carbon_weighting_reorders_cpu_field() {
+        // CPU field: Xeon 6240R has the lowest absolute embodied but the
+        // worst embodied-per-TFLOPS; EPYC 7763 has the most FLOPS. Under
+        // performance-only the 7763 wins; adding carbon criteria must not
+        // promote the Xeon above it (it is worse on every axis but
+        // absolute embodied, which is not a criterion).
+        let cpus = vec![
+            PartId::CpuEpyc7763,
+            PartId::CpuEpyc7742,
+            PartId::CpuXeonGold6240r,
+        ];
+        let perf_only = rank(&cpus, RfpWeights::performance_only());
+        assert_eq!(perf_only[0].part, PartId::CpuEpyc7763);
+        let carbon = rank(&cpus, RfpWeights::carbon_conscious());
+        assert_eq!(carbon[0].part, PartId::CpuEpyc7763);
+        assert_eq!(carbon[2].part, PartId::CpuXeonGold6240r);
+    }
+
+    #[test]
+    fn scores_live_in_unit_interval() {
+        for weights in [RfpWeights::performance_only(), RfpWeights::carbon_conscious()] {
+            for s in rank(&gpu_field(), weights) {
+                assert!((0.0..=1.0).contains(&s.score.value()));
+                assert!((0.0..=1.0).contains(&s.performance));
+                assert!((0.0..=1.0).contains(&s.embodied_efficiency));
+                assert!((0.0..=1.0).contains(&s.power_efficiency));
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        // Scaling all weights by a constant changes nothing.
+        let a = rank(
+            &gpu_field(),
+            RfpWeights {
+                performance: 1.0,
+                embodied_per_perf: 1.0,
+                power_per_perf: 1.0,
+            },
+        );
+        let b = rank(
+            &gpu_field(),
+            RfpWeights {
+                performance: 10.0,
+                embodied_per_perf: 10.0,
+                power_per_perf: 10.0,
+            },
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.part, y.part);
+            assert!((x.score.value() - y.score.value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two candidates")]
+    fn needs_a_field() {
+        let _ = rank(&[PartId::GpuA100Pcie40], RfpWeights::carbon_conscious());
+    }
+}

@@ -1,0 +1,203 @@
+//! What-if composition analysis for system inventories.
+//!
+//! Fig. 5's discussion contrasts Frontier's HDD-heavy Orion with
+//! Perlmutter's all-flash file system. This module makes such architecture
+//! questions answerable quantitatively: take a system, apply a
+//! transformation (swap the HDD tier for flash at equal capacity, resize
+//! memory, change the GPU count per node), and compare embodied
+//! compositions before and after.
+
+use crate::db::PartId;
+use crate::embodied::ComponentClass;
+use crate::systems::HpcSystem;
+use hpcarbon_units::CarbonMass;
+
+/// A derived system plus the delta against its baseline.
+#[derive(Debug, Clone)]
+pub struct WhatIf {
+    /// The transformed system.
+    pub system: HpcSystem,
+    /// Embodied total before.
+    pub before: CarbonMass,
+    /// Embodied total after.
+    pub after: CarbonMass,
+}
+
+impl WhatIf {
+    /// Absolute embodied change (positive = the variant embodies more).
+    pub fn delta(&self) -> CarbonMass {
+        self.after - self.before
+    }
+
+    /// Relative embodied change.
+    pub fn relative_change(&self) -> f64 {
+        self.delta() / self.before
+    }
+}
+
+/// Replaces every unit of `from` with enough units of `to` to preserve
+/// total capacity (both parts must declare capacities). Counts round up —
+/// you cannot buy fractional drives.
+///
+/// # Panics
+/// If either part lacks a capacity, or the system holds no `from` units.
+pub fn swap_storage_tier(base: &HpcSystem, from: PartId, to: PartId) -> WhatIf {
+    let from_cap = from
+        .spec()
+        .capacity
+        .expect("source part must declare capacity");
+    let to_cap = to.spec().capacity.expect("target part must declare capacity");
+    let count_from = base.count_of(from);
+    assert!(count_from > 0, "system holds no {from:?}");
+    let total_gb = from_cap.as_gb() * count_from as f64;
+    let count_to = (total_gb / to_cap.as_gb()).ceil() as u64;
+
+    let mut inventory: Vec<(PartId, u64)> = base
+        .inventory
+        .iter()
+        .filter(|(p, _)| *p != from)
+        .cloned()
+        .collect();
+    inventory.push((to, count_to));
+    let system = HpcSystem {
+        name: base.name,
+        location: base.location,
+        cores: base.cores,
+        year: base.year,
+        inventory,
+    };
+    WhatIf {
+        before: base.embodied_total(),
+        after: system.embodied_total(),
+        system,
+    }
+}
+
+/// Scales the count of every part of `class` by `factor` (rounding to the
+/// nearest unit) — e.g. "what if we doubled memory per node?".
+pub fn scale_class(base: &HpcSystem, class: ComponentClass, factor: f64) -> WhatIf {
+    assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite");
+    let inventory: Vec<(PartId, u64)> = base
+        .inventory
+        .iter()
+        .map(|(p, c)| {
+            if p.spec().class == class {
+                (*p, (*c as f64 * factor).round() as u64)
+            } else {
+                (*p, *c)
+            }
+        })
+        .collect();
+    let system = HpcSystem {
+        name: base.name,
+        location: base.location,
+        cores: base.cores,
+        year: base.year,
+        inventory,
+    };
+    WhatIf {
+        before: base.embodied_total(),
+        after: system.embodied_total(),
+        system,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_flash_frontier_costs_embodied_carbon() {
+        // The Fig. 5 discussion, quantified: converting Frontier's 695 PB
+        // HDD tier to 3.2 TB flash at equal capacity REPLACES cheap
+        // gCO2/GB storage (1.33) with expensive flash (6.21) — an all-
+        // flash Orion would embody several times more storage carbon.
+        let frontier = HpcSystem::frontier();
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb);
+        assert!(w.after > w.before);
+        
+        // 43,438 HDDs x 16 TB = 695,008,000 GB -> 217,190 SSDs at 3.2 TB.
+        assert_eq!(w.system.count_of(PartId::Ssd3_2tb), 23_438 + 217_190);
+        assert_eq!(w.system.count_of(PartId::Hdd16tb), 0);
+        // The composition flips: SSD becomes the dominant class.
+        let shares = w.system.composition_shares();
+        let ssd = shares
+            .iter()
+            .find(|(c, _)| *c == ComponentClass::Ssd)
+            .unwrap()
+            .1;
+        let gpu = shares
+            .iter()
+            .find(|(c, _)| *c == ComponentClass::Gpu)
+            .unwrap()
+            .1;
+        assert!(ssd > gpu, "ssd {ssd} vs gpu {gpu}");
+        assert!(w.relative_change() > 0.5, "{}", w.relative_change());
+    }
+
+    #[test]
+    fn capacity_is_preserved_up_to_rounding() {
+        let frontier = HpcSystem::frontier();
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb);
+        let before_gb = PartId::Hdd16tb.spec().capacity.unwrap().as_gb()
+            * frontier.count_of(PartId::Hdd16tb) as f64;
+        let after_gb = PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb()
+            * (w.system.count_of(PartId::Ssd3_2tb) - frontier.count_of(PartId::Ssd3_2tb))
+                as f64;
+        assert!(after_gb >= before_gb);
+        assert!(after_gb < before_gb + PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb() * 2.0);
+    }
+
+    #[test]
+    fn doubling_dram_raises_its_share() {
+        let p = HpcSystem::perlmutter();
+        let before_share = p
+            .composition_shares()
+            .into_iter()
+            .find(|(c, _)| *c == ComponentClass::Dram)
+            .unwrap()
+            .1;
+        let w = scale_class(&p, ComponentClass::Dram, 2.0);
+        let after_share = w
+            .system
+            .composition_shares()
+            .into_iter()
+            .find(|(c, _)| *c == ComponentClass::Dram)
+            .unwrap()
+            .1;
+        assert!(after_share > before_share);
+        assert!(w.delta().as_t() > 100.0);
+        // The paper's RQ4 implication: memory expansion carries a hidden
+        // carbon cost comparable to compute purchases.
+    }
+
+    #[test]
+    fn zero_scale_removes_the_class() {
+        let l = HpcSystem::lumi();
+        let w = scale_class(&l, ComponentClass::Hdd, 0.0);
+        let hdd = w
+            .system
+            .composition_shares()
+            .into_iter()
+            .find(|(c, _)| *c == ComponentClass::Hdd)
+            .unwrap()
+            .1;
+        assert_eq!(hdd.value(), 0.0);
+        assert!(w.after < w.before);
+    }
+
+    #[test]
+    fn identity_scale_changes_nothing() {
+        let f = HpcSystem::frontier();
+        let w = scale_class(&f, ComponentClass::Gpu, 1.0);
+        assert!((w.delta().as_g()).abs() < 1e-9);
+        assert!(w.relative_change().abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "holds no")]
+    fn swap_requires_presence() {
+        let p = HpcSystem::perlmutter(); // all-flash, no HDD
+        let _ = swap_storage_tier(&p, PartId::Hdd16tb, PartId::Ssd3_2tb);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the embodied/operational carbon models.
+
+use hpcarbon_core::db::{all_parts, PartId};
+use hpcarbon_core::embodied::*;
+use hpcarbon_core::operational::{operational_carbon, Pue};
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_units::*;
+use proptest::prelude::*;
+
+fn densities(f: f64, g: f64, m: f64) -> FabDensities {
+    FabDensities {
+        fpa: CarbonAreaDensity::from_g_per_cm2(f),
+        gpa: CarbonAreaDensity::from_g_per_cm2(g),
+        mpa: CarbonAreaDensity::from_g_per_cm2(m),
+    }
+}
+
+proptest! {
+    #[test]
+    fn eq3_linear_in_area(
+        f in 1.0..3000.0f64, g in 1.0..1000.0f64, m in 1.0..1000.0f64,
+        area in 1.0..2000.0f64, k in 1.1..10.0f64,
+    ) {
+        let d = densities(f, g, m);
+        let y = default_fab_yield();
+        let base = processor_manufacturing(d, SiliconArea::from_mm2(area), y);
+        let scaled = processor_manufacturing(d, SiliconArea::from_mm2(area * k), y);
+        prop_assert!((scaled.as_g() / base.as_g() - k).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq3_monotone_in_yield(
+        area in 1.0..2000.0f64,
+        y1 in 0.1..0.99f64, y2 in 0.1..0.99f64,
+    ) {
+        let d = densities(1000.0, 200.0, 300.0);
+        let a = SiliconArea::from_mm2(area);
+        let m1 = processor_manufacturing(d, a, Fraction::new_unchecked(y1));
+        let m2 = processor_manufacturing(d, a, Fraction::new_unchecked(y2));
+        // Lower yield => more carbon.
+        if y1 < y2 {
+            prop_assert!(m1 >= m2);
+        } else {
+            prop_assert!(m2 >= m1);
+        }
+    }
+
+    #[test]
+    fn eq4_linear_in_capacity(epc in 0.1..100.0f64, cap in 1.0..1e6f64) {
+        let one = memory_manufacturing(
+            CarbonPerCapacity::from_g_per_gb(epc), DataCapacity::from_gb(cap));
+        let double = memory_manufacturing(
+            CarbonPerCapacity::from_g_per_gb(epc), DataCapacity::from_gb(2.0 * cap));
+        prop_assert!((double.as_g() - 2.0 * one.as_g()).abs() < one.as_g() * 1e-9);
+    }
+
+    #[test]
+    fn eq5_linear_in_ics(n in 0u32..10_000) {
+        prop_assert_eq!(packaging_from_ics(n).as_g(), 150.0 * n as f64);
+    }
+
+    #[test]
+    fn breakdown_shares_partition_unity(mfg in 0.1..1e6f64, pack in 0.0..1e6f64) {
+        let b = EmbodiedBreakdown {
+            manufacturing: CarbonMass::from_g(mfg),
+            packaging: CarbonMass::from_g(pack),
+        };
+        let s = b.manufacturing_share().value() + b.packaging_share().value();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_scaling_commutes_with_total(mfg in 0.1..1e6f64, pack in 0.0..1e6f64, k in 0.0..1e4f64) {
+        let b = EmbodiedBreakdown {
+            manufacturing: CarbonMass::from_g(mfg),
+            packaging: CarbonMass::from_g(pack),
+        };
+        let a = b.scaled(k).total().as_g();
+        let c = b.total().as_g() * k;
+        prop_assert!((a - c).abs() <= c.abs() * 1e-12 + 1e-12);
+    }
+
+    #[test]
+    fn eq6_monotone_in_all_inputs(
+        e1 in 0.0..1e9f64, e2 in 0.0..1e9f64,
+        i1 in 0.0..1000.0f64, i2 in 0.0..1000.0f64,
+        pue in 1.0..2.5f64,
+    ) {
+        let p = Pue::new(pue);
+        let c11 = operational_carbon(Energy::from_kwh(e1), p, CarbonIntensity::from_g_per_kwh(i1));
+        let c21 = operational_carbon(Energy::from_kwh(e2), p, CarbonIntensity::from_g_per_kwh(i1));
+        let c12 = operational_carbon(Energy::from_kwh(e1), p, CarbonIntensity::from_g_per_kwh(i2));
+        if e1 <= e2 {
+            prop_assert!(c11 <= c21);
+        }
+        if i1 <= i2 {
+            prop_assert!(c11 <= c12);
+        }
+    }
+
+    #[test]
+    fn pue_never_shrinks_energy(e in 0.0..1e9f64, pue in 1.0..3.0f64) {
+        let energy = Energy::from_kwh(e);
+        prop_assert!(Pue::new(pue).apply(energy) >= energy);
+    }
+}
+
+// Deterministic cross-catalog invariants (not random, but broad).
+#[test]
+fn all_parts_have_positive_consistent_breakdowns() {
+    for p in all_parts() {
+        let b = p.spec().embodied();
+        assert!(b.total().as_g() > 0.0);
+        assert!(
+            (b.manufacturing + b.packaging - b.total()).as_g().abs() < 1e-9,
+            "{p:?}"
+        );
+    }
+}
+
+#[test]
+fn inventory_scaling_matches_unit_sums() {
+    // System embodied equals the sum over inventory of unit embodied × count.
+    for sys in HpcSystem::table2() {
+        let direct = sys.embodied_total().as_g();
+        let manual: f64 = sys
+            .inventory
+            .iter()
+            .map(|(part, count)| part.spec().embodied().total().as_g() * *count as f64)
+            .sum();
+        assert!((direct - manual).abs() < manual * 1e-12);
+    }
+}
+
+#[test]
+fn class_sums_equal_total() {
+    for sys in HpcSystem::table2() {
+        let by_class: f64 = sys
+            .embodied_by_class()
+            .iter()
+            .map(|(_, m)| m.as_g())
+            .sum();
+        assert!((by_class - sys.embodied_total().as_g()).abs() < by_class * 1e-12);
+    }
+}
+
+#[test]
+fn per_tflops_defined_exactly_for_processors() {
+    for p in all_parts() {
+        let s = p.spec();
+        match s.class {
+            ComponentClass::Gpu | ComponentClass::Cpu => {
+                assert!(s.embodied_per_tflops().is_some(), "{p:?}")
+            }
+            _ => assert!(s.embodied_per_tflops().is_none(), "{p:?}"),
+        }
+    }
+    assert!(PartId::Dram64gb.spec().embodied_per_bandwidth().is_some());
+}

@@ -1,0 +1,229 @@
+//! An ESO-Carbon-Intensity-API-style interface over a trace.
+//!
+//! The paper obtains GB data "from ESO's public Carbon Intensity API",
+//! which serves *actual* values plus *forecasts* and a coarse intensity
+//! *index*. Carbon-aware schedulers plan against forecasts, not actuals,
+//! so this module models forecast error too: a deterministic pseudo-noise
+//! whose standard deviation grows with the forecast horizon (≈ √h scaling,
+//! matching published forecast-skill curves).
+
+use crate::trace::IntensityTrace;
+use hpcarbon_sim::rng::SimRng;
+use hpcarbon_timeseries::datetime::HourStamp;
+use hpcarbon_units::CarbonIntensity;
+
+/// The coarse bands served by the ESO API's `index` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum IntensityIndex {
+    VeryLow,
+    Low,
+    Moderate,
+    High,
+    VeryHigh,
+}
+
+impl IntensityIndex {
+    /// Bands per the ESO API's published 2021 thresholds (gCO₂/kWh).
+    pub fn from_intensity(i: CarbonIntensity) -> IntensityIndex {
+        let g = i.as_g_per_kwh();
+        if g < 50.0 {
+            IntensityIndex::VeryLow
+        } else if g < 130.0 {
+            IntensityIndex::Low
+        } else if g < 210.0 {
+            IntensityIndex::Moderate
+        } else if g < 310.0 {
+            IntensityIndex::High
+        } else {
+            IntensityIndex::VeryHigh
+        }
+    }
+
+    /// Display label matching the API's strings.
+    pub fn label(self) -> &'static str {
+        match self {
+            IntensityIndex::VeryLow => "very low",
+            IntensityIndex::Low => "low",
+            IntensityIndex::Moderate => "moderate",
+            IntensityIndex::High => "high",
+            IntensityIndex::VeryHigh => "very high",
+        }
+    }
+}
+
+/// One API response: forecast, actual, and index (mirrors the ESO schema).
+#[derive(Debug, Clone, Copy)]
+pub struct IntensityReading {
+    /// The hour this reading describes.
+    pub stamp: HourStamp,
+    /// Forecast intensity (equals actual at horizon 0).
+    pub forecast: CarbonIntensity,
+    /// Actual intensity.
+    pub actual: CarbonIntensity,
+    /// Coarse band of the actual value.
+    pub index: IntensityIndex,
+}
+
+/// Serves actuals and horizon-dependent forecasts from a trace.
+#[derive(Debug, Clone)]
+pub struct IntensityApi {
+    trace: IntensityTrace,
+    /// Relative forecast error at a 1-hour horizon (σ/mean).
+    base_error: f64,
+    seed: u64,
+}
+
+impl IntensityApi {
+    /// Wraps a trace. `base_error` is the relative 1-hour-ahead forecast
+    /// error (ESO reports ≈2–4%); error grows with √horizon.
+    pub fn new(trace: IntensityTrace, base_error: f64, seed: u64) -> IntensityApi {
+        assert!(
+            (0.0..0.5).contains(&base_error),
+            "base error must be a small relative fraction"
+        );
+        IntensityApi {
+            trace,
+            base_error,
+            seed,
+        }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &IntensityTrace {
+        &self.trace
+    }
+
+    /// Actual intensity at `stamp`.
+    pub fn actual(&self, stamp: HourStamp) -> CarbonIntensity {
+        self.trace.at(stamp)
+    }
+
+    /// Forecast for `target`, made `horizon_hours` in advance.
+    ///
+    /// Deterministic: the same `(seed, target, horizon)` always yields the
+    /// same forecast, so simulations are reproducible.
+    pub fn forecast(&self, target: HourStamp, horizon_hours: u32) -> CarbonIntensity {
+        let actual = self.actual(target).as_g_per_kwh();
+        if horizon_hours == 0 {
+            return CarbonIntensity::from_g_per_kwh(actual);
+        }
+        let sigma = self.base_error * (f64::from(horizon_hours)).sqrt();
+        let mut rng = SimRng::seed_from(self.seed)
+            .fork(u64::from(target.hour_of_year()))
+            .fork(u64::from(horizon_hours));
+        let noise = hpcarbon_sim::dist::standard_normal(&mut rng);
+        CarbonIntensity::from_g_per_kwh((actual * (1.0 + sigma * noise)).max(0.0))
+    }
+
+    /// Full reading (forecast + actual + index) as the REST API returns.
+    pub fn reading(&self, stamp: HourStamp, horizon_hours: u32) -> IntensityReading {
+        let actual = self.actual(stamp);
+        IntensityReading {
+            stamp,
+            forecast: self.forecast(stamp, horizon_hours),
+            actual,
+            index: IntensityIndex::from_intensity(actual),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::OperatorId;
+    use hpcarbon_timeseries::datetime::CivilDate;
+    use hpcarbon_timeseries::series::HourlySeries;
+
+    fn api() -> IntensityApi {
+        let series = HourlySeries::from_fn(2021, |st| 100.0 + f64::from(st.hour()) * 10.0);
+        IntensityApi::new(IntensityTrace::new(OperatorId::Eso, series), 0.03, 99)
+    }
+
+    fn stamp(h: u8) -> HourStamp {
+        HourStamp::new(CivilDate::new(2021, 4, 10).unwrap(), h).unwrap()
+    }
+
+    #[test]
+    fn index_bands() {
+        use IntensityIndex::*;
+        let f = |g: f64| IntensityIndex::from_intensity(CarbonIntensity::from_g_per_kwh(g));
+        assert_eq!(f(10.0), VeryLow);
+        assert_eq!(f(60.0), Low);
+        assert_eq!(f(150.0), Moderate);
+        assert_eq!(f(250.0), High);
+        assert_eq!(f(500.0), VeryHigh);
+        assert!(VeryLow < VeryHigh);
+        assert_eq!(Moderate.label(), "moderate");
+    }
+
+    #[test]
+    fn zero_horizon_forecast_is_exact() {
+        let api = api();
+        let s = stamp(14);
+        assert_eq!(
+            api.forecast(s, 0).as_g_per_kwh(),
+            api.actual(s).as_g_per_kwh()
+        );
+    }
+
+    #[test]
+    fn forecast_is_deterministic() {
+        let api = api();
+        let s = stamp(14);
+        assert_eq!(
+            api.forecast(s, 24).as_g_per_kwh(),
+            api.forecast(s, 24).as_g_per_kwh()
+        );
+    }
+
+    #[test]
+    fn forecast_error_grows_with_horizon() {
+        let api = api();
+        // Measure RMS relative error across many target hours.
+        let rms = |horizon: u32| {
+            let mut acc = 0.0;
+            let mut n = 0;
+            for d in 1..=28u8 {
+                let s = HourStamp::new(CivilDate::new(2021, 6, d).unwrap(), 12).unwrap();
+                let a = api.actual(s).as_g_per_kwh();
+                let f = api.forecast(s, horizon).as_g_per_kwh();
+                acc += ((f - a) / a).powi(2);
+                n += 1;
+            }
+            (acc / f64::from(n)).sqrt()
+        };
+        let short = rms(1);
+        let long = rms(48);
+        assert!(long > short, "48h error {long} must exceed 1h error {short}");
+        // Magnitudes roughly match sigma * sqrt(h).
+        assert!(short < 0.12);
+        assert!(long < 0.60);
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        let series = HourlySeries::constant(2021, 1.0); // tiny intensity
+        let api = IntensityApi::new(IntensityTrace::new(OperatorId::Eso, series), 0.49, 3);
+        for h in 0..200u32 {
+            let s = HourStamp::from_hour_of_year(2021, h);
+            assert!(api.forecast(s, 100).as_g_per_kwh() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn reading_is_consistent() {
+        let api = api();
+        let r = api.reading(stamp(20), 0);
+        assert_eq!(r.actual.as_g_per_kwh(), 300.0);
+        assert_eq!(r.forecast.as_g_per_kwh(), 300.0);
+        assert_eq!(r.index, IntensityIndex::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "base error")]
+    fn rejects_huge_base_error() {
+        let series = HourlySeries::constant(2021, 100.0);
+        let _ = IntensityApi::new(IntensityTrace::new(OperatorId::Eso, series), 0.9, 1);
+    }
+}

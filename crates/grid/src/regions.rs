@@ -1,0 +1,535 @@
+//! The seven power-system operators of the paper's Table 3, with the
+//! physical parameters of each region's simulated generation stack.
+//!
+//! Parameter provenance: fleet compositions approximate each operator's
+//! public 2021 generation mix (ESO's wind-heavy stack with gas on the
+//! margin, CISO's solar duck curve plus imports, ERCOT's nocturnal wind and
+//! coal baseload, PJM/MISO's nuclear+coal baseload, TEPCO/KEPCO's
+//! LNG-dominated fleets with KEPCO's restarted nuclear). Magnitudes are
+//! normalized to average regional demand = 1.0 and calibrated so the
+//! simulated year lands on the paper's Fig. 6 statistics; see the
+//! calibration targets on [`OperatorId::calibration`].
+
+use crate::fuel::Fuel;
+use hpcarbon_timeseries::datetime::TimeZone;
+use hpcarbon_units::CarbonIntensity;
+
+/// Independent system operators studied by the paper (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OperatorId {
+    /// Kansai Electric Power (Japan, Kansai region).
+    Kansai,
+    /// TEPCO Power Grid (Japan, Tokyo region).
+    Tokyo,
+    /// National Grid ESO (United Kingdom, Great Britain).
+    Eso,
+    /// California Independent System Operator (US, California).
+    Ciso,
+    /// PJM Interconnection (US, Mid-Atlantic).
+    Pjm,
+    /// Midcontinent ISO (US/Canada, Midwest + Manitoba).
+    Miso,
+    /// Electric Reliability Council of Texas (US, Texas).
+    Ercot,
+}
+
+/// Table 3 row: operator identity and region of operation.
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorInfo {
+    /// Enum id.
+    pub id: OperatorId,
+    /// Short code used in the paper's figures (KN, TK, ESO, …).
+    pub short: &'static str,
+    /// Full operator name.
+    pub name: &'static str,
+    /// Country of operation.
+    pub country: &'static str,
+    /// Region of operation.
+    pub region: &'static str,
+    /// Local (standard) time zone.
+    pub tz: TimeZone,
+}
+
+/// Fig. 6 calibration targets for a region's simulated year.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationTarget {
+    /// Expected annual median intensity band (gCO₂/kWh).
+    pub median_band: (f64, f64),
+    /// Expected CoV band (%).
+    pub cov_band: (f64, f64),
+}
+
+/// One rung of a region's dispatchable merit order.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatchEntry {
+    /// The fuel dispatched at this rung.
+    pub fuel: Fuel,
+    /// Capacity in units of average regional demand.
+    pub capacity: f64,
+}
+
+/// The full parameter set of a simulated region.
+#[derive(Debug, Clone)]
+pub struct RegionParams {
+    /// Local time zone (drives diurnal shapes).
+    pub tz: TimeZone,
+    /// Half-amplitude of day-length seasonality in hours (latitude proxy).
+    pub daylen_amp: f64,
+    /// Relative seasonal demand swing.
+    pub seasonal_amp: f64,
+    /// True when demand peaks in summer (air conditioning) rather than
+    /// winter (heating/lighting).
+    pub summer_peaking: bool,
+    /// Relative diurnal demand swing.
+    pub diurnal_amp: f64,
+    /// Weekend demand multiplier (< 1).
+    pub weekend_factor: f64,
+    /// Stationary standard deviation of the multiplicative demand noise.
+    pub demand_sigma: f64,
+    /// OU mean-reversion rate of demand noise (per hour).
+    pub demand_theta: f64,
+    /// Must-run nuclear output.
+    pub nuclear: f64,
+    /// Must-run (run-of-river) hydro output.
+    pub hydro_ror: f64,
+    /// Must-run biomass output.
+    pub biomass: f64,
+    /// Wind fleet capacity.
+    pub wind_cap: f64,
+    /// Mean wind capacity factor.
+    pub wind_cf_mean: f64,
+    /// Stationary standard deviation of the wind capacity factor.
+    pub wind_sigma: f64,
+    /// OU mean-reversion rate of wind (per hour; small = multi-day fronts).
+    pub wind_theta: f64,
+    /// Relative winter boost of wind output (UK-style winter storms).
+    pub wind_winter_boost: f64,
+    /// Relative nocturnal boost of wind output (Texas-style night wind).
+    pub wind_night_boost: f64,
+    /// Solar fleet capacity.
+    pub solar_cap: f64,
+    /// Mean cloudiness in [0, 1) (fraction of clear-sky output lost).
+    pub cloud_mean: f64,
+    /// Stationary standard deviation of cloudiness.
+    pub cloud_sigma: f64,
+    /// OU mean-reversion rate of cloudiness (per hour).
+    pub cloud_theta: f64,
+    /// Dispatchable merit order (first rung dispatched first).
+    pub merit: Vec<DispatchEntry>,
+    /// Emission factor of marginal imports (the unlimited backstop).
+    pub import_intensity: CarbonIntensity,
+}
+
+impl OperatorId {
+    /// All operators in Table 3 order.
+    pub const ALL: [OperatorId; 7] = [
+        OperatorId::Kansai,
+        OperatorId::Tokyo,
+        OperatorId::Eso,
+        OperatorId::Ciso,
+        OperatorId::Pjm,
+        OperatorId::Miso,
+        OperatorId::Ercot,
+    ];
+
+    /// The three operators Fig. 7 compares ("the three operator regions
+    /// with the lowest medium carbon intensity").
+    pub const FIG7_REGIONS: [OperatorId; 3] =
+        [OperatorId::Eso, OperatorId::Ciso, OperatorId::Ercot];
+
+    /// Table 3 metadata.
+    pub fn info(self) -> OperatorInfo {
+        match self {
+            OperatorId::Kansai => OperatorInfo {
+                id: self,
+                short: "KN",
+                name: "Kansai Electric Power",
+                country: "Japan",
+                region: "Kansai Region",
+                tz: TimeZone::JST,
+            },
+            OperatorId::Tokyo => OperatorInfo {
+                id: self,
+                short: "TK",
+                name: "TEPCO Power Grid",
+                country: "Japan",
+                region: "Tokyo Region",
+                tz: TimeZone::JST,
+            },
+            OperatorId::Eso => OperatorInfo {
+                id: self,
+                short: "ESO",
+                name: "Electricity System Operator",
+                country: "United Kingdom",
+                region: "Great Britain",
+                tz: TimeZone::GMT,
+            },
+            OperatorId::Ciso => OperatorInfo {
+                id: self,
+                short: "CISO",
+                name: "California Independent System Operator",
+                country: "United States",
+                region: "California",
+                tz: TimeZone::PST,
+            },
+            OperatorId::Pjm => OperatorInfo {
+                id: self,
+                short: "PJM",
+                name: "Pennsylvania-New Jersey-Maryland Interconnection",
+                country: "United States",
+                region: "Mid-Atlantic US",
+                tz: TimeZone::EST,
+            },
+            OperatorId::Miso => OperatorInfo {
+                id: self,
+                short: "MISO",
+                name: "Midcontinent Independent System Operator",
+                country: "United States, Canada",
+                region: "Midwest US, Manitoba",
+                tz: TimeZone::CST,
+            },
+            OperatorId::Ercot => OperatorInfo {
+                id: self,
+                short: "ERCOT",
+                name: "Electric Reliability Council of Texas",
+                country: "United States",
+                region: "Texas",
+                tz: TimeZone::CST,
+            },
+        }
+    }
+
+    /// Fig. 6 calibration bands asserted by the integration tests.
+    pub fn calibration(self) -> CalibrationTarget {
+        match self {
+            // Japan: fossil-dominated, low variability.
+            OperatorId::Kansai => CalibrationTarget {
+                median_band: (330.0, 480.0),
+                cov_band: (3.0, 14.0),
+            },
+            OperatorId::Tokyo => CalibrationTarget {
+                median_band: (470.0, 620.0),
+                cov_band: (3.0, 14.0),
+            },
+            // GB: lowest median, highest variability.
+            OperatorId::Eso => CalibrationTarget {
+                median_band: (130.0, 230.0),
+                cov_band: (20.0, 40.0),
+            },
+            OperatorId::Ciso => CalibrationTarget {
+                median_band: (180.0, 300.0),
+                cov_band: (18.0, 36.0),
+            },
+            OperatorId::Pjm => CalibrationTarget {
+                median_band: (330.0, 460.0),
+                cov_band: (5.0, 16.0),
+            },
+            OperatorId::Miso => CalibrationTarget {
+                median_band: (460.0, 620.0),
+                cov_band: (4.0, 15.0),
+            },
+            OperatorId::Ercot => CalibrationTarget {
+                median_band: (330.0, 470.0),
+                cov_band: (12.0, 26.0),
+            },
+        }
+    }
+
+    /// The simulated generation-stack parameters for this region.
+    pub fn params(self) -> RegionParams {
+        use Fuel::*;
+        match self {
+            // KEPCO: restarted nuclear + LNG, some coal baseload, solar.
+            OperatorId::Kansai => RegionParams {
+                tz: TimeZone::JST,
+                daylen_amp: 2.2,
+                seasonal_amp: 0.14,
+                summer_peaking: true,
+                diurnal_amp: 0.16,
+                weekend_factor: 0.95,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.22,
+                hydro_ror: 0.08,
+                biomass: 0.01,
+                wind_cap: 0.01,
+                wind_cf_mean: 0.25,
+                wind_sigma: 0.10,
+                wind_theta: 0.05,
+                wind_winter_boost: 0.0,
+                wind_night_boost: 0.0,
+                solar_cap: 0.22,
+                cloud_mean: 0.35,
+                cloud_sigma: 0.10,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Coal, capacity: 0.20 },
+                    DispatchEntry { fuel: Gas, capacity: 0.80 },
+                    DispatchEntry { fuel: Oil, capacity: 0.08 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
+            },
+            // TEPCO: no nuclear in 2021, LNG-dominated with coal baseload.
+            OperatorId::Tokyo => RegionParams {
+                tz: TimeZone::JST,
+                daylen_amp: 2.2,
+                seasonal_amp: 0.16,
+                summer_peaking: true,
+                diurnal_amp: 0.18,
+                weekend_factor: 0.95,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.0,
+                hydro_ror: 0.05,
+                biomass: 0.02,
+                wind_cap: 0.01,
+                wind_cf_mean: 0.25,
+                wind_sigma: 0.10,
+                wind_theta: 0.05,
+                wind_winter_boost: 0.0,
+                wind_night_boost: 0.0,
+                solar_cap: 0.22,
+                cloud_mean: 0.35,
+                cloud_sigma: 0.10,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Coal, capacity: 0.28 },
+                    DispatchEntry { fuel: Gas, capacity: 0.90 },
+                    DispatchEntry { fuel: Oil, capacity: 0.10 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
+            },
+            // National Grid ESO: wind on a gas margin; winter-peaking
+            // demand; large multi-day wind fronts drive the high CoV.
+            OperatorId::Eso => RegionParams {
+                tz: TimeZone::GMT,
+                daylen_amp: 4.3,
+                seasonal_amp: 0.12,
+                summer_peaking: false,
+                diurnal_amp: 0.18,
+                weekend_factor: 0.94,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.21,
+                hydro_ror: 0.015,
+                biomass: 0.07,
+                wind_cap: 0.85,
+                wind_cf_mean: 0.36,
+                wind_sigma: 0.13,
+                wind_theta: 0.035,
+                wind_winter_boost: 0.25,
+                wind_night_boost: 0.05,
+                solar_cap: 0.30,
+                cloud_mean: 0.45,
+                cloud_sigma: 0.18,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Hydro, capacity: 0.02 },
+                    DispatchEntry { fuel: Gas, capacity: 1.10 },
+                    DispatchEntry { fuel: Coal, capacity: 0.03 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(250.0),
+            },
+            // CAISO: the solar duck curve; gas + imports on the evening
+            // ramp; drought-reduced hydro.
+            OperatorId::Ciso => RegionParams {
+                tz: TimeZone::PST,
+                daylen_amp: 2.4,
+                seasonal_amp: 0.15,
+                summer_peaking: true,
+                diurnal_amp: 0.20,
+                weekend_factor: 0.96,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.10,
+                hydro_ror: 0.07,
+                biomass: 0.02,
+                wind_cap: 0.32,
+                wind_cf_mean: 0.30,
+                wind_sigma: 0.15,
+                wind_theta: 0.05,
+                wind_winter_boost: 0.0,
+                wind_night_boost: 0.35,
+                solar_cap: 0.95,
+                cloud_mean: 0.15,
+                cloud_sigma: 0.10,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Hydro, capacity: 0.06 },
+                    DispatchEntry { fuel: Gas, capacity: 0.55 },
+                    DispatchEntry { fuel: Imports, capacity: 0.30 },
+                    DispatchEntry { fuel: Gas, capacity: 0.40 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(330.0),
+            },
+            // PJM: nuclear + coal baseload, gas marginal; low variability.
+            OperatorId::Pjm => RegionParams {
+                tz: TimeZone::EST,
+                daylen_amp: 2.6,
+                seasonal_amp: 0.15,
+                summer_peaking: true,
+                diurnal_amp: 0.18,
+                weekend_factor: 0.95,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.35,
+                hydro_ror: 0.02,
+                biomass: 0.01,
+                wind_cap: 0.16,
+                wind_cf_mean: 0.30,
+                wind_sigma: 0.15,
+                wind_theta: 0.05,
+                wind_winter_boost: 0.1,
+                wind_night_boost: 0.1,
+                solar_cap: 0.05,
+                cloud_mean: 0.35,
+                cloud_sigma: 0.15,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Coal, capacity: 0.33 },
+                    DispatchEntry { fuel: Gas, capacity: 0.90 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(600.0),
+            },
+            // MISO: the most coal-heavy stack; highest median intensity.
+            OperatorId::Miso => RegionParams {
+                tz: TimeZone::CST,
+                daylen_amp: 2.9,
+                seasonal_amp: 0.16,
+                summer_peaking: true,
+                diurnal_amp: 0.17,
+                weekend_factor: 0.95,
+                demand_sigma: 0.02,
+                demand_theta: 0.2,
+                nuclear: 0.13,
+                hydro_ror: 0.01,
+                biomass: 0.005,
+                wind_cap: 0.34,
+                wind_cf_mean: 0.34,
+                wind_sigma: 0.16,
+                wind_theta: 0.05,
+                wind_winter_boost: 0.1,
+                wind_night_boost: 0.15,
+                solar_cap: 0.02,
+                cloud_mean: 0.35,
+                cloud_sigma: 0.15,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Coal, capacity: 0.45 },
+                    DispatchEntry { fuel: Gas, capacity: 1.00 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(600.0),
+            },
+            // ERCOT: nocturnal wind + coal baseload + hot-summer demand.
+            OperatorId::Ercot => RegionParams {
+                tz: TimeZone::CST,
+                daylen_amp: 2.0,
+                seasonal_amp: 0.25,
+                summer_peaking: true,
+                diurnal_amp: 0.22,
+                weekend_factor: 0.96,
+                demand_sigma: 0.025,
+                demand_theta: 0.2,
+                nuclear: 0.11,
+                hydro_ror: 0.003,
+                biomass: 0.003,
+                wind_cap: 0.75,
+                wind_cf_mean: 0.35,
+                wind_sigma: 0.14,
+                wind_theta: 0.045,
+                wind_winter_boost: 0.05,
+                wind_night_boost: 0.35,
+                solar_cap: 0.12,
+                cloud_mean: 0.25,
+                cloud_sigma: 0.12,
+                cloud_theta: 0.08,
+                merit: vec![
+                    DispatchEntry { fuel: Coal, capacity: 0.22 },
+                    DispatchEntry { fuel: Gas, capacity: 1.20 },
+                ],
+                import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_metadata_matches_paper() {
+        assert_eq!(OperatorId::ALL.len(), 7);
+        let eso = OperatorId::Eso.info();
+        assert_eq!(eso.short, "ESO");
+        assert_eq!(eso.country, "United Kingdom");
+        assert_eq!(eso.region, "Great Britain");
+        let kn = OperatorId::Kansai.info();
+        assert_eq!(kn.short, "KN");
+        assert_eq!(kn.tz, TimeZone::JST);
+        let miso = OperatorId::Miso.info();
+        assert!(miso.country.contains("Canada"));
+        let ercot = OperatorId::Ercot.info();
+        assert_eq!(ercot.region, "Texas");
+        assert_eq!(ercot.tz, TimeZone::CST);
+    }
+
+    #[test]
+    fn fig7_regions_are_the_low_carbon_three() {
+        assert_eq!(
+            OperatorId::FIG7_REGIONS,
+            [OperatorId::Eso, OperatorId::Ciso, OperatorId::Ercot]
+        );
+    }
+
+    #[test]
+    fn params_are_physically_sane() {
+        for op in OperatorId::ALL {
+            let p = op.params();
+            assert!(p.weekend_factor > 0.8 && p.weekend_factor <= 1.0);
+            assert!(p.wind_cf_mean > 0.0 && p.wind_cf_mean < 1.0);
+            assert!(p.cloud_mean >= 0.0 && p.cloud_mean < 1.0);
+            assert!(!p.merit.is_empty(), "{op:?} needs dispatchable capacity");
+            let dispatchable: f64 = p.merit.iter().map(|e| e.capacity).sum();
+            let firm = p.nuclear + p.hydro_ror + p.biomass + dispatchable;
+            // Enough firm capacity to cover peak demand without unlimited
+            // imports dominating (imports are a backstop, not the plan).
+            assert!(firm > 0.9, "{op:?}: firm capacity {firm}");
+        }
+    }
+
+    #[test]
+    fn japan_regions_have_no_meaningful_wind() {
+        assert!(OperatorId::Tokyo.params().wind_cap < 0.05);
+        assert!(OperatorId::Kansai.params().wind_cap < 0.05);
+    }
+
+    #[test]
+    fn eso_is_wind_heavy_and_winter_peaking() {
+        let p = OperatorId::Eso.params();
+        assert!(p.wind_cap > 0.5);
+        assert!(!p.summer_peaking);
+        assert!(p.wind_winter_boost > 0.0);
+    }
+
+    #[test]
+    fn ciso_is_solar_heavy() {
+        let p = OperatorId::Ciso.params();
+        assert!(p.solar_cap > 0.5);
+        assert!(p.solar_cap > OperatorId::Eso.params().solar_cap);
+    }
+
+    #[test]
+    fn calibration_bands_are_ordered() {
+        for op in OperatorId::ALL {
+            let c = op.calibration();
+            assert!(c.median_band.0 < c.median_band.1);
+            assert!(c.cov_band.0 < c.cov_band.1);
+        }
+        // Tokyo's band sits ~3× above ESO's (paper: "medium annual carbon
+        // intensity is three times ESO's").
+        let tk = OperatorId::Tokyo.calibration().median_band;
+        let eso = OperatorId::Eso.calibration().median_band;
+        assert!(tk.0 / eso.1 > 2.0);
+    }
+}

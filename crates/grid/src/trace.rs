@@ -1,0 +1,143 @@
+//! A year of hourly carbon intensity bound to an operator.
+
+use crate::regions::OperatorId;
+use hpcarbon_timeseries::datetime::{HourStamp, TimeZone};
+use hpcarbon_timeseries::series::HourlySeries;
+use hpcarbon_timeseries::stats::{cov_percent, BoxplotStats};
+use hpcarbon_units::CarbonIntensity;
+
+/// An hourly carbon-intensity trace for one region-year. Values are stored
+/// in gCO₂/kWh and indexed by UTC hour-of-year.
+#[derive(Debug, Clone)]
+pub struct IntensityTrace {
+    operator: OperatorId,
+    series: HourlySeries,
+}
+
+impl IntensityTrace {
+    /// Binds a series (gCO₂/kWh) to an operator.
+    pub fn new(operator: OperatorId, series: HourlySeries) -> IntensityTrace {
+        IntensityTrace { operator, series }
+    }
+
+    /// The operator this trace belongs to.
+    pub fn operator(&self) -> OperatorId {
+        self.operator
+    }
+
+    /// The underlying hourly series (gCO₂/kWh).
+    pub fn series(&self) -> &HourlySeries {
+        &self.series
+    }
+
+    /// Intensity at a UTC hour stamp.
+    pub fn at(&self, stamp: HourStamp) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.series.at_stamp(stamp))
+    }
+
+    /// Intensity at a UTC hour-of-year index.
+    pub fn at_index(&self, index: u32) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.series.at(index))
+    }
+
+    /// Annual mean intensity.
+    pub fn mean(&self) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.series.mean())
+    }
+
+    /// Fig. 6(a)'s box-plot summary of the annual distribution.
+    pub fn boxplot(&self) -> BoxplotStats {
+        BoxplotStats::compute(self.series.values()).expect("trace is non-empty")
+    }
+
+    /// Fig. 6(b)'s coefficient of variation (%).
+    pub fn cov_percent(&self) -> f64 {
+        cov_percent(self.series.values())
+    }
+
+    /// Mean intensity profile by local hour of day in `tz`.
+    pub fn hourly_profile(&self, tz: TimeZone) -> [f64; 24] {
+        self.series.hourly_profile(tz)
+    }
+
+    /// The `n` consecutive-hour window starting within the next `horizon`
+    /// hours (from `start`) with the lowest mean intensity. Returns the
+    /// starting hour-of-year index. This is the primitive a
+    /// carbon-intensity-aware scheduler uses to defer jobs.
+    pub fn greenest_window(&self, start: u32, horizon: u32, n: u32) -> u32 {
+        assert!(n >= 1, "window must span at least one hour");
+        let len = self.series.len() as u32;
+        assert!(start < len, "start out of range");
+        let last_start = (start + horizon).min(len.saturating_sub(n));
+        let mut best_start = start;
+        let mut best_mean = f64::INFINITY;
+        for s in start..=last_start {
+            if s + n > len {
+                break;
+            }
+            let window = &self.series.values()[s as usize..(s + n) as usize];
+            let mean = window.iter().sum::<f64>() / f64::from(n);
+            if mean < best_mean {
+                best_mean = mean;
+                best_start = s;
+            }
+        }
+        best_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_timeseries::datetime::CivilDate;
+
+    fn ramp_trace() -> IntensityTrace {
+        // Intensity equal to hour-of-day: low at night, high in the evening.
+        let series = HourlySeries::from_fn(2021, |st| f64::from(st.hour()) * 10.0 + 100.0);
+        IntensityTrace::new(OperatorId::Eso, series)
+    }
+
+    #[test]
+    fn accessors() {
+        let t = ramp_trace();
+        assert_eq!(t.operator(), OperatorId::Eso);
+        let stamp = HourStamp::new(CivilDate::new(2021, 5, 1).unwrap(), 7).unwrap();
+        assert_eq!(t.at(stamp).as_g_per_kwh(), 170.0);
+        assert_eq!(t.at_index(0).as_g_per_kwh(), 100.0);
+    }
+
+    #[test]
+    fn boxplot_and_cov() {
+        let t = ramp_trace();
+        let b = t.boxplot();
+        assert_eq!(b.min, 100.0);
+        assert_eq!(b.max, 330.0);
+        assert!((b.median - 215.0).abs() < 1e-9);
+        assert!(t.cov_percent() > 0.0);
+        assert!((t.mean().as_g_per_kwh() - 215.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greenest_window_finds_the_night() {
+        let t = ramp_trace();
+        // Starting at hour 12 (noon of Jan 1), looking 24h ahead for a 3h
+        // window: the best start is midnight (hour 24 of the year).
+        let best = t.greenest_window(12, 24, 3);
+        assert_eq!(best, 24);
+        // With zero horizon, the window must start immediately.
+        assert_eq!(t.greenest_window(12, 0, 3), 12);
+    }
+
+    #[test]
+    fn greenest_window_clamps_at_year_end() {
+        let t = ramp_trace();
+        let best = t.greenest_window(8756, 100, 4);
+        assert!(best + 4 <= 8760);
+    }
+
+    #[test]
+    #[should_panic(expected = "start out of range")]
+    fn greenest_window_rejects_bad_start() {
+        let _ = ramp_trace().greenest_window(9000, 10, 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Calibration tests: the simulated 2021 traces must land on the paper's
+//! Fig. 6 statistics and Fig. 7 diurnal structure.
+
+use hpcarbon_grid::analysis::{lowest_median_region, regional_summary, winner_counts};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_all_regions;
+use hpcarbon_timeseries::datetime::TimeZone;
+
+const SEED: u64 = 2021;
+
+#[test]
+fn fig6_regional_statistics_match_paper_bands() {
+    let traces = simulate_all_regions(2021, SEED);
+    let summaries = regional_summary(&traces);
+    for s in &summaries {
+        let cal = s.operator.calibration();
+        let med = s.boxplot.median;
+        let cov = s.cov_percent;
+        println!(
+            "{:>6}: median {:6.1} (band {:?})  cov {:5.1}% (band {:?})  q1 {:6.1} q3 {:6.1}",
+            s.operator.info().short,
+            med,
+            cal.median_band,
+            cov,
+            cal.cov_band,
+            s.boxplot.q1,
+            s.boxplot.q3,
+        );
+        assert!(
+            med >= cal.median_band.0 && med <= cal.median_band.1,
+            "{}: median {med} outside {:?}",
+            s.operator.info().short,
+            cal.median_band
+        );
+        assert!(
+            cov >= cal.cov_band.0 && cov <= cal.cov_band.1,
+            "{}: CoV {cov} outside {:?}",
+            s.operator.info().short,
+            cal.cov_band
+        );
+    }
+}
+
+#[test]
+fn fig6_orderings_match_paper() {
+    let traces = simulate_all_regions(2021, SEED);
+    let summaries = regional_summary(&traces);
+    let median = |op: OperatorId| {
+        summaries
+            .iter()
+            .find(|s| s.operator == op)
+            .unwrap()
+            .boxplot
+            .median
+    };
+    let cov = |op: OperatorId| {
+        summaries
+            .iter()
+            .find(|s| s.operator == op)
+            .unwrap()
+            .cov_percent
+    };
+
+    // "the ESO (Great Britain, UK) region has the lowest carbon intensity
+    // among all regions, with a median carbon intensity of less than 200".
+    assert_eq!(lowest_median_region(&summaries), OperatorId::Eso);
+    assert!(median(OperatorId::Eso) < 200.0);
+
+    // "The TK (Tokyo, Japan) region has the highest carbon intensity among
+    // all regions, whose medium annual carbon intensity is three times
+    // ESO's."
+    let max_med = OperatorId::ALL
+        .iter()
+        .map(|op| median(*op))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        median(OperatorId::Tokyo) >= max_med * 0.92,
+        "Tokyo should be (nearly) the highest median"
+    );
+    let ratio = median(OperatorId::Tokyo) / median(OperatorId::Eso);
+    assert!((2.3..=3.8).contains(&ratio), "TK/ESO median ratio {ratio}");
+
+    // "The two regions with the lowest medium carbon intensity – ESO and
+    // CISO, also have the most variations."
+    let mut meds: Vec<(OperatorId, f64)> =
+        OperatorId::ALL.iter().map(|op| (*op, median(*op))).collect();
+    meds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    assert_eq!(meds[0].0, OperatorId::Eso);
+    assert_eq!(meds[1].0, OperatorId::Ciso);
+    let mut covs: Vec<(OperatorId, f64)> =
+        OperatorId::ALL.iter().map(|op| (*op, cov(*op))).collect();
+    covs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top2: Vec<OperatorId> = covs[..2].iter().map(|(o, _)| *o).collect();
+    assert!(top2.contains(&OperatorId::Eso), "CoV top2 {covs:?}");
+    assert!(top2.contains(&OperatorId::Ciso), "CoV top2 {covs:?}");
+
+    // "the regions with the highest medium carbon intensity – TK and KN –
+    // have the least carbon intensity variation among all regions."
+    let bottom2: Vec<OperatorId> = covs[covs.len() - 2..].iter().map(|(o, _)| *o).collect();
+    assert!(bottom2.contains(&OperatorId::Tokyo), "CoV bottom2 {covs:?}");
+    assert!(bottom2.contains(&OperatorId::Kansai), "CoV bottom2 {covs:?}");
+}
+
+#[test]
+fn fig7_diurnal_winner_structure() {
+    let traces = simulate_all_regions(2021, SEED);
+    let fig7: Vec<_> = traces
+        .into_iter()
+        .filter(|t| OperatorId::FIG7_REGIONS.contains(&t.operator()))
+        .collect();
+    assert_eq!(fig7.len(), 3);
+    let w = winner_counts(&fig7, TimeZone::JST);
+
+    for h in 0..24 {
+        print!("JST {h:02}: ");
+        for (r, op) in w.operators.iter().enumerate() {
+            print!("{}={:3} ", op.info().short, w.counts[r][h]);
+        }
+        println!("  -> {}", w.plurality_winner(h).info().short);
+        // Counts per hour cover the whole year.
+        assert_eq!(w.days_per_hour(h), 365);
+    }
+
+    // "the number of days that each region has the lowest carbon intensity
+    // during a given hour varies significantly throughout the year" — for
+    // the majority of hours the leader wins well short of the full year
+    // (the deep-night/evening-peak alignments can stay near-deterministic,
+    // as they plausibly are in the paper's own data).
+    let max_at = |h: usize| w.counts.iter().map(|c| c[h]).max().unwrap();
+    let contested_hours = (0..24).filter(|h| max_at(*h) < 340).count();
+    assert!(
+        contested_hours >= 12,
+        "only {contested_hours}/24 hours show real variation"
+    );
+    let near_sweeps = (0..24).filter(|h| max_at(*h) >= 355).count();
+    assert!(near_sweeps <= 9, "{near_sweeps} hours are near-deterministic");
+
+    // The paper's hour-1 example: "ESO … about 150 days … while CISO …
+    // about 215 days". Our JST hour 1 should land near that split.
+    let eso_idx = w.operators.iter().position(|o| *o == OperatorId::Eso).unwrap();
+    let ciso_idx = w.operators.iter().position(|o| *o == OperatorId::Ciso).unwrap();
+    assert!(
+        (100..=210).contains(&w.counts[eso_idx][1]),
+        "ESO hour-1 wins {} (paper ≈150)",
+        w.counts[eso_idx][1]
+    );
+    assert!(
+        (160..=280).contains(&w.counts[ciso_idx][1]),
+        "CISO hour-1 wins {} (paper ≈215)",
+        w.counts[ciso_idx][1]
+    );
+
+    // "The hours during which ESO is the region with the lowest carbon
+    // intensity, hour 8 to hour 20" — ESO takes the plurality for most of
+    // that JST window.
+    let eso_window_wins = (9..=19)
+        .filter(|h| w.plurality_winner(*h) == OperatorId::Eso)
+        .count();
+    assert!(
+        eso_window_wins >= 7,
+        "ESO should win most of JST 9-19, won {eso_window_wins}/11"
+    );
+
+    // "CISO is a greener region during most of the days" outside that
+    // window (late JST night / early morning).
+    let ciso_window_wins = [22, 23, 0, 1, 2, 3, 4, 5]
+        .iter()
+        .filter(|h| w.plurality_winner(**h) == OperatorId::Ciso)
+        .count();
+    assert!(
+        ciso_window_wins >= 5,
+        "CISO should win most of JST 22-05, won {ciso_window_wins}/8"
+    );
+
+    // Every region wins somewhere (ERCOT's night wind gets it some days).
+    for op in OperatorId::FIG7_REGIONS {
+        assert!(w.total_wins(op) > 100, "{:?} total {}", op, w.total_wins(op));
+    }
+}
+
+#[test]
+fn different_seeds_preserve_structure() {
+    // The calibration must be a property of the model, not of one lucky
+    // seed: re-check the headline orderings on another seed.
+    let traces = simulate_all_regions(2021, 777);
+    let summaries = regional_summary(&traces);
+    assert_eq!(lowest_median_region(&summaries), OperatorId::Eso);
+    let tk = summaries
+        .iter()
+        .find(|s| s.operator == OperatorId::Tokyo)
+        .unwrap();
+    let eso = summaries
+        .iter()
+        .find(|s| s.operator == OperatorId::Eso)
+        .unwrap();
+    assert!(tk.boxplot.median > 2.0 * eso.boxplot.median);
+    assert!(eso.cov_percent > tk.cov_percent);
+}

@@ -1,0 +1,149 @@
+//! Energy integration over power samples.
+
+use hpcarbon_units::{Energy, Power, TimeSpan};
+
+/// Integrates a stream of `(time, power)` samples into energy using the
+/// trapezoidal rule — the standard treatment of NVML/RAPL sample streams.
+#[derive(Debug, Clone)]
+pub struct EnergyIntegrator {
+    first: Option<TimeSpan>,
+    last: Option<(TimeSpan, Power)>,
+    total: Energy,
+    samples: u64,
+}
+
+impl Default for EnergyIntegrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EnergyIntegrator {
+    /// An empty integrator.
+    pub fn new() -> EnergyIntegrator {
+        EnergyIntegrator {
+            first: None,
+            last: None,
+            total: Energy::ZERO,
+            samples: 0,
+        }
+    }
+
+    /// Feeds one sample. Samples must arrive in non-decreasing time order.
+    ///
+    /// # Panics
+    /// If `t` precedes the previous sample.
+    pub fn push(&mut self, t: TimeSpan, p: Power) {
+        if let Some((t0, p0)) = self.last {
+            assert!(
+                t >= t0,
+                "samples must be time-ordered: {} < {}",
+                t.as_hours(),
+                t0.as_hours()
+            );
+            let dt = t - t0;
+            let avg = (p0 + p) * 0.5;
+            self.total += avg * dt;
+        } else {
+            self.first = Some(t);
+        }
+        self.last = Some((t, p));
+        self.samples += 1;
+    }
+
+    /// Total integrated energy so far.
+    pub fn total(&self) -> Energy {
+        self.total
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// First sample time (None before any sample).
+    pub fn first_sample_time(&self) -> Option<TimeSpan> {
+        self.first
+    }
+
+    /// Mean power over the integrated span (None before two distinct-time
+    /// samples).
+    pub fn mean_power(&self) -> Option<Power> {
+        let (t_last, _) = self.last?;
+        let first = self.first?;
+        let span = t_last - first;
+        if self.samples < 2 || span.as_hours() <= 0.0 {
+            return None;
+        }
+        Some(self.total / span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_power_integral() {
+        let mut i = EnergyIntegrator::new();
+        i.push(TimeSpan::from_hours(0.0), Power::from_w(100.0));
+        i.push(TimeSpan::from_hours(2.0), Power::from_w(100.0));
+        assert!((i.total().as_wh() - 200.0).abs() < 1e-9);
+        assert_eq!(i.samples(), 2);
+    }
+
+    #[test]
+    fn trapezoid_ramp() {
+        // Power ramping 0 -> 100 W over 1 h integrates to 50 Wh.
+        let mut i = EnergyIntegrator::new();
+        i.push(TimeSpan::from_hours(0.0), Power::from_w(0.0));
+        i.push(TimeSpan::from_hours(1.0), Power::from_w(100.0));
+        assert!((i.total().as_wh() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn many_small_steps_match_analytic() {
+        // Integrate P(t) = 200 t over [0, 1] h: exact 100 Wh.
+        let mut i = EnergyIntegrator::new();
+        for k in 0..=1000 {
+            let t = f64::from(k) / 1000.0;
+            i.push(TimeSpan::from_hours(t), Power::from_w(200.0 * t));
+        }
+        assert!((i.total().as_wh() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_power() {
+        let mut i = EnergyIntegrator::new();
+        i.push(TimeSpan::from_hours(0.0), Power::from_w(100.0));
+        assert!(i.mean_power().is_none());
+        i.push(TimeSpan::from_hours(1.0), Power::from_w(300.0));
+        let m = i.mean_power().unwrap();
+        assert!((m.as_w() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_samples_add_nothing() {
+        let mut i = EnergyIntegrator::new();
+        i.push(TimeSpan::from_hours(1.0), Power::from_w(100.0));
+        i.push(TimeSpan::from_hours(1.0), Power::from_w(500.0));
+        assert_eq!(i.total().as_wh(), 0.0);
+        assert!(i.mean_power().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_out_of_order() {
+        let mut i = EnergyIntegrator::new();
+        i.push(TimeSpan::from_hours(2.0), Power::from_w(1.0));
+        i.push(TimeSpan::from_hours(1.0), Power::from_w(1.0));
+    }
+
+    #[test]
+    fn first_sample_time_tracked() {
+        let mut i = EnergyIntegrator::new();
+        assert!(i.first_sample_time().is_none());
+        i.push(TimeSpan::from_hours(3.5), Power::from_w(1.0));
+        assert_eq!(i.first_sample_time().unwrap().as_hours(), 3.5);
+    }
+}

@@ -1,0 +1,58 @@
+//! The rendered-artifact container.
+
+/// One regenerated paper artifact: a text panel (chart/table) plus the
+/// underlying data as CSV.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Stable identifier (`table1` … `fig9`).
+    pub id: String,
+    /// Human title (matches the paper's caption intent).
+    pub title: String,
+    /// Rendered plain-text panel.
+    pub text: String,
+    /// Machine-readable data (CSV with header row).
+    pub csv: String,
+}
+
+impl Artifact {
+    /// Creates an artifact.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        text: impl Into<String>,
+        csv: impl Into<String>,
+    ) -> Artifact {
+        Artifact {
+            id: id.into(),
+            title: title.into(),
+            text: text.into(),
+            csv: csv.into(),
+        }
+    }
+
+    /// Writes `<dir>/<id>.txt` and `<dir>/<id>.csv`.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.id)), &self.text)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), &self.csv)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_write() {
+        let a = Artifact::new("t", "Title", "body", "h\n1\n");
+        let dir = std::env::temp_dir().join("hpcarbon_artifact_test");
+        a.write_to(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("t.txt")).unwrap(), "body");
+        assert_eq!(
+            std::fs::read_to_string(dir.join("t.csv")).unwrap(),
+            "h\n1\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

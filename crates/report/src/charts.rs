@@ -1,0 +1,238 @@
+//! Plain-text chart rendering: horizontal bars, box plots, ring-chart
+//! legends and multi-series line plots.
+
+use hpcarbon_timeseries::stats::BoxplotStats;
+use std::fmt::Write as _;
+
+const BAR_WIDTH: usize = 48;
+
+/// A horizontal bar chart. Values must be non-negative.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], unit: &str) -> String {
+    assert!(!rows.is_empty(), "bar chart needs rows");
+    assert!(
+        rows.iter().all(|(_, v)| *v >= 0.0 && v.is_finite()),
+        "bar values must be finite and non-negative"
+    );
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in rows {
+        let filled = if max > 0.0 {
+            ((v / max) * BAR_WIDTH as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} |{}{} {v:.2} {unit}",
+            "#".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled),
+        );
+    }
+    out
+}
+
+/// A horizontal box-plot panel: one row per labeled distribution, drawn on
+/// a shared `[lo, hi]` axis.
+pub fn boxplot_chart(title: &str, rows: &[(String, BoxplotStats)], unit: &str) -> String {
+    assert!(!rows.is_empty(), "boxplot needs rows");
+    let lo = rows
+        .iter()
+        .map(|(_, b)| b.whisker_lo)
+        .fold(f64::INFINITY, f64::min);
+    let hi = rows
+        .iter()
+        .map(|(_, b)| b.whisker_hi)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let width = 60usize;
+    let pos = |v: f64| -> usize {
+        (((v - lo) / span) * (width - 1) as f64)
+            .round()
+            .clamp(0.0, (width - 1) as f64) as usize
+    };
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    let _ = writeln!(
+        out,
+        "  {:label_w$}  axis: {lo:.0} .. {hi:.0} {unit}",
+        ""
+    );
+    for (label, b) in rows {
+        let mut line = vec![b' '; width];
+        for i in pos(b.whisker_lo)..=pos(b.whisker_hi) {
+            line[i] = b'-';
+        }
+        for i in pos(b.q1)..=pos(b.q3) {
+            line[i] = b'=';
+        }
+        line[pos(b.whisker_lo)] = b'|';
+        line[pos(b.whisker_hi)] = b'|';
+        line[pos(b.q1)] = b'[';
+        line[pos(b.q3)] = b']';
+        line[pos(b.median)] = b'*';
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} {}  (median {:.1})",
+            String::from_utf8(line).expect("ascii"),
+            b.median
+        );
+    }
+    out
+}
+
+/// A ring-chart legend: labeled percentage shares with proportional bars
+/// (the textual rendering of the paper's donut charts).
+pub fn ring_chart(title: &str, slices: &[(String, f64)]) -> String {
+    assert!(!slices.is_empty(), "ring chart needs slices");
+    let total: f64 = slices.iter().map(|(_, v)| *v).sum();
+    assert!(total > 0.0, "ring chart needs positive total");
+    let label_w = slices.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, v) in slices {
+        let share = v / total;
+        let filled = (share * BAR_WIDTH as f64).round() as usize;
+        let _ = writeln!(
+            out,
+            "  {label:<label_w$} {:>5.1}% |{}{}|",
+            share * 100.0,
+            "o".repeat(filled),
+            " ".repeat(BAR_WIDTH - filled),
+        );
+    }
+    out
+}
+
+/// A multi-series line plot on a character grid. Each series gets a
+/// distinct glyph; the y axis is annotated with its range.
+pub fn line_plot(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    assert!(!series.is_empty(), "line plot needs series");
+    assert!(xs.len() >= 2, "line plot needs at least two x points");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), xs.len(), "series {name} length mismatch");
+    }
+    const GLYPHS: [char; 6] = ['A', 'B', 'C', 'D', 'E', 'F'];
+    let height = 16usize;
+    let width = 64usize;
+    let ymin = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .fold(f64::INFINITY, |a, b| a.min(*b));
+    let ymax = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .fold(f64::NEG_INFINITY, |a, b| a.max(*b));
+    let yspan = (ymax - ymin).max(1e-12);
+    let xmin = xs[0];
+    let xspan = (xs[xs.len() - 1] - xmin).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    // Zero line, when it is inside the range (Fig. 8/9's red/green split).
+    if ymin < 0.0 && ymax > 0.0 {
+        let zr = ((ymax / yspan) * (height - 1) as f64).round() as usize;
+        for c in grid[zr.min(height - 1)].iter_mut() {
+            *c = '.';
+        }
+    }
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, y) in xs.iter().zip(ys) {
+            let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let row = (((ymax - y) / yspan) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = format!("{title}\n");
+    let _ = writeln!(out, "  y: {ymin:.1} .. {ymax:.1}");
+    for row in grid {
+        let _ = writeln!(out, "  |{}|", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(
+        out,
+        "   {}{}",
+        format!("{xmin:.1}"),
+        format!("{:>w$.1}", xs[xs.len() - 1], w = width - 3)
+    );
+    let _ = writeln!(out, "   x: {x_label}");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "   {} = {name}", GLYPHS[si % GLYPHS.len()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart(
+            "t",
+            &[("a".into(), 10.0), ("b".into(), 5.0), ("c".into(), 0.0)],
+            "kg",
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let hashes = |l: &str| l.chars().filter(|c| *c == '#').count();
+        assert_eq!(hashes(lines[1]), BAR_WIDTH);
+        assert_eq!(hashes(lines[2]), BAR_WIDTH / 2);
+        assert_eq!(hashes(lines[3]), 0);
+        assert!(lines[1].contains("10.00 kg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn bar_chart_rejects_negative() {
+        let _ = bar_chart("t", &[("a".into(), -1.0)], "");
+    }
+
+    #[test]
+    fn boxplot_orders_glyphs() {
+        let b = BoxplotStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).unwrap();
+        let s = boxplot_chart("t", &[("r".into(), b)], "g");
+        assert!(s.contains('*'));
+        assert!(s.contains('['));
+        assert!(s.contains(']'));
+        let row = s.lines().nth(2).unwrap();
+        let star = row.find('*').unwrap();
+        let open = row.find('[').unwrap();
+        let close = row.find(']').unwrap();
+        assert!(open < star && star < close);
+    }
+
+    #[test]
+    fn ring_chart_percentages_sum() {
+        let s = ring_chart("t", &[("x".into(), 3.0), ("y".into(), 1.0)]);
+        assert!(s.contains("75.0%"));
+        assert!(s.contains("25.0%"));
+    }
+
+    #[test]
+    fn line_plot_draws_all_series() {
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let up: Vec<f64> = xs.iter().map(|x| x - 5.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| 5.0 - x).collect();
+        let s = line_plot(
+            "t",
+            "years",
+            &xs,
+            &[("rising".into(), up), ("falling".into(), down)],
+        );
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains("rising"));
+        // Zero line drawn because the range crosses zero.
+        assert!(s.contains('.'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn line_plot_checks_lengths() {
+        let _ = line_plot("t", "x", &[0.0, 1.0], &[("s".into(), vec![1.0])]);
+    }
+}

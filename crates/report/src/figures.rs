@@ -1,0 +1,525 @@
+//! Regeneration of the paper's Figures 1–9.
+
+use crate::artifact::Artifact;
+use crate::charts::{bar_chart, boxplot_chart, line_plot, ring_chart};
+use crate::emit::Csv;
+use hpcarbon_core::db::{parts_of_class, PartId};
+use hpcarbon_core::embodied::ComponentClass;
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_grid::analysis::{regional_summary, winner_counts};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_all_regions;
+use hpcarbon_grid::IntensityLevel;
+use hpcarbon_timeseries::datetime::TimeZone;
+use hpcarbon_units::TimeSpan;
+use hpcarbon_upgrade::savings::{UpgradeScenario, UsageLevel};
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+use hpcarbon_workloads::perf;
+
+/// Fig. 1: embodied carbon of GPU/CPU devices, absolute and per-TFLOPS.
+pub fn fig1() -> Artifact {
+    let parts = [
+        PartId::GpuMi250x,
+        PartId::GpuA100Pcie40,
+        PartId::GpuV100Sxm2_32,
+        PartId::CpuEpyc7763,
+        PartId::CpuEpyc7742,
+        PartId::CpuXeonGold6240r,
+    ];
+    let abs: Vec<(String, f64)> = parts
+        .iter()
+        .map(|p| (p.label().to_string(), p.spec().embodied().total().as_kg()))
+        .collect();
+    let per_tf: Vec<(String, f64)> = parts
+        .iter()
+        .map(|p| {
+            (
+                p.label().to_string(),
+                p.spec().embodied_per_tflops().expect("processors have FP64"),
+            )
+        })
+        .collect();
+    let mut text = bar_chart("(a) Embodied carbon (kgCO2)", &abs, "kgCO2");
+    text.push('\n');
+    text.push_str(&bar_chart(
+        "(b) Embodied carbon per FP64 TFLOPS",
+        &per_tf,
+        "kgCO2/TFLOPS",
+    ));
+    let mut csv = Csv::new(&["component", "embodied_kg", "kg_per_tflops"]);
+    for ((l, a), (_, p)) in abs.iter().zip(&per_tf) {
+        csv.row([l.clone(), format!("{a:.3}"), format!("{p:.3}")]);
+    }
+    Artifact::new(
+        "fig1",
+        "Fig. 1: Embodied carbon of GPU/CPU devices, absolute and per TFLOPS",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 2: embodied carbon of DRAM/SSD/HDD, absolute and per bandwidth.
+pub fn fig2() -> Artifact {
+    let parts = [PartId::Dram64gb, PartId::Ssd3_2tb, PartId::Hdd16tb];
+    let abs: Vec<(String, f64)> = parts
+        .iter()
+        .map(|p| (p.label().to_string(), p.spec().embodied().total().as_kg()))
+        .collect();
+    let per_bw: Vec<(String, f64)> = parts
+        .iter()
+        .map(|p| {
+            (
+                p.label().to_string(),
+                p.spec()
+                    .embodied_per_bandwidth()
+                    .expect("storage parts declare bandwidth"),
+            )
+        })
+        .collect();
+    let mut text = bar_chart("(a) Embodied carbon (kgCO2)", &abs, "kgCO2");
+    text.push('\n');
+    text.push_str(&bar_chart(
+        "(b) Embodied carbon per bandwidth",
+        &per_bw,
+        "kgCO2/(GB/s)",
+    ));
+    let mut csv = Csv::new(&["component", "embodied_kg", "kg_per_gbps"]);
+    for ((l, a), (_, p)) in abs.iter().zip(&per_bw) {
+        csv.row([l.clone(), format!("{a:.3}"), format!("{p:.3}")]);
+    }
+    Artifact::new(
+        "fig2",
+        "Fig. 2: Embodied carbon of DRAM/SSD/HDD devices, absolute and per bandwidth",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 3: manufacturing vs packaging split per device class.
+pub fn fig3() -> Artifact {
+    let mut text = String::new();
+    let mut csv = Csv::new(&["class", "manufacturing_pct", "packaging_pct"]);
+    for class in ComponentClass::ALL {
+        // Class-level split aggregated over the Table 1 parts of the class.
+        let parts: Vec<PartId> = parts_of_class(class)
+            .into_iter()
+            .filter(|p| hpcarbon_core::db::TABLE1_PARTS.contains(p))
+            .collect();
+        let mfg: f64 = parts
+            .iter()
+            .map(|p| p.spec().embodied().manufacturing.as_kg())
+            .sum();
+        let pack: f64 = parts
+            .iter()
+            .map(|p| p.spec().embodied().packaging.as_kg())
+            .sum();
+        text.push_str(&ring_chart(
+            &format!("{class}"),
+            &[("Manufacturing".into(), mfg), ("Packaging".into(), pack)],
+        ));
+        text.push('\n');
+        let total = mfg + pack;
+        csv.row([
+            class.label().to_string(),
+            format!("{:.1}", 100.0 * mfg / total),
+            format!("{:.1}", 100.0 * pack / total),
+        ]);
+    }
+    Artifact::new(
+        "fig3",
+        "Fig. 3: Manufacturing vs packaging carbon by device type",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 4: embodied carbon and performance vs number of GPUs (V100 node).
+pub fn fig4() -> Artifact {
+    let node = NodeGen::V100Node;
+    let counts = [1u32, 2, 4];
+    let e1 = node.embodied_with_gpus(1).total().as_kg();
+    let xs: Vec<f64> = counts.iter().map(|n| f64::from(*n)).collect();
+    let embodied: Vec<f64> = counts
+        .iter()
+        .map(|n| node.embodied_with_gpus(*n).total().as_kg() / e1)
+        .collect();
+
+    let mut text = String::new();
+    let mut csv = Csv::new(&["suite", "gpus", "embodied_ratio", "performance_ratio"]);
+    for suite in Suite::ALL {
+        let perf_ratio: Vec<f64> = counts
+            .iter()
+            .map(|n| perf::suite_scaling(suite, node, *n))
+            .collect();
+        text.push_str(&line_plot(
+            &format!("{} (normalized to 1 GPU)", suite.label()),
+            "number of GPUs",
+            &xs,
+            &[
+                ("Embodied Carbon".into(), embodied.clone()),
+                ("Performance".into(), perf_ratio.clone()),
+            ],
+        ));
+        text.push('\n');
+        for ((n, e), p) in counts.iter().zip(&embodied).zip(&perf_ratio) {
+            csv.row([
+                suite.label().to_string(),
+                n.to_string(),
+                format!("{e:.3}"),
+                format!("{p:.3}"),
+            ]);
+        }
+    }
+    Artifact::new(
+        "fig4",
+        "Fig. 4: Embodied carbon and performance vs number of GPUs",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 5: embodied-carbon composition of Frontier, LUMI and Perlmutter.
+pub fn fig5() -> Artifact {
+    let mut text = String::new();
+    let mut csv = Csv::new(&["system", "class", "share_pct"]);
+    for sys in HpcSystem::table2() {
+        let slices: Vec<(String, f64)> = sys
+            .composition_shares()
+            .into_iter()
+            .filter(|(_, s)| s.value() > 0.0)
+            .map(|(c, s)| (c.label().to_string(), s.percent()))
+            .collect();
+        text.push_str(&ring_chart(sys.name, &slices));
+        text.push('\n');
+        for (class, share) in sys.composition_shares() {
+            csv.row([
+                sys.name.to_string(),
+                class.label().to_string(),
+                format!("{:.1}", share.percent()),
+            ]);
+        }
+    }
+    Artifact::new(
+        "fig5",
+        "Fig. 5: Carbon footprint contribution by component in three supercomputers",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 6: annual carbon-intensity box plots and CoV per region.
+pub fn fig6(seed: u64) -> Artifact {
+    let traces = simulate_all_regions(2021, seed);
+    let summaries = regional_summary(&traces);
+    let boxes: Vec<(String, hpcarbon_timeseries::stats::BoxplotStats)> = summaries
+        .iter()
+        .map(|s| (s.operator.info().short.to_string(), s.boxplot))
+        .collect();
+    let covs: Vec<(String, f64)> = summaries
+        .iter()
+        .map(|s| (s.operator.info().short.to_string(), s.cov_percent))
+        .collect();
+    let mut text = boxplot_chart(
+        "(a) Annual carbon intensity, 2021 (gCO2/kWh)",
+        &boxes,
+        "gCO2/kWh",
+    );
+    text.push('\n');
+    text.push_str(&bar_chart("(b) CoV of annual carbon intensity", &covs, "%"));
+    let mut csv = Csv::new(&["region", "q1", "median", "q3", "mean", "cov_pct"]);
+    for s in &summaries {
+        csv.row([
+            s.operator.info().short.to_string(),
+            format!("{:.1}", s.boxplot.q1),
+            format!("{:.1}", s.boxplot.median),
+            format!("{:.1}", s.boxplot.q3),
+            format!("{:.1}", s.boxplot.mean),
+            format!("{:.1}", s.cov_percent),
+        ]);
+    }
+    Artifact::new(
+        "fig6",
+        "Fig. 6: Annual carbon intensity and its variation across regions",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 7: days with the lowest carbon intensity per JST hour for the
+/// three greenest regions.
+pub fn fig7(seed: u64) -> Artifact {
+    let traces: Vec<_> = simulate_all_regions(2021, seed)
+        .into_iter()
+        .filter(|t| OperatorId::FIG7_REGIONS.contains(&t.operator()))
+        .collect();
+    let w = winner_counts(&traces, TimeZone::JST);
+    let xs: Vec<f64> = (0..24).map(|h| h as f64).collect();
+    let series: Vec<(String, Vec<f64>)> = w
+        .operators
+        .iter()
+        .enumerate()
+        .map(|(r, op)| {
+            (
+                op.info().short.to_string(),
+                (0..24).map(|h| f64::from(w.counts[r][h])).collect(),
+            )
+        })
+        .collect();
+    let text = line_plot(
+        "Days with the lowest carbon intensity, by hour of day (JST)",
+        "hour of the day (JST)",
+        &xs,
+        &series,
+    );
+    let mut csv = Csv::new(&["hour_jst", "eso_days", "ciso_days", "ercot_days"]);
+    for h in 0..24 {
+        csv.row([
+            h.to_string(),
+            w.counts[0][h].to_string(),
+            w.counts[1][h].to_string(),
+            w.counts[2][h].to_string(),
+        ]);
+    }
+    Artifact::new(
+        "fig7",
+        "Fig. 7: Hourly variation in carbon intensity across the three most carbon-friendly regions",
+        text,
+        csv.finish(),
+    )
+}
+
+const FIG89_YEARS: usize = 20;
+
+fn savings_series(s: &UpgradeScenario, intensity: hpcarbon_units::CarbonIntensity) -> Vec<f64> {
+    (1..=FIG89_YEARS)
+        .map(|k| {
+            s.savings_percent(
+                TimeSpan::from_years(5.0 * k as f64 / FIG89_YEARS as f64),
+                intensity,
+            )
+        })
+        .collect()
+}
+
+fn years_axis() -> Vec<f64> {
+    (1..=FIG89_YEARS)
+        .map(|k| 5.0 * k as f64 / FIG89_YEARS as f64)
+        .collect()
+}
+
+/// Fig. 8: carbon savings of upgrades over five years at high/medium/low
+/// carbon intensity (rows = upgrade options, columns = intensity levels,
+/// lines = workloads).
+pub fn fig8() -> Artifact {
+    let xs = years_axis();
+    let mut text = String::new();
+    let mut csv = Csv::new(&["upgrade", "intensity", "suite", "years", "savings_pct"]);
+    for (old, new) in [
+        (NodeGen::P100Node, NodeGen::V100Node),
+        (NodeGen::P100Node, NodeGen::A100Node),
+        (NodeGen::V100Node, NodeGen::A100Node),
+    ] {
+        for level in IntensityLevel::ALL {
+            let series: Vec<(String, Vec<f64>)> = Suite::ALL
+                .iter()
+                .map(|suite| {
+                    let s = UpgradeScenario::paper_default(old, new, *suite);
+                    let ys = savings_series(&s, level.intensity());
+                    for (x, y) in xs.iter().zip(&ys) {
+                        csv.row([
+                            format!("{} to {}", old.config().name, new.config().name),
+                            level.label().to_string(),
+                            suite.label().to_string(),
+                            format!("{x:.2}"),
+                            format!("{y:.2}"),
+                        ]);
+                    }
+                    (suite.label().to_string(), ys)
+                })
+                .collect();
+            text.push_str(&line_plot(
+                &format!(
+                    "{} to {} upgrade, {} ({} gCO2/kWh)",
+                    old.config().name,
+                    new.config().name,
+                    level.label(),
+                    level.intensity().as_g_per_kwh()
+                ),
+                "years of operation after upgrade",
+                &xs,
+                &series,
+            ));
+            text.push('\n');
+        }
+    }
+    Artifact::new(
+        "fig8",
+        "Fig. 8: Carbon savings after upgrade vs time, by regional carbon intensity",
+        text,
+        csv.finish(),
+    )
+}
+
+/// Fig. 9: carbon savings of upgrades under high/medium/low GPU usage at
+/// 200 gCO₂/kWh (rows = upgrade options, columns = workloads, lines =
+/// usage levels).
+pub fn fig9() -> Artifact {
+    let xs = years_axis();
+    let intensity = IntensityLevel::Medium.intensity();
+    let mut text = String::new();
+    let mut csv = Csv::new(&["upgrade", "suite", "usage", "years", "savings_pct"]);
+    for (old, new) in [
+        (NodeGen::P100Node, NodeGen::V100Node),
+        (NodeGen::P100Node, NodeGen::A100Node),
+        (NodeGen::V100Node, NodeGen::A100Node),
+    ] {
+        for suite in Suite::ALL {
+            let series: Vec<(String, Vec<f64>)> = UsageLevel::ALL
+                .iter()
+                .map(|usage| {
+                    let s = UpgradeScenario {
+                        usage: usage.fraction(),
+                        ..UpgradeScenario::paper_default(old, new, suite)
+                    };
+                    let ys = savings_series(&s, intensity);
+                    for (x, y) in xs.iter().zip(&ys) {
+                        csv.row([
+                            format!("{} to {}", old.config().name, new.config().name),
+                            suite.label().to_string(),
+                            usage.label().to_string(),
+                            format!("{x:.2}"),
+                            format!("{y:.2}"),
+                        ]);
+                    }
+                    (usage.label().to_string(), ys)
+                })
+                .collect();
+            text.push_str(&line_plot(
+                &format!(
+                    "{} to {} upgrade, {} workload (200 gCO2/kWh)",
+                    old.config().name,
+                    new.config().name,
+                    suite.label()
+                ),
+                "years of operation after upgrade",
+                &xs,
+                &series,
+            ));
+            text.push('\n');
+        }
+    }
+    Artifact::new(
+        "fig9",
+        "Fig. 9: Carbon savings after upgrade vs time, by GPU usage pattern",
+        text,
+        csv.finish(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_reproduces_orderings() {
+        let a = fig1();
+        assert!(a.text.contains("AMD MI250X"));
+        // CSV: MI250X first row has max embodied and min per-TFLOPS.
+        let rows: Vec<Vec<f64>> = a
+            .csv
+            .lines()
+            .skip(1)
+            .map(|l| {
+                l.split(',')
+                    .skip(1)
+                    .map(|v| v.parse().unwrap())
+                    .collect::<Vec<f64>>()
+            })
+            .collect();
+        let max_abs = rows.iter().map(|r| r[0]).fold(f64::MIN, f64::max);
+        let min_ptf = rows.iter().map(|r| r[1]).fold(f64::MAX, f64::min);
+        assert_eq!(rows[0][0], max_abs);
+        assert_eq!(rows[0][1], min_ptf);
+    }
+
+    #[test]
+    fn fig2_per_bandwidth_ordering() {
+        let a = fig2();
+        let rows: Vec<f64> = a
+            .csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse().unwrap())
+            .collect();
+        // DRAM < SSD < HDD per bandwidth.
+        assert!(rows[0] < rows[1] && rows[1] < rows[2], "{rows:?}");
+    }
+
+    #[test]
+    fn fig3_shares_sum_to_100() {
+        let a = fig3();
+        for line in a.csv.lines().skip(1) {
+            let cells: Vec<&str> = line.split(',').collect();
+            let mfg: f64 = cells[1].parse().unwrap();
+            let pack: f64 = cells[2].parse().unwrap();
+            assert!((mfg + pack - 100.0).abs() < 0.2, "{line}");
+        }
+        assert!(a.text.contains("DRAM"));
+    }
+
+    #[test]
+    fn fig4_has_three_suites_three_counts() {
+        let a = fig4();
+        assert_eq!(a.csv.lines().count(), 1 + 9);
+        assert!(a.text.contains("NLP"));
+        assert!(a.text.contains("Embodied Carbon"));
+    }
+
+    #[test]
+    fn fig5_includes_all_systems() {
+        let a = fig5();
+        for sys in ["Frontier", "LUMI", "Perlmutter"] {
+            assert!(a.text.contains(sys));
+        }
+        // Perlmutter has an HDD row with 0.0 share in the CSV.
+        assert!(a.csv.contains("Perlmutter,HDD,0.0"));
+    }
+
+    #[test]
+    fn fig6_has_seven_regions() {
+        let a = fig6(2021);
+        assert_eq!(a.csv.lines().count(), 8);
+        assert!(a.text.contains("ESO"));
+        assert!(a.text.contains("CoV"));
+    }
+
+    #[test]
+    fn fig7_counts_cover_the_year() {
+        let a = fig7(2021);
+        assert_eq!(a.csv.lines().count(), 25);
+        for line in a.csv.lines().skip(1) {
+            let total: u32 = line
+                .split(',')
+                .skip(1)
+                .map(|v| v.parse::<u32>().unwrap())
+                .sum();
+            assert_eq!(total, 365, "{line}");
+        }
+    }
+
+    #[test]
+    fn fig8_has_27_series() {
+        let a = fig8();
+        // 3 upgrades x 3 levels x 3 suites x FIG89_YEARS samples.
+        assert_eq!(a.csv.lines().count(), 1 + 27 * FIG89_YEARS);
+        assert!(a.text.contains("Low Carbon Intensity"));
+    }
+
+    #[test]
+    fn fig9_has_27_series() {
+        let a = fig9();
+        assert_eq!(a.csv.lines().count(), 1 + 27 * FIG89_YEARS);
+        assert!(a.text.contains("High Usage"));
+    }
+}

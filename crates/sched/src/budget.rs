@@ -1,0 +1,148 @@
+//! Per-user carbon budgets and queue-priority incentives.
+//!
+//! The paper's §4 implication: "Similar to core-hour accounting and
+//! budgeting, HPC users should also be provided a carbon budget as a part
+//! of their allocation, and they could be prioritized to reduce their
+//! queue wait time if the carbon footprint of their jobs have been
+//! economical."
+
+use hpcarbon_units::CarbonMass;
+
+/// Tracks each user's carbon allocation and spend for one allocation
+/// period.
+#[derive(Debug, Clone)]
+pub struct CarbonBudgetLedger {
+    allocation: Vec<CarbonMass>,
+    spent: Vec<CarbonMass>,
+}
+
+impl CarbonBudgetLedger {
+    /// Gives every one of `users` the same allocation.
+    pub fn uniform(users: usize, allocation: CarbonMass) -> CarbonBudgetLedger {
+        assert!(users > 0, "need at least one user");
+        assert!(allocation.as_g() > 0.0, "allocation must be positive");
+        CarbonBudgetLedger {
+            allocation: vec![allocation; users],
+            spent: vec![CarbonMass::ZERO; users],
+        }
+    }
+
+    /// Per-user allocations.
+    pub fn with_allocations(allocations: Vec<CarbonMass>) -> CarbonBudgetLedger {
+        assert!(!allocations.is_empty(), "need at least one user");
+        let n = allocations.len();
+        CarbonBudgetLedger {
+            allocation: allocations,
+            spent: vec![CarbonMass::ZERO; n],
+        }
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.allocation.len()
+    }
+
+    /// Charges `user` for emitted carbon. Overspending is permitted but
+    /// drives the remaining fraction negative (lowest queue priority).
+    pub fn charge(&mut self, user: usize, carbon: CarbonMass) {
+        self.spent[user] += carbon;
+    }
+
+    /// Carbon spent so far by `user`.
+    pub fn spent(&self, user: usize) -> CarbonMass {
+        self.spent[user]
+    }
+
+    /// Remaining budget (may be negative when overspent).
+    pub fn remaining(&self, user: usize) -> CarbonMass {
+        self.allocation[user] - self.spent[user]
+    }
+
+    /// Remaining fraction of the allocation in `(-inf, 1]`; the
+    /// queue-priority key (larger = served sooner).
+    pub fn remaining_fraction(&self, user: usize) -> f64 {
+        self.remaining(user).as_g() / self.allocation[user].as_g()
+    }
+
+    /// Total spent across users.
+    pub fn total_spent(&self) -> CarbonMass {
+        self.spent.iter().copied().sum()
+    }
+
+    /// Users sorted by priority (most remaining fraction first).
+    pub fn priority_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.users()).collect();
+        order.sort_by(|a, b| {
+            self.remaining_fraction(*b)
+                .partial_cmp(&self.remaining_fraction(*a))
+                .expect("fractions are finite")
+                .then(a.cmp(b))
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_ledger_starts_full() {
+        let l = CarbonBudgetLedger::uniform(4, CarbonMass::from_kg(10.0));
+        for u in 0..4 {
+            assert_eq!(l.remaining(u).as_kg(), 10.0);
+            assert_eq!(l.remaining_fraction(u), 1.0);
+        }
+        assert_eq!(l.total_spent().as_g(), 0.0);
+    }
+
+    #[test]
+    fn charging_decreases_remaining() {
+        let mut l = CarbonBudgetLedger::uniform(2, CarbonMass::from_kg(10.0));
+        l.charge(0, CarbonMass::from_kg(4.0));
+        assert_eq!(l.remaining(0).as_kg(), 6.0);
+        assert_eq!(l.remaining(1).as_kg(), 10.0);
+        assert!((l.remaining_fraction(0) - 0.6).abs() < 1e-12);
+        assert_eq!(l.total_spent().as_kg(), 4.0);
+    }
+
+    #[test]
+    fn overspending_goes_negative() {
+        let mut l = CarbonBudgetLedger::uniform(1, CarbonMass::from_kg(1.0));
+        l.charge(0, CarbonMass::from_kg(3.0));
+        assert!(l.remaining(0).as_kg() < 0.0);
+        assert!(l.remaining_fraction(0) < 0.0);
+    }
+
+    #[test]
+    fn priority_order_rewards_economy() {
+        let mut l = CarbonBudgetLedger::uniform(3, CarbonMass::from_kg(10.0));
+        l.charge(0, CarbonMass::from_kg(9.0)); // heavy spender
+        l.charge(2, CarbonMass::from_kg(2.0)); // light spender
+        assert_eq!(l.priority_order(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_user_index() {
+        let l = CarbonBudgetLedger::uniform(3, CarbonMass::from_kg(5.0));
+        assert_eq!(l.priority_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn heterogeneous_allocations() {
+        let mut l = CarbonBudgetLedger::with_allocations(vec![
+            CarbonMass::from_kg(1.0),
+            CarbonMass::from_kg(100.0),
+        ]);
+        l.charge(0, CarbonMass::from_kg(0.5));
+        l.charge(1, CarbonMass::from_kg(10.0));
+        // User 1 spent more absolutely but less fractionally.
+        assert!(l.remaining_fraction(1) > l.remaining_fraction(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn rejects_empty() {
+        let _ = CarbonBudgetLedger::uniform(0, CarbonMass::from_kg(1.0));
+    }
+}

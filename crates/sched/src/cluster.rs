@@ -1,0 +1,150 @@
+//! A GPU partition in one grid region.
+
+use hpcarbon_grid::trace::IntensityTrace;
+use hpcarbon_units::{CarbonMass, Energy, Power, TimeSpan};
+
+/// A homogeneous GPU partition whose electricity comes from one regional
+/// grid (its [`IntensityTrace`]).
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// Site name.
+    pub name: String,
+    /// The regional hourly intensity trace.
+    pub trace: IntensityTrace,
+    /// Total schedulable GPUs.
+    pub capacity_gpus: u32,
+    /// Facility PUE.
+    pub pue: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster with the default facility PUE (1.2).
+    pub fn new(name: impl Into<String>, trace: IntensityTrace, capacity_gpus: u32) -> Cluster {
+        assert!(capacity_gpus > 0, "cluster needs capacity");
+        Cluster {
+            name: name.into(),
+            trace,
+            capacity_gpus,
+            pue: 1.2,
+        }
+    }
+
+    /// Operational carbon of drawing `power` (IT) from this cluster for
+    /// `[start, start+duration]` hours since the trace's year start —
+    /// the hourly-priced Eq. 6.
+    pub fn carbon_for(&self, start_hours: f64, duration: TimeSpan, power: Power) -> CarbonMass {
+        assert!(start_hours >= 0.0, "start must be non-negative");
+        assert!(duration.as_hours() > 0.0, "duration must be positive");
+        let facility_kw = power.as_kw() * self.pue;
+        let len = self.trace.series().len() as f64;
+        let mut grams = 0.0;
+        let mut t = start_hours;
+        let end = start_hours + duration.as_hours();
+        while t < end {
+            let hour_end = (t.floor() + 1.0).min(end);
+            let dt = hour_end - t;
+            let idx = (t.floor() as u64 % len as u64) as u32;
+            grams += facility_kw * dt * self.trace.at_index(idx).as_g_per_kwh();
+            t = hour_end;
+        }
+        CarbonMass::from_g(grams)
+    }
+
+    /// Facility energy of drawing `power` (IT) for `duration`.
+    pub fn energy_for(&self, duration: TimeSpan, power: Power) -> Energy {
+        (power * duration) * self.pue
+    }
+
+    /// Average intensity over a window (used by forecast-free policies).
+    pub fn mean_intensity_over(&self, start_hours: f64, duration_hours: f64) -> f64 {
+        let len = self.trace.series().len() as f64;
+        let n = duration_hours.ceil().max(1.0) as u32;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let idx = ((start_hours.floor() + f64::from(k)) as u64 % len as u64) as u32;
+            acc += self.trace.at_index(idx).as_g_per_kwh();
+        }
+        acc / f64::from(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_timeseries::series::HourlySeries;
+
+    fn step_trace() -> IntensityTrace {
+        // 100 g/kWh during hours 0-11, 300 during 12-23 of every day.
+        IntensityTrace::new(
+            OperatorId::Eso,
+            HourlySeries::from_fn(2021, |st| if st.hour() < 12 { 100.0 } else { 300.0 }),
+        )
+    }
+
+    #[test]
+    fn carbon_integrates_hour_by_hour() {
+        let c = Cluster {
+            pue: 1.0,
+            ..Cluster::new("t", step_trace(), 8)
+        };
+        // 1 kW for 2 h starting at hour 11: one hour at 100, one at 300.
+        let m = c.carbon_for(11.0, TimeSpan::from_hours(2.0), Power::from_kw(1.0));
+        assert!((m.as_g() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_window() {
+        let c = Cluster {
+            pue: 1.0,
+            ..Cluster::new("t", step_trace(), 8)
+        };
+        // 1 kW from 11.5 to 12.5: 0.5 h at 100 + 0.5 h at 300 = 200 g.
+        let m = c.carbon_for(11.5, TimeSpan::from_hours(1.0), Power::from_kw(1.0));
+        assert!((m.as_g() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pue_scales_carbon_and_energy() {
+        let base = Cluster {
+            pue: 1.0,
+            ..Cluster::new("t", step_trace(), 8)
+        };
+        let lossy = Cluster {
+            pue: 1.5,
+            ..Cluster::new("t", step_trace(), 8)
+        };
+        let d = TimeSpan::from_hours(3.0);
+        let p = Power::from_kw(2.0);
+        assert!(
+            (lossy.carbon_for(0.0, d, p).as_g() / base.carbon_for(0.0, d, p).as_g() - 1.5).abs()
+                < 1e-9
+        );
+        assert!((lossy.energy_for(d, p).as_kwh() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_intensity_window() {
+        let c = Cluster::new("t", step_trace(), 8);
+        assert!((c.mean_intensity_over(0.0, 12.0) - 100.0).abs() < 1e-9);
+        assert!((c.mean_intensity_over(6.0, 12.0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wraps_across_year_end() {
+        let c = Cluster {
+            pue: 1.0,
+            ..Cluster::new("t", step_trace(), 8)
+        };
+        // Starting at the last hour of the year and running 2 h wraps to
+        // hour 0 (intensity 300 then 100).
+        let m = c.carbon_for(8759.0, TimeSpan::from_hours(2.0), Power::from_kw(1.0));
+        assert!((m.as_g() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster needs capacity")]
+    fn rejects_zero_capacity() {
+        let _ = Cluster::new("t", step_trace(), 0);
+    }
+}

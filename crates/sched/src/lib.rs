@@ -1,0 +1,62 @@
+//! # hpcarbon-sched
+//!
+//! A carbon-intensity-aware job-scheduling substrate — the system the
+//! paper calls for but does not build:
+//!
+//! > "There is a strong need to design, develop, and deploy
+//! > carbon-intensity-aware job schedulers to exploit these opportunities
+//! > across geographically distributed HPC centers." (§4, Implication)
+//!
+//! > "Similar to core-hour accounting and budgeting, HPC users should also
+//! > be provided a carbon budget as a part of their allocation, and they
+//! > could be prioritized to reduce their queue wait time if the carbon
+//! > footprint of their jobs have been economical." (§4, Implication)
+//!
+//! Components:
+//!
+//! - [`job`]: jobs and a seeded trace generator (Poisson arrivals,
+//!   log-normal runtimes, power-law GPU sizes — the standard HPC workload
+//!   shape);
+//! - [`cluster`]: a GPU partition bound to a regional intensity trace;
+//! - [`policy`]: scheduling policies — FIFO baseline, temporal deferral
+//!   (threshold and greenest-window forms) and cross-region dispatch;
+//! - [`sim`]: a discrete-event simulation joining the above, accounting
+//!   every job's operational carbon against the hourly trace (Eq. 6 per
+//!   hour);
+//! - [`budget`]: per-user carbon budgets with queue-priority incentives;
+//! - [`metrics`]: wait-time distributions, per-user statistics and Jain
+//!   fairness — the operator's view of a policy's queue-time cost.
+//!
+//! # Example
+//!
+//! ```
+//! use hpcarbon_sched::{job::JobTraceGenerator, sim::Simulation, policy::Policy, cluster::Cluster};
+//! use hpcarbon_grid::{simulate_year, OperatorId};
+//!
+//! let trace = simulate_year(OperatorId::Eso, 2021, 7);
+//! let jobs = JobTraceGenerator::default_rates().generate(200, 99);
+//! let fifo = Simulation::single_region(Cluster::new("gb", trace.clone(), 64), Policy::Fifo, &jobs).run();
+//! let aware = Simulation::single_region(
+//!     Cluster::new("gb", trace, 64),
+//!     Policy::GreenestWindow { horizon_hours: 24 },
+//!     &jobs,
+//! ).run();
+//! // Carbon-aware deferral emits less carbon for the same jobs.
+//! assert!(aware.total_carbon.as_kg() < fifo.total_carbon.as_kg());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod cluster;
+pub mod metrics;
+pub mod job;
+pub mod policy;
+pub mod sim;
+
+pub use budget::CarbonBudgetLedger;
+pub use cluster::Cluster;
+pub use job::{Job, JobTraceGenerator};
+pub use policy::Policy;
+pub use sim::{QueueDiscipline, SimOutcome, Simulation};

@@ -1,0 +1,312 @@
+//! Scheduling policies: the carbon-unaware baseline and the
+//! carbon-intensity-aware strategies the paper's §4 implications describe.
+
+use crate::cluster::Cluster;
+use crate::job::Job;
+
+/// A placement decision: which cluster to run on and the earliest start
+/// the policy requests (the simulator may start later if GPUs are busy).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// Index into the simulation's cluster list.
+    pub cluster: usize,
+    /// Earliest start time requested, hours since epoch.
+    pub earliest_start_hours: f64,
+}
+
+/// Scheduling policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Carbon-unaware baseline: run as soon as possible on the arrival
+    /// cluster.
+    Fifo,
+    /// Temporal deferral: wait (within the job's tolerance) until the
+    /// local intensity drops below `threshold_g_per_kwh`, else start at
+    /// the tolerance limit.
+    ThresholdDefer {
+        /// Start when intensity is below this level.
+        threshold_g_per_kwh: f64,
+    },
+    /// Temporal deferral: start at the greenest window of the next
+    /// `horizon_hours` (bounded by the job's tolerance) — the paper's
+    /// "exploit temporal variations" scheduler.
+    GreenestWindow {
+        /// Look-ahead horizon.
+        horizon_hours: u32,
+    },
+    /// Cross-region dispatch: run immediately, but on the cluster whose
+    /// mean intensity over the job's runtime is lowest — the paper's
+    /// "distributing jobs across geographically distributed HPC centers".
+    LowestIntensityRegion,
+    /// Cross-region dispatch plus greenest-window deferral.
+    RegionAndTime {
+        /// Look-ahead horizon.
+        horizon_hours: u32,
+    },
+}
+
+impl Policy {
+    /// True when the policy may place jobs on non-arrival clusters.
+    pub fn is_multi_region(self) -> bool {
+        matches!(
+            self,
+            Policy::LowestIntensityRegion | Policy::RegionAndTime { .. }
+        )
+    }
+
+    /// Display label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fifo => "FIFO (carbon-unaware)",
+            Policy::ThresholdDefer { .. } => "threshold deferral",
+            Policy::GreenestWindow { .. } => "greenest-window deferral",
+            Policy::LowestIntensityRegion => "lowest-intensity region",
+            Policy::RegionAndTime { .. } => "region + time aware",
+        }
+    }
+
+    /// Decides the placement of `job`, arriving now at `arrival_cluster`.
+    pub fn place(
+        self,
+        job: &Job,
+        now_hours: f64,
+        arrival_cluster: usize,
+        clusters: &[Cluster],
+    ) -> Placement {
+        match self {
+            Policy::Fifo => Placement {
+                cluster: arrival_cluster,
+                earliest_start_hours: now_hours,
+            },
+            Policy::ThresholdDefer {
+                threshold_g_per_kwh,
+            } => {
+                let c = &clusters[arrival_cluster];
+                let limit = now_hours + job.max_defer_hours;
+                let len = c.trace.series().len() as f64;
+                let mut t = now_hours;
+                // Scan forward hour by hour until the threshold is met or
+                // tolerance runs out.
+                while t < limit {
+                    let idx = (t.floor() as u64 % len as u64) as u32;
+                    if c.trace.at_index(idx).as_g_per_kwh() <= threshold_g_per_kwh {
+                        break;
+                    }
+                    t = t.floor() + 1.0;
+                }
+                Placement {
+                    cluster: arrival_cluster,
+                    earliest_start_hours: t.min(limit),
+                }
+            }
+            Policy::GreenestWindow { horizon_hours } => {
+                let c = &clusters[arrival_cluster];
+                let start = greenest_start(c, job, now_hours, horizon_hours);
+                Placement {
+                    cluster: arrival_cluster,
+                    earliest_start_hours: start,
+                }
+            }
+            Policy::LowestIntensityRegion => {
+                let best = (0..clusters.len())
+                    .filter(|i| clusters[*i].capacity_gpus >= job.gpus)
+                    .min_by(|a, b| {
+                        let ia =
+                            clusters[*a].mean_intensity_over(now_hours, job.runtime_hours);
+                        let ib =
+                            clusters[*b].mean_intensity_over(now_hours, job.runtime_hours);
+                        ia.partial_cmp(&ib).expect("intensities are finite")
+                    })
+                    .unwrap_or(arrival_cluster);
+                Placement {
+                    cluster: best,
+                    earliest_start_hours: now_hours,
+                }
+            }
+            Policy::RegionAndTime { horizon_hours } => {
+                let mut best = Placement {
+                    cluster: arrival_cluster,
+                    earliest_start_hours: now_hours,
+                };
+                let mut best_mean = f64::INFINITY;
+                for (i, c) in clusters.iter().enumerate() {
+                    if c.capacity_gpus < job.gpus {
+                        continue;
+                    }
+                    let start = greenest_start(c, job, now_hours, horizon_hours);
+                    let mean = c.mean_intensity_over(start, job.runtime_hours);
+                    if mean < best_mean {
+                        best_mean = mean;
+                        best = Placement {
+                            cluster: i,
+                            earliest_start_hours: start,
+                        };
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// The start within `[now, now + min(horizon, tolerance)]` minimizing the
+/// job's mean intensity over its runtime on cluster `c`.
+fn greenest_start(c: &Cluster, job: &Job, now_hours: f64, horizon_hours: u32) -> f64 {
+    let max_shift = f64::from(horizon_hours).min(job.max_defer_hours).max(0.0);
+    let mut best = now_hours;
+    let mut best_mean = c.mean_intensity_over(now_hours, job.runtime_hours);
+    let mut shift = 1.0;
+    while shift <= max_shift {
+        let t = now_hours + shift;
+        let mean = c.mean_intensity_over(t, job.runtime_hours);
+        if mean < best_mean {
+            best_mean = mean;
+            best = t;
+        }
+        shift += 1.0;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_grid::trace::IntensityTrace;
+    use hpcarbon_timeseries::series::HourlySeries;
+    use hpcarbon_units::Power;
+
+    fn job(defer: f64, runtime: f64) -> Job {
+        Job {
+            id: 0,
+            user: 0,
+            arrival_hours: 0.0,
+            runtime_hours: runtime,
+            gpus: 1,
+            power_per_gpu: Power::from_w(300.0),
+            max_defer_hours: defer,
+        }
+    }
+
+    fn diurnal_cluster() -> Cluster {
+        // Clean overnight (hours 0-5: 50), dirty otherwise (400).
+        let t = IntensityTrace::new(
+            OperatorId::Eso,
+            HourlySeries::from_fn(2021, |st| if st.hour() < 6 { 50.0 } else { 400.0 }),
+        );
+        Cluster::new("a", t, 16)
+    }
+
+    fn flat_cluster(level: f64) -> Cluster {
+        let t = IntensityTrace::new(
+            OperatorId::Ciso,
+            HourlySeries::constant(2021, level),
+        );
+        Cluster::new("b", t, 16)
+    }
+
+    #[test]
+    fn fifo_runs_immediately() {
+        let clusters = [diurnal_cluster()];
+        let p = Policy::Fifo.place(&job(100.0, 2.0), 10.0, 0, &clusters);
+        assert_eq!(p.cluster, 0);
+        assert_eq!(p.earliest_start_hours, 10.0);
+    }
+
+    #[test]
+    fn threshold_defers_to_clean_hours() {
+        let clusters = [diurnal_cluster()];
+        // Arriving at hour 10 (dirty): wait until midnight (hour 24).
+        let p = Policy::ThresholdDefer {
+            threshold_g_per_kwh: 100.0,
+        }
+        .place(&job(100.0, 2.0), 10.0, 0, &clusters);
+        assert_eq!(p.earliest_start_hours, 24.0);
+    }
+
+    #[test]
+    fn threshold_respects_tolerance() {
+        let clusters = [diurnal_cluster()];
+        // Only 3 hours of tolerance: must start by hour 13.
+        let p = Policy::ThresholdDefer {
+            threshold_g_per_kwh: 100.0,
+        }
+        .place(&job(3.0, 2.0), 10.0, 0, &clusters);
+        assert_eq!(p.earliest_start_hours, 13.0);
+    }
+
+    #[test]
+    fn greenest_window_finds_the_night() {
+        let clusters = [diurnal_cluster()];
+        let p = Policy::GreenestWindow { horizon_hours: 24 }.place(
+            &job(48.0, 4.0),
+            8.0,
+            0,
+            &clusters,
+        );
+        // Best 4-hour window within 24 h of hour 8 starts at hour 24
+        // (midnight, fully inside the clean block).
+        assert_eq!(p.earliest_start_hours, 24.0);
+    }
+
+    #[test]
+    fn greenest_window_with_no_tolerance_runs_now() {
+        let clusters = [diurnal_cluster()];
+        let p = Policy::GreenestWindow { horizon_hours: 24 }.place(
+            &job(0.0, 4.0),
+            8.0,
+            0,
+            &clusters,
+        );
+        assert_eq!(p.earliest_start_hours, 8.0);
+    }
+
+    #[test]
+    fn lowest_region_picks_cleaner_cluster() {
+        let clusters = [flat_cluster(400.0), flat_cluster(100.0)];
+        let p = Policy::LowestIntensityRegion.place(&job(0.0, 2.0), 5.0, 0, &clusters);
+        assert_eq!(p.cluster, 1);
+        assert_eq!(p.earliest_start_hours, 5.0);
+    }
+
+    #[test]
+    fn lowest_region_respects_capacity() {
+        let mut small = flat_cluster(50.0);
+        small.capacity_gpus = 1;
+        let clusters = [flat_cluster(400.0), small];
+        let mut j = job(0.0, 2.0);
+        j.gpus = 4; // cannot fit on the clean-but-tiny cluster
+        let p = Policy::LowestIntensityRegion.place(&j, 0.0, 0, &clusters);
+        assert_eq!(p.cluster, 0);
+    }
+
+    #[test]
+    fn region_and_time_beats_either_alone() {
+        // Cluster 0 is diurnal (clean nights); cluster 1 is flat 200.
+        let clusters = [diurnal_cluster(), flat_cluster(200.0)];
+        let j = job(48.0, 4.0);
+        let p = Policy::RegionAndTime { horizon_hours: 24 }.place(&j, 8.0, 1, &clusters);
+        // Best choice: defer to cluster 0's night (mean 50) rather than
+        // run at 200 now.
+        assert_eq!(p.cluster, 0);
+        let mean = clusters[0].mean_intensity_over(p.earliest_start_hours, 4.0);
+        assert!(mean < 100.0, "mean {mean}");
+    }
+
+    #[test]
+    fn labels_exist() {
+        for p in [
+            Policy::Fifo,
+            Policy::ThresholdDefer {
+                threshold_g_per_kwh: 1.0,
+            },
+            Policy::GreenestWindow { horizon_hours: 1 },
+            Policy::LowestIntensityRegion,
+            Policy::RegionAndTime { horizon_hours: 1 },
+        ] {
+            assert!(!p.label().is_empty());
+        }
+        assert!(Policy::LowestIntensityRegion.is_multi_region());
+        assert!(!Policy::Fifo.is_multi_region());
+    }
+}

@@ -1,0 +1,662 @@
+//! The scheduling simulation: discrete events over clusters and a policy.
+
+use crate::budget::CarbonBudgetLedger;
+use crate::cluster::Cluster;
+use crate::job::Job;
+use crate::policy::Policy;
+use hpcarbon_sim::des::EventQueue;
+use hpcarbon_units::{CarbonMass, Energy, TimeSpan};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A job is submitted.
+    Arrive(usize),
+    /// A deferred job becomes eligible to run on its placed cluster.
+    Release(usize, usize),
+    /// A running job completes on a cluster.
+    Finish(usize, usize),
+}
+
+/// Per-job outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: usize,
+    /// Cluster the job ran on.
+    pub cluster: usize,
+    /// Queue wait (from arrival to start), hours. Includes policy
+    /// deferral and capacity waiting.
+    pub wait_hours: f64,
+    /// Start time, hours since epoch.
+    pub start_hours: f64,
+    /// Operational carbon of the run.
+    pub carbon: CarbonMass,
+    /// Facility energy of the run.
+    pub energy: Energy,
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Policy simulated.
+    pub policy: Policy,
+    /// Per-job outcomes, in job-id order.
+    pub jobs: Vec<JobOutcome>,
+    /// Sum of job carbon.
+    pub total_carbon: CarbonMass,
+    /// Sum of facility energy.
+    pub total_energy: Energy,
+    /// Mean queue wait, hours.
+    pub mean_wait_hours: f64,
+    /// Maximum queue wait, hours.
+    pub max_wait_hours: f64,
+    /// Per-user carbon ledger (filled when budgets are enabled).
+    pub ledger: Option<CarbonBudgetLedger>,
+}
+
+impl SimOutcome {
+    /// Mean carbon per job, grams.
+    pub fn mean_carbon_g(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.total_carbon.as_g() / self.jobs.len() as f64
+    }
+}
+
+/// How a region's capacity queue admits jobs when the head does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// Strict FIFO: a blocked head blocks everything behind it. Trivially
+    /// fair, wastes capacity.
+    StrictFifo,
+    /// First-fit: any queued job that fits may start (aggressive backfill;
+    /// can starve wide jobs indefinitely).
+    FirstFit,
+    /// EASY backfill: the head gets a reservation at the earliest time
+    /// enough GPUs free up; later jobs may jump ahead only if they finish
+    /// before that reservation — bounded delay for wide jobs, high
+    /// utilization.
+    EasyBackfill,
+}
+
+struct RegionState {
+    free_gpus: u32,
+    /// Jobs eligible to run, waiting for capacity (job indices, in
+    /// eligibility order; budget priority reorders at pop time).
+    queue: Vec<usize>,
+    /// Running jobs as (end_time_hours, gpus, job_index) — the EASY
+    /// reservation calculation walks this sorted by end time.
+    running: Vec<(f64, u32, usize)>,
+}
+
+/// A configured simulation.
+pub struct Simulation<'a> {
+    clusters: Vec<Cluster>,
+    policy: Policy,
+    jobs: &'a [Job],
+    ledger: Option<CarbonBudgetLedger>,
+    discipline: QueueDiscipline,
+}
+
+impl<'a> Simulation<'a> {
+    /// Single-cluster setup.
+    pub fn single_region(cluster: Cluster, policy: Policy, jobs: &'a [Job]) -> Simulation<'a> {
+        Simulation {
+            clusters: vec![cluster],
+            policy,
+            jobs,
+            ledger: None,
+            discipline: QueueDiscipline::FirstFit,
+        }
+    }
+
+    /// Multi-cluster setup. Jobs arrive round-robin across clusters (the
+    /// user's home site); multi-region policies may move them.
+    pub fn multi_region(
+        clusters: Vec<Cluster>,
+        policy: Policy,
+        jobs: &'a [Job],
+    ) -> Simulation<'a> {
+        assert!(!clusters.is_empty(), "need at least one cluster");
+        Simulation {
+            clusters,
+            policy,
+            jobs,
+            ledger: None,
+            discipline: QueueDiscipline::FirstFit,
+        }
+    }
+
+    /// Enables per-user carbon budgets: users with more remaining budget
+    /// are popped from capacity queues first (the paper's queue-priority
+    /// incentive).
+    pub fn with_budgets(mut self, ledger: CarbonBudgetLedger) -> Simulation<'a> {
+        self.ledger = Some(ledger);
+        self
+    }
+
+    /// Selects the capacity-queue discipline (default: first-fit).
+    pub fn with_discipline(mut self, discipline: QueueDiscipline) -> Simulation<'a> {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> SimOutcome {
+        let Simulation {
+            clusters,
+            policy,
+            jobs,
+            mut ledger,
+            discipline,
+        } = self;
+        let mut q: EventQueue<Event> = EventQueue::new();
+        let mut regions: Vec<RegionState> = clusters
+            .iter()
+            .map(|c| RegionState {
+                free_gpus: c.capacity_gpus,
+                queue: Vec::new(),
+                running: Vec::new(),
+            })
+            .collect();
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+
+        for (i, job) in jobs.iter().enumerate() {
+            q.schedule_at(job.arrival_hours, Event::Arrive(i));
+        }
+
+        // Capacity guard: a job larger than every cluster can never run.
+        for job in jobs {
+            assert!(
+                clusters.iter().any(|c| c.capacity_gpus >= job.gpus),
+                "job {} needs {} GPUs but no cluster is large enough",
+                job.id,
+                job.gpus
+            );
+        }
+
+        while let Some((now, event)) = q.pop() {
+            match event {
+                Event::Arrive(i) => {
+                    let arrival_cluster = jobs[i].user % clusters.len();
+                    let mut placement = policy.place(&jobs[i], now, arrival_cluster, &clusters);
+                    if clusters[placement.cluster].capacity_gpus < jobs[i].gpus {
+                        // Fall back to any cluster that fits.
+                        placement.cluster = clusters
+                            .iter()
+                            .position(|c| c.capacity_gpus >= jobs[i].gpus)
+                            .expect("guard above ensures a fit exists");
+                    }
+                    if placement.earliest_start_hours > now {
+                        q.schedule_at(
+                            placement.earliest_start_hours,
+                            Event::Release(i, placement.cluster),
+                        );
+                    } else {
+                        regions[placement.cluster].queue.push(i);
+                        try_start(
+                            &mut q,
+                            &clusters,
+                            &mut regions,
+                            jobs,
+                            &mut outcomes,
+                            ledger.as_ref(),
+                            discipline,
+                            placement.cluster,
+                            now,
+                        );
+                    }
+                }
+                Event::Release(i, cluster) => {
+                    regions[cluster].queue.push(i);
+                    try_start(
+                        &mut q,
+                        &clusters,
+                        &mut regions,
+                        jobs,
+                        &mut outcomes,
+                        ledger.as_ref(),
+                        discipline,
+                        cluster,
+                        now,
+                    );
+                }
+                Event::Finish(i, cluster) => {
+                    regions[cluster].free_gpus += jobs[i].gpus;
+                    regions[cluster].running.retain(|(_, _, j)| *j != i);
+                    if let (Some(ledger), Some(outcome)) = (ledger.as_mut(), outcomes[i].as_ref())
+                    {
+                        ledger.charge(jobs[i].user, outcome.carbon);
+                    }
+                    try_start(
+                        &mut q,
+                        &clusters,
+                        &mut regions,
+                        jobs,
+                        &mut outcomes,
+                        ledger.as_ref(),
+                        discipline,
+                        cluster,
+                        now,
+                    );
+                }
+            }
+        }
+
+        let jobs_out: Vec<JobOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("every job eventually runs"))
+            .collect();
+        let total_carbon: CarbonMass = jobs_out.iter().map(|j| j.carbon).sum();
+        let total_energy: Energy = jobs_out.iter().map(|j| j.energy).sum();
+        let mean_wait =
+            jobs_out.iter().map(|j| j.wait_hours).sum::<f64>() / jobs_out.len().max(1) as f64;
+        let max_wait = jobs_out
+            .iter()
+            .map(|j| j.wait_hours)
+            .fold(0.0f64, f64::max);
+        SimOutcome {
+            policy,
+            jobs: jobs_out,
+            total_carbon,
+            total_energy,
+            mean_wait_hours: mean_wait,
+            max_wait_hours: max_wait,
+            ledger,
+        }
+    }
+}
+
+/// Starts as many queued jobs as the discipline and capacity allow on
+/// `cluster`.
+#[allow(clippy::too_many_arguments)]
+fn try_start(
+    q: &mut EventQueue<Event>,
+    clusters: &[Cluster],
+    regions: &mut [RegionState],
+    jobs: &[Job],
+    outcomes: &mut [Option<JobOutcome>],
+    ledger: Option<&CarbonBudgetLedger>,
+    discipline: QueueDiscipline,
+    cluster: usize,
+    now: f64,
+) {
+    loop {
+        let region = &mut regions[cluster];
+        if region.queue.is_empty() {
+            return;
+        }
+        // Budget priority reorders the whole queue before admission;
+        // otherwise the queue stays in eligibility order.
+        if let Some(ledger) = ledger {
+            region.queue.sort_by(|a, b| {
+                ledger
+                    .remaining_fraction(jobs[*b].user)
+                    .partial_cmp(&ledger.remaining_fraction(jobs[*a].user))
+                    .expect("fractions are finite")
+                    .then(a.cmp(b))
+            });
+        }
+
+        let head = region.queue[0];
+        let pick = if jobs[head].gpus <= region.free_gpus {
+            Some(0)
+        } else {
+            match discipline {
+                QueueDiscipline::StrictFifo => None,
+                QueueDiscipline::FirstFit => (1..region.queue.len())
+                    .find(|qi| jobs[region.queue[*qi]].gpus <= region.free_gpus),
+                QueueDiscipline::EasyBackfill => {
+                    let reservation = easy_reservation(region, &jobs[head], now);
+                    (1..region.queue.len()).find(|qi| {
+                        let j = &jobs[region.queue[*qi]];
+                        j.gpus <= region.free_gpus && now + j.runtime_hours <= reservation + 1e-9
+                    })
+                }
+            }
+        };
+        let Some(pick) = pick else { return };
+        let job_idx = region.queue.remove(pick);
+        let job = &jobs[job_idx];
+        region.free_gpus -= job.gpus;
+        region.running.push((now + job.runtime_hours, job.gpus, job_idx));
+        let duration = TimeSpan::from_hours(job.runtime_hours);
+        let carbon = clusters[cluster].carbon_for(now, duration, job.power());
+        let energy = clusters[cluster].energy_for(duration, job.power());
+        outcomes[job_idx] = Some(JobOutcome {
+            id: job.id,
+            cluster,
+            wait_hours: now - job.arrival_hours,
+            start_hours: now,
+            carbon,
+            energy,
+        });
+        q.schedule_at(now + job.runtime_hours, Event::Finish(job_idx, cluster));
+    }
+}
+
+/// The EASY reservation: the earliest time enough GPUs free up for the
+/// queue head, assuming running jobs finish on schedule.
+fn easy_reservation(region: &RegionState, head: &Job, now: f64) -> f64 {
+    let mut ends: Vec<(f64, u32)> = region
+        .running
+        .iter()
+        .map(|(end, gpus, _)| (*end, *gpus))
+        .collect();
+    ends.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite end times"));
+    let mut free = region.free_gpus;
+    for (end, gpus) in ends {
+        free += gpus;
+        if free >= head.gpus {
+            return end.max(now);
+        }
+    }
+    // Unreachable when the guard in run() holds (the head fits the
+    // cluster), but stay safe.
+    f64::INFINITY
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobTraceGenerator;
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_grid::trace::IntensityTrace;
+    use hpcarbon_timeseries::series::HourlySeries;
+    use hpcarbon_units::Power;
+
+    fn diurnal_cluster(capacity: u32) -> Cluster {
+        let t = IntensityTrace::new(
+            OperatorId::Eso,
+            HourlySeries::from_fn(2021, |st| if st.hour() < 6 { 50.0 } else { 400.0 }),
+        );
+        Cluster::new("a", t, capacity)
+    }
+
+    fn jobs(n: usize, seed: u64) -> Vec<Job> {
+        JobTraceGenerator::default_rates().generate(n, seed)
+    }
+
+    #[test]
+    fn fifo_runs_everything_with_zero_policy_delay() {
+        let js = jobs(100, 1);
+        let out = Simulation::single_region(diurnal_cluster(512), Policy::Fifo, &js).run();
+        assert_eq!(out.jobs.len(), 100);
+        // Enormous capacity: every job starts on arrival.
+        assert!(out.mean_wait_hours < 1e-9, "{}", out.mean_wait_hours);
+        assert!(out.total_carbon.as_kg() > 0.0);
+    }
+
+    #[test]
+    fn capacity_pressure_creates_waits() {
+        let js = jobs(200, 2);
+        let big = Simulation::single_region(diurnal_cluster(512), Policy::Fifo, &js).run();
+        let small = Simulation::single_region(diurnal_cluster(8), Policy::Fifo, &js).run();
+        assert!(small.mean_wait_hours > big.mean_wait_hours);
+        // Same jobs, same region: energy identical regardless of capacity.
+        assert!((small.total_energy.as_kwh() - big.total_energy.as_kwh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn greenest_window_cuts_carbon_at_bounded_wait() {
+        let js = jobs(300, 3);
+        let fifo = Simulation::single_region(diurnal_cluster(512), Policy::Fifo, &js).run();
+        let aware = Simulation::single_region(
+            diurnal_cluster(512),
+            Policy::GreenestWindow { horizon_hours: 24 },
+            &js,
+        )
+        .run();
+        assert!(
+            aware.total_carbon.as_kg() < fifo.total_carbon.as_kg() * 0.8,
+            "aware {} vs fifo {}",
+            aware.total_carbon.as_kg(),
+            fifo.total_carbon.as_kg()
+        );
+        // Waits stay within the deferral tolerances (+ small queueing).
+        let max_tolerance = js
+            .iter()
+            .map(|j| j.max_defer_hours)
+            .fold(0.0f64, f64::max);
+        assert!(aware.max_wait_hours <= max_tolerance + 1.0);
+    }
+
+    #[test]
+    fn threshold_defer_cuts_carbon() {
+        let js = jobs(300, 4);
+        let fifo = Simulation::single_region(diurnal_cluster(512), Policy::Fifo, &js).run();
+        let aware = Simulation::single_region(
+            diurnal_cluster(512),
+            Policy::ThresholdDefer {
+                threshold_g_per_kwh: 100.0,
+            },
+            &js,
+        )
+        .run();
+        assert!(aware.total_carbon < fifo.total_carbon);
+        assert!(aware.mean_wait_hours > fifo.mean_wait_hours);
+    }
+
+    #[test]
+    fn cross_region_dispatch_prefers_clean_regions() {
+        let dirty = Cluster::new(
+            "dirty",
+            IntensityTrace::new(OperatorId::Miso, HourlySeries::constant(2021, 500.0)),
+            256,
+        );
+        let clean = Cluster::new(
+            "clean",
+            IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, 100.0)),
+            256,
+        );
+        let js = jobs(200, 5);
+        let single =
+            Simulation::multi_region(vec![dirty.clone(), clean.clone()], Policy::Fifo, &js).run();
+        let multi = Simulation::multi_region(
+            vec![dirty, clean],
+            Policy::LowestIntensityRegion,
+            &js,
+        )
+        .run();
+        assert!(multi.total_carbon.as_kg() < single.total_carbon.as_kg());
+        // All jobs land on the clean cluster.
+        assert!(multi.jobs.iter().all(|j| j.cluster == 1));
+    }
+
+    #[test]
+    fn outcomes_are_deterministic() {
+        let js = jobs(150, 6);
+        let a = Simulation::single_region(
+            diurnal_cluster(32),
+            Policy::GreenestWindow { horizon_hours: 12 },
+            &js,
+        )
+        .run();
+        let b = Simulation::single_region(
+            diurnal_cluster(32),
+            Policy::GreenestWindow { horizon_hours: 12 },
+            &js,
+        )
+        .run();
+        assert_eq!(a.total_carbon.as_g(), b.total_carbon.as_g());
+        assert_eq!(a.mean_wait_hours, b.mean_wait_hours);
+    }
+
+    #[test]
+    fn job_carbon_matches_cluster_accounting() {
+        let c = diurnal_cluster(8);
+        let js = vec![Job {
+            id: 0,
+            user: 0,
+            arrival_hours: 2.0,
+            runtime_hours: 3.0,
+            gpus: 2,
+            power_per_gpu: Power::from_w(250.0),
+            max_defer_hours: 0.0,
+        }];
+        let out = Simulation::single_region(c.clone(), Policy::Fifo, &js).run();
+        let expected = c.carbon_for(2.0, TimeSpan::from_hours(3.0), Power::from_w(500.0));
+        assert!((out.total_carbon.as_g() - expected.as_g()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cluster is large enough")]
+    fn oversized_job_is_rejected_up_front() {
+        let js = vec![Job {
+            id: 0,
+            user: 0,
+            arrival_hours: 0.0,
+            runtime_hours: 1.0,
+            gpus: 64,
+            power_per_gpu: Power::from_w(250.0),
+            max_defer_hours: 0.0,
+        }];
+        let _ = Simulation::single_region(diurnal_cluster(8), Policy::Fifo, &js).run();
+    }
+}
+
+#[cfg(test)]
+mod discipline_tests {
+    use super::*;
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_grid::trace::IntensityTrace;
+    use hpcarbon_timeseries::series::HourlySeries;
+    use hpcarbon_units::Power;
+
+    fn cluster(capacity: u32) -> Cluster {
+        Cluster::new(
+            "c",
+            IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, 200.0)),
+            capacity,
+        )
+    }
+
+    /// A wide job arrives just after a stream of narrow jobs begins; more
+    /// narrow jobs keep arriving forever after.
+    fn starvation_trace() -> Vec<Job> {
+        let mut jobs = Vec::new();
+        // Two 4-GPU jobs occupy the whole 8-GPU cluster from t=0, renewed
+        // in staggered fashion so 4 GPUs free up periodically.
+        for k in 0..60 {
+            jobs.push(Job {
+                id: jobs.len(),
+                user: 0,
+                arrival_hours: k as f64 * 1.0,
+                runtime_hours: 2.0,
+                gpus: 4,
+                power_per_gpu: Power::from_w(300.0),
+                max_defer_hours: 0.0,
+            });
+        }
+        // The wide job arrives at t=0.5 and needs the whole cluster.
+        jobs.push(Job {
+            id: jobs.len(),
+            user: 1,
+            arrival_hours: 0.5,
+            runtime_hours: 4.0,
+            gpus: 8,
+            power_per_gpu: Power::from_w(300.0),
+            max_defer_hours: 0.0,
+        });
+        jobs.sort_by(|a, b| a.arrival_hours.partial_cmp(&b.arrival_hours).unwrap());
+        let mut jobs: Vec<Job> = jobs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut j)| {
+                j.id = i;
+                j
+            })
+            .collect();
+        jobs.sort_by_key(|j| j.id);
+        jobs
+    }
+
+    fn wide_job_wait(discipline: QueueDiscipline) -> f64 {
+        let jobs = starvation_trace();
+        let wide_id = jobs
+            .iter()
+            .find(|j| j.gpus == 8)
+            .expect("wide job present")
+            .id;
+        let out = Simulation::single_region(cluster(8), Policy::Fifo, &jobs)
+            .with_discipline(discipline)
+            .run();
+        out.jobs[wide_id].wait_hours
+    }
+
+    #[test]
+    fn first_fit_starves_the_wide_job() {
+        // Narrow jobs keep slipping in front: the wide job waits until the
+        // narrow stream dries up.
+        let ff = wide_job_wait(QueueDiscipline::FirstFit);
+        let easy = wide_job_wait(QueueDiscipline::EasyBackfill);
+        assert!(
+            ff > easy + 4.0,
+            "first-fit {ff} should starve vs EASY {easy}"
+        );
+    }
+
+    #[test]
+    fn strict_fifo_bounds_the_wide_job_too() {
+        let fifo = wide_job_wait(QueueDiscipline::StrictFifo);
+        let ff = wide_job_wait(QueueDiscipline::FirstFit);
+        assert!(fifo < ff);
+    }
+
+    #[test]
+    fn all_disciplines_complete_all_jobs_with_equal_energy() {
+        let jobs = crate::job::JobTraceGenerator::default_rates().generate(120, 11);
+        let mut energies = Vec::new();
+        for d in [
+            QueueDiscipline::StrictFifo,
+            QueueDiscipline::FirstFit,
+            QueueDiscipline::EasyBackfill,
+        ] {
+            let out = Simulation::single_region(cluster(16), Policy::Fifo, &jobs)
+                .with_discipline(d)
+                .run();
+            assert_eq!(out.jobs.len(), jobs.len(), "{d:?}");
+            energies.push(out.total_energy.as_kwh());
+        }
+        for w in energies.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn strict_fifo_preserves_start_order() {
+        let jobs = crate::job::JobTraceGenerator::default_rates().generate(80, 13);
+        let out = Simulation::single_region(cluster(12), Policy::Fifo, &jobs)
+            .with_discipline(QueueDiscipline::StrictFifo)
+            .run();
+        // Under strict FIFO with a single region and no deferral, start
+        // times are non-decreasing in arrival order.
+        let mut last = 0.0;
+        for o in &out.jobs {
+            assert!(o.start_hours + 1e-9 >= last);
+            last = o.start_hours;
+        }
+    }
+
+    #[test]
+    fn easy_utilization_beats_strict_fifo() {
+        // EASY finishes the same workload sooner than strict FIFO on a
+        // congested cluster (it fills holes the blocked head leaves).
+        let jobs = crate::job::JobTraceGenerator::default_rates().generate(150, 17);
+        let makespan = |d: QueueDiscipline| {
+            let out = Simulation::single_region(cluster(12), Policy::Fifo, &jobs)
+                .with_discipline(d)
+                .run();
+            out.jobs
+                .iter()
+                .zip(&jobs)
+                .map(|(o, j)| o.start_hours + j.runtime_hours)
+                .fold(0.0f64, f64::max)
+        };
+        let fifo = makespan(QueueDiscipline::StrictFifo);
+        let easy = makespan(QueueDiscipline::EasyBackfill);
+        assert!(easy <= fifo + 1e-9, "easy {easy} vs fifo {fifo}");
+    }
+}

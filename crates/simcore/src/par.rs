@@ -1,0 +1,210 @@
+//! Structured data-parallel helpers over crossbeam scoped threads.
+//!
+//! The workspace's heavy computations (per-region year traces, per-policy
+//! scheduler sweeps, parameter grids) are embarrassingly parallel across
+//! independent work items. `par_map` provides a Rayon-like `map` with two
+//! guarantees the guides call out:
+//!
+//! 1. **Determinism** — results are returned in input order and any
+//!    randomness must be derived per-item (see [`crate::rng::SimRng::fork`]),
+//!    so the outcome is independent of thread count and interleaving.
+//! 2. **Data-race freedom by construction** — work items are distributed by
+//!    an atomic cursor; each output slot is written by exactly one worker.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use: the available parallelism, capped by
+/// the number of work items (spawning more threads than items is waste).
+pub fn worker_count(items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(items).max(1)
+}
+
+/// Applies `f` to every element of `items` in parallel, returning results
+/// in input order.
+///
+/// Work is distributed dynamically with an atomic cursor (work-stealing-lite),
+/// so heterogeneous item costs — e.g. simulating regions with different
+/// fuel-mix complexity — still balance.
+///
+/// ```
+/// let squares = hpcarbon_sim::par::par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = worker_count(n);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    {
+        // Split the output buffer into one-slot mutable views that can be
+        // handed to workers without aliasing.
+        let slots: Vec<parking_lot_free::SlotWriter<'_, R>> =
+            parking_lot_free::split_slots(&mut results);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let f = &f;
+                let slots = &slots;
+                scope.spawn(move |_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let value = f(i, &items[i]);
+                    slots[i].write(value);
+                });
+            }
+        })
+        .expect("parallel worker panicked");
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot written exactly once"))
+        .collect()
+}
+
+/// Applies `f` to indices `0..n` in parallel and returns results in order.
+/// Convenience wrapper for index-driven workloads (e.g. one result per
+/// simulated day or per parameter-grid cell).
+pub fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..n).collect();
+    par_map(&idx, |_, &i| f(i))
+}
+
+/// Safe single-writer slot views over a `Vec<Option<R>>`.
+///
+/// Each slot is written by exactly one worker (the one that claimed its
+/// index from the atomic cursor), which we enforce dynamically with a
+/// per-slot atomic flag instead of `unsafe` pointer writes.
+mod parking_lot_free {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+
+    /// A write-once view of one output slot.
+    pub struct SlotWriter<'a, R> {
+        slot: Mutex<&'a mut Option<R>>,
+        written: AtomicBool,
+    }
+
+    impl<'a, R> SlotWriter<'a, R> {
+        /// Writes the value; panics if the slot was already written, which
+        /// would indicate a work-distribution bug.
+        pub fn write(&self, value: R) {
+            if self.written.swap(true, Ordering::AcqRel) {
+                panic!("output slot written twice");
+            }
+            **self.slot.lock().expect("slot lock poisoned") = Some(value);
+        }
+    }
+
+    /// Splits a mutable vector of options into independent slot writers.
+    pub fn split_slots<R>(out: &mut [Option<R>]) -> Vec<SlotWriter<'_, R>> {
+        out.iter_mut()
+            .map(|slot| SlotWriter {
+                slot: Mutex::new(slot),
+                written: AtomicBool::new(false),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(&items, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u64> = par_map(&[] as &[u64], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let out = par_map(&[42u64], |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d"];
+        let out = par_map(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d"]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let n = 10_000;
+        let counter = AtomicU64::new(0);
+        let items: Vec<usize> = (0..n).collect();
+        let out = par_map(&items, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), n as u64);
+        assert_eq!(out.len(), n);
+    }
+
+    #[test]
+    fn matches_sequential_result() {
+        // The Rayon guarantee: parallel result equals sequential result.
+        let items: Vec<f64> = (0..5000).map(|i| i as f64 * 0.001).collect();
+        let seq: Vec<f64> = items.iter().map(|x| (x.sin() * x.cos()).abs()).collect();
+        let par = par_map(&items, |_, x| (x.sin() * x.cos()).abs());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_indexed_basic() {
+        let out = par_map_indexed(5, |i| i * i);
+        assert_eq!(out, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn heterogeneous_costs_balance() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |_, &x| {
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+    }
+}

@@ -1,0 +1,180 @@
+//! Macro that generates a dimension-checked quantity newtype.
+//!
+//! Each quantity supports:
+//! - `Add`, `Sub`, `Neg`, `AddAssign`, `SubAssign` with itself
+//! - `Mul<f64>` / `Div<f64>` scaling (both orders for `Mul`)
+//! - `Div<Self> -> f64` (dimensionless ratio)
+//! - `Sum`, `PartialOrd`, `total ordering helpers` (`min`/`max`/`clamp_min_zero`)
+//! - `ZERO` constant, `is_finite`, `abs`
+
+/// Defines a quantity newtype stored as `f64` in `$unit` with doc `$doc`.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub(crate) f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw value in the canonical storage unit.
+            #[inline]
+            pub const fn raw(self) -> f64 {
+                self.0
+            }
+
+            /// True when the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise minimum (NaN-propagating like `f64::min` is not;
+            /// this uses `f64::min` semantics).
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Elementwise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamp negative values to zero. Useful when a model subtracts
+            /// quantities that are physically non-negative.
+            #[inline]
+            pub fn clamp_min_zero(self) -> Self {
+                Self(self.0.max(0.0))
+            }
+        }
+
+        impl core::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl core::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl core::ops::Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl core::ops::AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl core::ops::SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl core::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl core::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl core::ops::Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl core::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> core::iter::Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+/// Implements `A * B = C` (and `B * A = C`) for quantities whose raw storage
+/// units multiply directly (e.g. gCO₂/kWh × kWh = gCO₂).
+macro_rules! cross_mul {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl core::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c(self.0 * rhs.0)
+            }
+        }
+
+        impl core::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c(self.0 * rhs.0)
+            }
+        }
+
+        impl core::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b(self.0 / rhs.0)
+            }
+        }
+
+        impl core::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                $a(self.0 / rhs.0)
+            }
+        }
+    };
+}

@@ -1,0 +1,195 @@
+//! Turning savings curves into procurement recommendations — the paper's
+//! Insight 8/9 decision rules.
+
+use crate::savings::UpgradeScenario;
+use hpcarbon_units::{CarbonIntensity, CarbonMass, TimeSpan};
+
+/// The advisor's verdict for one upgrade scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Recommendation {
+    /// Break-even is comfortably inside the planned lifetime: upgrade.
+    Upgrade {
+        /// Time to amortize the embodied carbon.
+        break_even: TimeSpan,
+        /// Net carbon saved over the planned lifetime.
+        lifetime_saving: CarbonMass,
+    },
+    /// Break-even happens, but only near/after the planned lifetime:
+    /// extend the current hardware instead ("extending the hardware
+    /// lifetime could be a worthy option").
+    ExtendLifetime {
+        /// Time to amortize the embodied carbon.
+        break_even: TimeSpan,
+        /// Minimum service life for the upgrade to pay off.
+        required_lifetime: TimeSpan,
+    },
+    /// The upgrade never pays off at this intensity (e.g. the new node is
+    /// not more energy-efficient for this workload, or intensity is ~0).
+    KeepHardware,
+}
+
+impl core::fmt::Display for Recommendation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Recommendation::Upgrade {
+                break_even,
+                lifetime_saving,
+            } => write!(
+                f,
+                "UPGRADE (pays off in {break_even}, saves {lifetime_saving} over the horizon)"
+            ),
+            Recommendation::ExtendLifetime {
+                break_even,
+                required_lifetime,
+            } => write!(
+                f,
+                "EXTEND LIFETIME (break-even {break_even}; worthwhile only if the system serves ≥ {required_lifetime})"
+            ),
+            Recommendation::KeepHardware => write!(f, "KEEP HARDWARE (upgrade never pays off)"),
+        }
+    }
+}
+
+/// Evaluates upgrade scenarios against a planned system lifetime.
+#[derive(Debug, Clone, Copy)]
+pub struct UpgradeAdvisor {
+    /// Planned remaining service life of the system.
+    pub planned_lifetime: TimeSpan,
+    /// Safety margin: break-even must land within this fraction of the
+    /// lifetime to recommend upgrading (paying off in the final weeks is
+    /// not a robust plan).
+    pub margin: f64,
+}
+
+impl UpgradeAdvisor {
+    /// An advisor with the paper's five-year evaluation horizon and a 80%
+    /// margin.
+    pub fn with_five_year_horizon() -> UpgradeAdvisor {
+        UpgradeAdvisor {
+            planned_lifetime: TimeSpan::from_years(5.0),
+            margin: 0.8,
+        }
+    }
+
+    /// The verdict for `scenario` at `intensity`.
+    pub fn recommend(
+        &self,
+        scenario: &UpgradeScenario,
+        intensity: CarbonIntensity,
+    ) -> Recommendation {
+        let Some(break_even) = scenario.break_even(intensity) else {
+            return Recommendation::KeepHardware;
+        };
+        let window = self.planned_lifetime * self.margin;
+        if break_even <= window {
+            let keep = scenario.carbon_keep(self.planned_lifetime, intensity);
+            let upgrade = scenario.carbon_upgrade(self.planned_lifetime, intensity);
+            Recommendation::Upgrade {
+                break_even,
+                lifetime_saving: keep - upgrade,
+            }
+        } else {
+            Recommendation::ExtendLifetime {
+                break_even,
+                required_lifetime: break_even * (1.0 / self.margin),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_grid::IntensityLevel;
+    use hpcarbon_workloads::benchmarks::Suite;
+    use hpcarbon_workloads::nodes::NodeGen;
+
+    fn scenario() -> UpgradeScenario {
+        UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp)
+    }
+
+    #[test]
+    fn high_intensity_recommends_upgrade() {
+        // Insight 8: "If the energy source is less green, a quicker
+        // upgrade may be desirable."
+        let advisor = UpgradeAdvisor::with_five_year_horizon();
+        let r = advisor.recommend(&scenario(), IntensityLevel::High.intensity());
+        match r {
+            Recommendation::Upgrade {
+                break_even,
+                lifetime_saving,
+            } => {
+                assert!(break_even.as_years() < 0.5);
+                assert!(lifetime_saving.as_kg() > 0.0);
+            }
+            other => panic!("expected Upgrade, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn low_intensity_recommends_extension() {
+        // Insight 8: "esp. if the center already runs primarily on
+        // renewable energy sources … extending the hardware lifetime could
+        // be a worthy option."
+        let advisor = UpgradeAdvisor::with_five_year_horizon();
+        let r = advisor.recommend(&scenario(), IntensityLevel::Low.intensity());
+        match r {
+            Recommendation::ExtendLifetime {
+                break_even,
+                required_lifetime,
+            } => {
+                assert!(break_even.as_years() > 4.0);
+                assert!(required_lifetime > break_even);
+            }
+            other => panic!("expected ExtendLifetime, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_intensity_keeps_hardware() {
+        let advisor = UpgradeAdvisor::with_five_year_horizon();
+        let r = advisor.recommend(&scenario(), CarbonIntensity::from_g_per_kwh(0.0));
+        assert_eq!(r, Recommendation::KeepHardware);
+    }
+
+    #[test]
+    fn lifetime_saving_consistency() {
+        // If recommended, saving over the lifetime must equal
+        // keep(t) - upgrade(t) at the horizon.
+        let advisor = UpgradeAdvisor::with_five_year_horizon();
+        let s = scenario();
+        let i = IntensityLevel::Medium.intensity();
+        if let Recommendation::Upgrade {
+            lifetime_saving, ..
+        } = advisor.recommend(&s, i)
+        {
+            let manual = s.carbon_keep(advisor.planned_lifetime, i)
+                - s.carbon_upgrade(advisor.planned_lifetime, i);
+            assert!((lifetime_saving.as_g() - manual.as_g()).abs() < 1e-6);
+        } else {
+            panic!("medium intensity should recommend upgrading");
+        }
+    }
+
+    #[test]
+    fn shorter_horizon_flips_the_verdict() {
+        // The same intensity can flip from Upgrade to ExtendLifetime when
+        // the planned lifetime shrinks — the paper's point that the
+        // decision depends on "the expected operating lifetime".
+        let s = scenario();
+        let i = IntensityLevel::Medium.intensity();
+        let long = UpgradeAdvisor {
+            planned_lifetime: TimeSpan::from_years(5.0),
+            margin: 0.8,
+        };
+        let short = UpgradeAdvisor {
+            planned_lifetime: TimeSpan::from_years(0.5),
+            margin: 0.8,
+        };
+        assert!(matches!(long.recommend(&s, i), Recommendation::Upgrade { .. }));
+        assert!(matches!(
+            short.recommend(&s, i),
+            Recommendation::ExtendLifetime { .. }
+        ));
+    }
+}

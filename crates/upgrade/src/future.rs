@@ -1,0 +1,264 @@
+//! Beyond constant intensity: hourly-trace and grid-decarbonization
+//! upgrade analysis.
+//!
+//! The paper's Fig. 8 holds intensity constant per column, and Insight 8
+//! warns that upgrades stop paying off "if the center already runs
+//! primarily on renewable energy sources, **as could be the case in the
+//! future for many centers**". This module makes both refinements
+//! first-class:
+//!
+//! - [`break_even_on_trace`]: amortization against a real hourly trace
+//!   (the timing of an upgrade relative to the grid's seasons matters);
+//! - [`DecarbonizationScenario`]: a grid whose annual-mean intensity
+//!   declines geometrically toward a renewable floor, under which
+//!   break-even times stretch — quantifying exactly when "extending the
+//!   hardware lifetime" becomes the carbon-optimal choice.
+
+use crate::savings::UpgradeScenario;
+use hpcarbon_grid::trace::IntensityTrace;
+use hpcarbon_units::{CarbonIntensity, TimeSpan};
+
+/// Break-even of `scenario` against an hourly intensity trace, starting at
+/// `start_hour` (hour-of-year). The trace repeats annually. Returns `None`
+/// when the upgrade saves no energy, or when amortization would take more
+/// than `max_years`.
+pub fn break_even_on_trace(
+    scenario: &UpgradeScenario,
+    trace: &IntensityTrace,
+    start_hour: u32,
+    max_years: f64,
+) -> Option<TimeSpan> {
+    let annual_saving_kwh = scenario.annual_energy_saving().as_kwh();
+    if annual_saving_kwh <= 0.0 {
+        return None;
+    }
+    let hourly_saving_kwh = annual_saving_kwh / 8760.0;
+    let target_g = scenario.upgrade_embodied().as_g();
+    let len = trace.series().len() as u32;
+    let max_hours = (max_years * 8760.0) as u64;
+    let mut saved_g = 0.0;
+    for h in 0..max_hours {
+        let idx = ((u64::from(start_hour) + h) % u64::from(len)) as u32;
+        saved_g += hourly_saving_kwh * trace.at_index(idx).as_g_per_kwh();
+        if saved_g >= target_g {
+            // Linear interpolation within the final hour.
+            let overshoot = (saved_g - target_g)
+                / (hourly_saving_kwh * trace.at_index(idx).as_g_per_kwh()).max(1e-12);
+            return Some(TimeSpan::from_hours((h + 1) as f64 - overshoot));
+        }
+    }
+    None
+}
+
+/// A grid whose annual-mean intensity declines geometrically toward a
+/// renewable floor: `I(t) = floor + (I0 - floor) * (1 - decline)^t`.
+#[derive(Debug, Clone, Copy)]
+pub struct DecarbonizationScenario {
+    /// Fractional decline of the above-floor intensity per year
+    /// (e.g. 0.08 = 8%/year, roughly the GB grid's 2010s trajectory).
+    pub annual_decline: f64,
+    /// The renewable-dominated floor the grid approaches (the paper uses
+    /// 20 gCO₂/kWh, "the carbon intensity of hydropower").
+    pub floor: CarbonIntensity,
+}
+
+impl DecarbonizationScenario {
+    /// Creates a scenario.
+    ///
+    /// # Panics
+    /// If `annual_decline` is outside `[0, 1)` or the floor is negative.
+    pub fn new(annual_decline: f64, floor: CarbonIntensity) -> DecarbonizationScenario {
+        assert!(
+            (0.0..1.0).contains(&annual_decline),
+            "decline must be in [0,1)"
+        );
+        assert!(floor.as_g_per_kwh() >= 0.0);
+        DecarbonizationScenario {
+            annual_decline,
+            floor,
+        }
+    }
+
+    /// Grid intensity `years` after the reference point, starting from
+    /// `initial`.
+    pub fn intensity_at(&self, initial: CarbonIntensity, years: f64) -> CarbonIntensity {
+        let floor = self.floor.as_g_per_kwh();
+        let above = (initial.as_g_per_kwh() - floor).max(0.0);
+        CarbonIntensity::from_g_per_kwh(floor + above * (1.0 - self.annual_decline).powf(years))
+    }
+
+    /// Cumulative intensity-years `∫₀ᵗ I(τ) dτ` (gCO₂/kWh · years) — the
+    /// factor that converts a constant annual energy saving into carbon.
+    pub fn cumulative_intensity(&self, initial: CarbonIntensity, years: f64) -> f64 {
+        let floor = self.floor.as_g_per_kwh();
+        let above = (initial.as_g_per_kwh() - floor).max(0.0);
+        if self.annual_decline == 0.0 {
+            return initial.as_g_per_kwh() * years;
+        }
+        let r = 1.0 - self.annual_decline;
+        floor * years + above * (1.0 - r.powf(years)) / (-r.ln())
+    }
+
+    /// Break-even of an upgrade on this decarbonizing grid, solved by
+    /// bisection on the cumulative-intensity integral. `None` when the
+    /// upgrade saves no energy or does not amortize within `max_years`.
+    pub fn break_even(
+        &self,
+        scenario: &UpgradeScenario,
+        initial: CarbonIntensity,
+        max_years: f64,
+    ) -> Option<TimeSpan> {
+        let annual_saving_kwh = scenario.annual_energy_saving().as_kwh();
+        if annual_saving_kwh <= 0.0 {
+            return None;
+        }
+        let target = scenario.upgrade_embodied().as_g();
+        let saved = |t: f64| annual_saving_kwh * self.cumulative_intensity(initial, t);
+        if saved(max_years) < target {
+            return None;
+        }
+        let (mut lo, mut hi) = (0.0, max_years);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if saved(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(TimeSpan::from_years(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_timeseries::series::HourlySeries;
+    use hpcarbon_workloads::benchmarks::Suite;
+    use hpcarbon_workloads::nodes::NodeGen;
+
+    fn scenario() -> UpgradeScenario {
+        UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp)
+    }
+
+    fn constant_trace(g: f64) -> IntensityTrace {
+        IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, g))
+    }
+
+    #[test]
+    fn trace_break_even_matches_constant_case() {
+        let s = scenario();
+        let constant = s
+            .break_even(CarbonIntensity::from_g_per_kwh(200.0))
+            .unwrap();
+        let traced = break_even_on_trace(&s, &constant_trace(200.0), 0, 20.0).unwrap();
+        assert!(
+            (traced.as_hours() - constant.as_hours()).abs() < 2.0,
+            "traced {} vs constant {}",
+            traced.as_hours(),
+            constant.as_hours()
+        );
+    }
+
+    #[test]
+    fn upgrade_timing_matters_on_seasonal_grids() {
+        // A grid that is dirty in winter (first/last quarter) and clean in
+        // summer: upgrading at new year amortizes faster than upgrading
+        // just before the clean season.
+        let seasonal = IntensityTrace::new(
+            OperatorId::Eso,
+            HourlySeries::from_fn(2021, |st| {
+                let doy = st.date().day_of_year();
+                if (90..275).contains(&doy) {
+                    60.0
+                } else {
+                    420.0
+                }
+            }),
+        );
+        // P100 -> A100 amortizes fast enough to finish inside the dirty
+        // season when started at new year; a spring start must first sit
+        // through ~6 clean months earning almost nothing.
+        let s = UpgradeScenario::paper_default(NodeGen::P100Node, NodeGen::A100Node, Suite::Nlp);
+        let winter_start = break_even_on_trace(&s, &seasonal, 0, 30.0).unwrap();
+        let spring_start = break_even_on_trace(&s, &seasonal, 24 * 95, 30.0).unwrap();
+        assert!(
+            winter_start.as_hours() * 2.0 < spring_start.as_hours(),
+            "winter {} vs spring {}",
+            winter_start.as_hours(),
+            spring_start.as_hours()
+        );
+    }
+
+    #[test]
+    fn trace_break_even_none_when_no_saving() {
+        // Reverse upgrade (newer -> older) saves no energy.
+        let s = UpgradeScenario::paper_default(NodeGen::A100Node, NodeGen::P100Node, Suite::Nlp);
+        assert!(break_even_on_trace(&s, &constant_trace(400.0), 0, 10.0).is_none());
+    }
+
+    #[test]
+    fn zero_decline_matches_constant_intensity() {
+        let d = DecarbonizationScenario::new(0.0, CarbonIntensity::from_g_per_kwh(20.0));
+        let s = scenario();
+        let constant = s
+            .break_even(CarbonIntensity::from_g_per_kwh(200.0))
+            .unwrap();
+        let declined = d
+            .break_even(&s, CarbonIntensity::from_g_per_kwh(200.0), 50.0)
+            .unwrap();
+        assert!((declined.as_years() - constant.as_years()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn decarbonization_stretches_break_even() {
+        let s = scenario();
+        let initial = CarbonIntensity::from_g_per_kwh(200.0);
+        let mut last = 0.0;
+        for decline in [0.0, 0.05, 0.15, 0.30] {
+            let d = DecarbonizationScenario::new(decline, CarbonIntensity::from_g_per_kwh(20.0));
+            let be = d.break_even(&s, initial, 100.0).unwrap().as_years();
+            assert!(be > last, "decline {decline}: {be} <= {last}");
+            last = be;
+        }
+    }
+
+    #[test]
+    fn intensity_decays_toward_floor() {
+        let d = DecarbonizationScenario::new(0.10, CarbonIntensity::from_g_per_kwh(20.0));
+        let i0 = CarbonIntensity::from_g_per_kwh(400.0);
+        assert_eq!(d.intensity_at(i0, 0.0).as_g_per_kwh(), 400.0);
+        let at10 = d.intensity_at(i0, 10.0).as_g_per_kwh();
+        assert!(at10 < 400.0 && at10 > 20.0);
+        let at100 = d.intensity_at(i0, 100.0).as_g_per_kwh();
+        assert!((at100 - 20.0).abs() < 1.0, "{at100}");
+    }
+
+    #[test]
+    fn cumulative_intensity_is_consistent_with_numeric_integral() {
+        let d = DecarbonizationScenario::new(0.12, CarbonIntensity::from_g_per_kwh(25.0));
+        let i0 = CarbonIntensity::from_g_per_kwh(350.0);
+        let analytic = d.cumulative_intensity(i0, 7.0);
+        let steps = 70_000;
+        let dt = 7.0 / steps as f64;
+        let numeric: f64 = (0..steps)
+            .map(|k| d.intensity_at(i0, (k as f64 + 0.5) * dt).as_g_per_kwh() * dt)
+            .sum();
+        assert!(
+            (analytic - numeric).abs() / numeric < 1e-4,
+            "analytic {analytic} numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn fast_decarbonization_can_defeat_the_upgrade_within_horizon() {
+        // On a grid racing to the floor, the saving stream collapses and
+        // the upgrade cannot amortize within a decade — Insight 8's
+        // "extending the hardware lifetime could be a worthy option".
+        let s = scenario();
+        let d = DecarbonizationScenario::new(0.60, CarbonIntensity::from_g_per_kwh(5.0));
+        let be = d.break_even(&s, CarbonIntensity::from_g_per_kwh(100.0), 10.0);
+        assert!(be.is_none(), "{be:?}");
+    }
+}

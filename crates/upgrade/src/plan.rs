@@ -1,0 +1,274 @@
+//! Multi-step upgrade planning over a fixed horizon.
+//!
+//! The paper's Insight 8 warns "the upgrades cannot be too fast" — every
+//! generation hop pays a fresh embodied tax. This module compares whole
+//! *plans* over a planning horizon: keep the current node, upgrade once
+//! (possibly skipping a generation), or upgrade twice, with each step
+//! placed at its own time. Total carbon of a plan is the sum of each
+//! deployed node's operational carbon over its service window plus the
+//! embodied carbon of every node bought.
+
+use hpcarbon_core::operational::Pue;
+use hpcarbon_units::{CarbonIntensity, CarbonMass, Fraction, TimeSpan};
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+use hpcarbon_workloads::perf::suite_speedup;
+use hpcarbon_workloads::power::node_active_power;
+
+/// One step of a plan: switch to `node` at `at` (hours from horizon start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanStep {
+    /// Time of the swap.
+    pub at: TimeSpan,
+    /// Node generation deployed from that point.
+    pub node: NodeGen,
+}
+
+/// A full plan: the starting node plus zero or more swaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradePlan {
+    /// Node deployed at t = 0 (already owned — its embodied is sunk).
+    pub initial: NodeGen,
+    /// Swaps in time order.
+    pub steps: Vec<PlanStep>,
+}
+
+impl UpgradePlan {
+    /// The do-nothing plan.
+    pub fn keep(initial: NodeGen) -> UpgradePlan {
+        UpgradePlan {
+            initial,
+            steps: Vec::new(),
+        }
+    }
+
+    /// A single swap at `at`.
+    pub fn single(initial: NodeGen, to: NodeGen, at: TimeSpan) -> UpgradePlan {
+        UpgradePlan {
+            initial,
+            steps: vec![PlanStep { at, node: to }],
+        }
+    }
+
+    /// Two swaps.
+    pub fn double(
+        initial: NodeGen,
+        first: (NodeGen, TimeSpan),
+        second: (NodeGen, TimeSpan),
+    ) -> UpgradePlan {
+        assert!(first.1 < second.1, "steps must be in time order");
+        UpgradePlan {
+            initial,
+            steps: vec![
+                PlanStep {
+                    at: first.1,
+                    node: first.0,
+                },
+                PlanStep {
+                    at: second.1,
+                    node: second.0,
+                },
+            ],
+        }
+    }
+
+    /// Total carbon of executing this plan over `horizon`, serving the
+    /// workload demand fixed by (`suite`, `usage` on the *initial* node).
+    ///
+    /// Embodied carbon is charged for every step's new node; operational
+    /// carbon accrues per service window at each node's energy-per-work
+    /// rate (busy time shrinks by the speedup relative to the initial
+    /// node, exactly as in [`UpgradeScenario`]).
+    pub fn total_carbon(
+        &self,
+        suite: Suite,
+        usage: Fraction,
+        pue: Pue,
+        intensity: CarbonIntensity,
+        horizon: TimeSpan,
+    ) -> CarbonMass {
+        let mut total = CarbonMass::ZERO;
+        let mut current = self.initial;
+        let mut t = TimeSpan::ZERO;
+        let mut steps = self.steps.iter().peekable();
+        loop {
+            let window_end = steps
+                .peek()
+                .map(|s| s.at.min(horizon))
+                .unwrap_or(horizon);
+            if window_end > t {
+                let window = window_end - t;
+                let busy = usage.value() / suite_speedup(suite, self.initial, current);
+                let power = node_active_power(current, suite) * busy;
+                total += intensity * pue.apply(power * window);
+            }
+            match steps.next() {
+                Some(step) if step.at < horizon => {
+                    total += step.node.embodied().total();
+                    current = step.node;
+                    t = step.at;
+                }
+                _ => break,
+            }
+        }
+        total
+    }
+}
+
+/// Compares the canonical plans for a P100 owner over `horizon` at a given
+/// intensity: keep, upgrade to V100 now, upgrade to A100 now, or step
+/// through V100 now and A100 at mid-horizon. Returns plans with totals,
+/// best first.
+pub fn compare_p100_plans(
+    suite: Suite,
+    usage: Fraction,
+    intensity: CarbonIntensity,
+    horizon: TimeSpan,
+) -> Vec<(UpgradePlan, CarbonMass)> {
+    let pue = Pue::DEFAULT;
+    let now = TimeSpan::from_hours(0.0);
+    let mid = horizon * 0.5;
+    let plans = vec![
+        UpgradePlan::keep(NodeGen::P100Node),
+        UpgradePlan::single(NodeGen::P100Node, NodeGen::V100Node, now),
+        UpgradePlan::single(NodeGen::P100Node, NodeGen::A100Node, now),
+        UpgradePlan::double(
+            NodeGen::P100Node,
+            (NodeGen::V100Node, now),
+            (NodeGen::A100Node, mid),
+        ),
+    ];
+    let mut scored: Vec<(UpgradePlan, CarbonMass)> = plans
+        .into_iter()
+        .map(|p| {
+            let c = p.total_carbon(suite, usage, pue, intensity, horizon);
+            (p, c)
+        })
+        .collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite carbon"));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::savings::UpgradeScenario;
+
+    fn usage() -> Fraction {
+        Fraction::new_unchecked(0.4)
+    }
+
+    #[test]
+    fn keep_plan_is_pure_operational() {
+        let p = UpgradePlan::keep(NodeGen::V100Node);
+        let c = p.total_carbon(
+            Suite::Nlp,
+            usage(),
+            Pue::DEFAULT,
+            CarbonIntensity::from_g_per_kwh(200.0),
+            TimeSpan::from_years(1.0),
+        );
+        // Matches the UpgradeScenario baseline's keep-side accounting.
+        let s = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
+        let keep = s.carbon_keep(TimeSpan::from_years(1.0), CarbonIntensity::from_g_per_kwh(200.0));
+        assert!((c.as_g() - keep.as_g()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn immediate_single_swap_matches_scenario_accounting() {
+        let p = UpgradePlan::single(
+            NodeGen::V100Node,
+            NodeGen::A100Node,
+            TimeSpan::from_hours(0.0),
+        );
+        let i = CarbonIntensity::from_g_per_kwh(200.0);
+        let t = TimeSpan::from_years(3.0);
+        let c = p.total_carbon(Suite::Nlp, usage(), Pue::DEFAULT, i, t);
+        let s = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
+        let expect = s.carbon_upgrade(t, i);
+        assert!((c.as_g() - expect.as_g()).abs() < expect.as_g() * 1e-9);
+    }
+
+    #[test]
+    fn steps_after_horizon_cost_nothing() {
+        let p = UpgradePlan::single(
+            NodeGen::P100Node,
+            NodeGen::A100Node,
+            TimeSpan::from_years(10.0),
+        );
+        let keep = UpgradePlan::keep(NodeGen::P100Node);
+        let i = CarbonIntensity::from_g_per_kwh(300.0);
+        let t = TimeSpan::from_years(2.0);
+        let a = p.total_carbon(Suite::Vision, usage(), Pue::DEFAULT, i, t);
+        let b = keep.total_carbon(Suite::Vision, usage(), Pue::DEFAULT, i, t);
+        assert!((a.as_g() - b.as_g()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dirty_grid_prefers_the_direct_jump() {
+        // At 400 g/kWh over five years, any upgrade beats keeping the
+        // P100, and jumping straight to A100 beats stepping through V100
+        // (two embodied taxes, and the V100 window burns more energy).
+        let ranked = compare_p100_plans(
+            Suite::Candle,
+            usage(),
+            CarbonIntensity::from_g_per_kwh(400.0),
+            TimeSpan::from_years(5.0),
+        );
+        let best = &ranked[0].0;
+        assert_eq!(best.steps.len(), 1);
+        assert_eq!(best.steps[0].node, NodeGen::A100Node);
+        let keep_rank = ranked
+            .iter()
+            .position(|(p, _)| p.steps.is_empty())
+            .expect("keep plan present");
+        assert_eq!(keep_rank, ranked.len() - 1, "keep must rank last");
+    }
+
+    #[test]
+    fn hydro_grid_prefers_keeping() {
+        // At 20 g/kWh over three years, no upgrade amortizes: keep wins.
+        let ranked = compare_p100_plans(
+            Suite::Nlp,
+            usage(),
+            CarbonIntensity::from_g_per_kwh(20.0),
+            TimeSpan::from_years(3.0),
+        );
+        assert!(ranked[0].0.steps.is_empty(), "{:?}", ranked[0].0);
+    }
+
+    #[test]
+    fn two_step_plan_always_costs_more_than_direct_here() {
+        // With A100 available at t=0, the intermediate V100 hop is a pure
+        // extra embodied tax ("upgrades cannot be too fast").
+        for g in [100.0, 200.0, 400.0] {
+            let ranked = compare_p100_plans(
+                Suite::Nlp,
+                usage(),
+                CarbonIntensity::from_g_per_kwh(g),
+                TimeSpan::from_years(5.0),
+            );
+            let direct = ranked
+                .iter()
+                .find(|(p, _)| p.steps.len() == 1 && p.steps[0].node == NodeGen::A100Node)
+                .expect("direct plan present")
+                .1;
+            let stepped = ranked
+                .iter()
+                .find(|(p, _)| p.steps.len() == 2)
+                .expect("two-step plan present")
+                .1;
+            assert!(stepped > direct, "at {g} g/kWh");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn double_rejects_out_of_order() {
+        let _ = UpgradePlan::double(
+            NodeGen::P100Node,
+            (NodeGen::V100Node, TimeSpan::from_years(2.0)),
+            (NodeGen::A100Node, TimeSpan::from_years(1.0)),
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! GPU generations and their datasheet figures.
+
+use hpcarbon_core::db::PartId;
+use hpcarbon_units::{Bandwidth, ComputeRate, Power};
+
+/// The GPU generations appearing in the paper (Tables 1 and 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GpuModel {
+    /// NVIDIA Tesla P100 PCIe 16 GB (Pascal).
+    P100,
+    /// NVIDIA V100 SXM2 32 GB (Volta).
+    V100,
+    /// NVIDIA A100 PCIe 40 GB (Ampere).
+    A100,
+    /// AMD Instinct MI250X (CDNA2).
+    Mi250x,
+}
+
+/// Datasheet figures used by the roofline model.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuSpec {
+    /// The embodied-model part this GPU corresponds to.
+    pub part: PartId,
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak FP32 rate.
+    pub fp32_peak: ComputeRate,
+    /// Peak mixed-precision tensor/matrix rate, when the architecture has
+    /// tensor cores (None for Pascal — DL runs on the FP32 path).
+    pub tensor_peak: Option<ComputeRate>,
+    /// HBM bandwidth.
+    pub mem_bw: Bandwidth,
+    /// Board power limit.
+    pub tdp: Power,
+    /// Idle draw.
+    pub idle: Power,
+}
+
+impl GpuModel {
+    /// All models, oldest first.
+    pub const ALL: [GpuModel; 4] = [
+        GpuModel::P100,
+        GpuModel::V100,
+        GpuModel::A100,
+        GpuModel::Mi250x,
+    ];
+
+    /// The spec table.
+    pub fn spec(self) -> GpuSpec {
+        match self {
+            GpuModel::P100 => GpuSpec {
+                part: PartId::GpuP100Pcie16,
+                name: "NVIDIA Tesla P100 PCIe",
+                fp32_peak: ComputeRate::from_tflops(9.3),
+                tensor_peak: None,
+                mem_bw: Bandwidth::from_gbps(732.0),
+                tdp: Power::from_w(250.0),
+                idle: Power::from_w(30.0),
+            },
+            GpuModel::V100 => GpuSpec {
+                part: PartId::GpuV100Sxm2_32,
+                name: "NVIDIA V100 SXM2",
+                fp32_peak: ComputeRate::from_tflops(15.7),
+                // 125 TF boost-clock tensor peak, ~112 TF at sustained clocks.
+                tensor_peak: Some(ComputeRate::from_tflops(112.0)),
+                mem_bw: Bandwidth::from_gbps(900.0),
+                tdp: Power::from_w(300.0),
+                idle: Power::from_w(40.0),
+            },
+            GpuModel::A100 => GpuSpec {
+                part: PartId::GpuA100Pcie40,
+                name: "NVIDIA A100 PCIe",
+                fp32_peak: ComputeRate::from_tflops(19.5),
+                // 312 TF boost tensor peak; PCIe power limit sustains ~280.
+                tensor_peak: Some(ComputeRate::from_tflops(280.0)),
+                mem_bw: Bandwidth::from_gbps(1555.0),
+                tdp: Power::from_w(250.0),
+                idle: Power::from_w(55.0),
+            },
+            GpuModel::Mi250x => GpuSpec {
+                part: PartId::GpuMi250x,
+                name: "AMD Instinct MI250X",
+                fp32_peak: ComputeRate::from_tflops(47.9),
+                tensor_peak: Some(ComputeRate::from_tflops(383.0)),
+                mem_bw: Bandwidth::from_gbps(3277.0),
+                tdp: Power::from_w(560.0),
+                idle: Power::from_w(90.0),
+            },
+        }
+    }
+
+    /// The effective dense-math peak for DL training: the tensor path when
+    /// available, the FP32 path otherwise.
+    pub fn dl_peak(self) -> ComputeRate {
+        let s = self.spec();
+        s.tensor_peak.unwrap_or(s.fp32_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_get_faster() {
+        let order = [GpuModel::P100, GpuModel::V100, GpuModel::A100];
+        for w in order.windows(2) {
+            assert!(w[0].dl_peak() < w[1].dl_peak());
+            assert!(w[0].spec().mem_bw < w[1].spec().mem_bw);
+        }
+    }
+
+    #[test]
+    fn p100_has_no_tensor_cores() {
+        assert!(GpuModel::P100.spec().tensor_peak.is_none());
+        assert_eq!(GpuModel::P100.dl_peak().as_tflops(), 9.3);
+        assert_eq!(GpuModel::V100.dl_peak().as_tflops(), 112.0);
+    }
+
+    #[test]
+    fn specs_link_to_embodied_parts() {
+        for g in GpuModel::ALL {
+            let part = g.spec().part;
+            assert!(part.spec().embodied().total().as_kg() > 5.0);
+            assert!(g.spec().idle < g.spec().tdp);
+        }
+    }
+
+    #[test]
+    fn embodied_matches_core_db() {
+        use hpcarbon_core::db::PartId;
+        assert_eq!(GpuModel::A100.spec().part, PartId::GpuA100Pcie40);
+        assert_eq!(GpuModel::Mi250x.spec().part, PartId::GpuMi250x);
+    }
+}

@@ -1,0 +1,47 @@
+//! # hpcarbon-workloads
+//!
+//! Deep-learning benchmark workload models — the substitute for the
+//! paper's measured runs of the Table 4 suites (HuggingFace NLP,
+//! torchvision, ANL CANDLE) on the Table 5 node generations.
+//!
+//! The model is a calibrated roofline:
+//!
+//! - per-sample training time = compute term (FLOPs over the achievable
+//!   fraction of the precision-path peak) + memory term (bytes over HBM
+//!   bandwidth) — [`perf::sample_time`];
+//! - multi-GPU scaling adds a data-parallel ring-allreduce term with
+//!   per-hop latency and PCIe-switch contention at 4 GPUs
+//!   ([`perf::node_throughput`]), reproducing Fig. 4's plateau
+//!   ("the performance increase cannot keep up … due to heavier
+//!   communication overhead");
+//! - node power combines GPU draw at training utilization, host CPUs at
+//!   feeding utilization and DRAM ([`power`]).
+//!
+//! Calibration targets are the paper's own measurements: Table 6's
+//! per-suite upgrade improvements (e.g. NLP P100→V100 = 44.4%) and
+//! Fig. 4's performance-to-embodied-carbon ratios (≈1.0 at 2 GPUs,
+//! 0.88/0.79 at 4 GPUs). `EXPERIMENTS.md` records paper-vs-model values.
+//!
+//! # Example
+//!
+//! ```
+//! use hpcarbon_workloads::{benchmarks::Suite, nodes::NodeGen, perf};
+//!
+//! // Table 6, NLP row: P100 -> V100 improvement ≈ 44%.
+//! let s = perf::suite_speedup(Suite::Nlp, NodeGen::P100Node, NodeGen::V100Node);
+//! let improvement = 100.0 * (1.0 - 1.0 / s);
+//! assert!((improvement - 44.4).abs() < 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod gpus;
+pub mod nodes;
+pub mod perf;
+pub mod power;
+
+pub use benchmarks::{Benchmark, Suite};
+pub use gpus::GpuModel;
+pub use nodes::NodeGen;

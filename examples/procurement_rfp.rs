@@ -1,0 +1,80 @@
+//! Procurement helper: the paper's RQ1/RQ2 implication in tool form.
+//!
+//! ```text
+//! cargo run --example procurement_rfp
+//! ```
+//!
+//! "Carbon-conscious HPC facilities should explicitly request the embodied
+//! carbon specifications for all components from the chip vendor as a part
+//! of their request for proposal (RFP)" — this example evaluates every
+//! catalog part the way such an RFP reviewer would: absolute embodied
+//! carbon, carbon per unit of delivered performance (FP64 TFLOPS for
+//! processors, bandwidth for memory/storage) and the
+//! manufacturing/packaging split.
+
+use sustainable_hpc::core::db::{all_parts, PartId};
+
+fn main() {
+    println!("RFP embodied-carbon review (all catalog parts)\n");
+    println!(
+        "{:<26} {:>10} {:>14} {:>16} {:>10}",
+        "part", "kgCO2", "kg/TFLOPS", "kg/(GB/s)", "pack %"
+    );
+    let mut rows: Vec<(PartId, f64)> = all_parts()
+        .into_iter()
+        .map(|p| (p, p.spec().embodied().total().as_kg()))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (part, kg) in &rows {
+        let s = part.spec();
+        let per_tf = s
+            .embodied_per_tflops()
+            .map(|v| format!("{v:>10.2}"))
+            .unwrap_or_else(|| format!("{:>10}", "-"));
+        let per_bw = s
+            .embodied_per_bandwidth()
+            .map(|v| format!("{v:>12.2}"))
+            .unwrap_or_else(|| format!("{:>12}", "-"));
+        println!(
+            "{:<26} {:>10.2} {:>14} {:>18} {:>9.1}%",
+            s.part_name,
+            kg,
+            per_tf,
+            per_bw,
+            s.embodied().packaging_share().percent()
+        );
+    }
+
+    // The RQ1 headline: ordering flips once you normalize.
+    println!("\nRQ1 takeaways:");
+    let mi250x = PartId::GpuMi250x.spec();
+    let xeon = PartId::CpuXeonGold6240r.spec();
+    println!(
+        "  - Highest absolute embodied: {} ({})",
+        mi250x.part_name,
+        mi250x.embodied().total()
+    );
+    println!(
+        "  - {:.2}x the lowest CPU ({})",
+        mi250x.embodied().total().as_kg() / xeon.embodied().total().as_kg(),
+        xeon.part_name
+    );
+    println!(
+        "  - But per TFLOPS the SAME part is the best processor: {:.2} kg/TFLOPS",
+        mi250x.embodied_per_tflops().expect("GPU")
+    );
+    println!(
+        "  - Performance benchmarking alone is not sufficient: ask vendors\n    for embodied carbon alongside FLOPS."
+    );
+
+    // RQ2: storage looks harmless per unit but dominates per bandwidth.
+    let hdd = PartId::Hdd16tb.spec();
+    let dram = PartId::Dram64gb.spec();
+    println!(
+        "  - Per bandwidth, an HDD embodies {:.0}x the carbon of a DRAM module\n    ({:.1} vs {:.2} kg per GB/s): storage deserves first-class carbon review.",
+        hdd.embodied_per_bandwidth().expect("hdd")
+            / dram.embodied_per_bandwidth().expect("dram"),
+        hdd.embodied_per_bandwidth().expect("hdd"),
+        dram.embodied_per_bandwidth().expect("dram"),
+    );
+}

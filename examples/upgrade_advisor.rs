@@ -1,0 +1,79 @@
+//! The RQ7/RQ8 upgrade advisor over real (simulated) regional grids.
+//!
+//! ```text
+//! cargo run --example upgrade_advisor
+//! ```
+//!
+//! For every Table 5 upgrade option and every Table 3 region, computes the
+//! break-even time of the upgrade at that region's mean intensity and
+//! turns it into the paper's Insight 8/9 recommendation.
+
+use sustainable_hpc::prelude::*;
+use sustainable_hpc::upgrade::savings::UsageLevel;
+
+fn main() {
+    let traces = simulate_all_regions(2021, 2021);
+    let advisor = UpgradeAdvisor::with_five_year_horizon();
+    let options = [
+        (NodeGen::P100Node, NodeGen::V100Node),
+        (NodeGen::P100Node, NodeGen::A100Node),
+        (NodeGen::V100Node, NodeGen::A100Node),
+    ];
+
+    println!("Upgrade advisor: NLP workload, medium (40%) usage, 5-year horizon\n");
+    for (old, new) in options {
+        println!(
+            "== {} -> {} (suite speedup {:.2}x, new-node embodied {}) ==",
+            old.config().name,
+            new.config().name,
+            UpgradeScenario::paper_default(old, new, Suite::Nlp).speedup(),
+            new.embodied().total(),
+        );
+        for trace in &traces {
+            let scenario = UpgradeScenario::paper_default(old, new, Suite::Nlp);
+            let intensity = trace.mean();
+            let verdict = advisor.recommend(&scenario, intensity);
+            let region = trace.operator().info();
+            let text = match verdict {
+                Recommendation::Upgrade {
+                    break_even,
+                    lifetime_saving,
+                } => format!(
+                    "UPGRADE      (pays off in {break_even}, saves {lifetime_saving} over 5y)"
+                ),
+                Recommendation::ExtendLifetime {
+                    break_even,
+                    required_lifetime,
+                } => format!(
+                    "EXTEND LIFE  (needs {required_lifetime} to pay off; break-even {break_even})"
+                ),
+                Recommendation::KeepHardware => "KEEP         (never pays off)".to_string(),
+            };
+            println!(
+                "  {:>6} ({:>5.0} gCO2/kWh): {}",
+                region.short,
+                intensity.as_g_per_kwh(),
+                text
+            );
+        }
+        println!();
+    }
+
+    // The usage sensitivity of RQ8 at a fixed 200 g/kWh grid.
+    println!("== Usage sensitivity (V100 -> A100, NLP, 200 gCO2/kWh) ==");
+    for usage in UsageLevel::ALL {
+        let scenario = UpgradeScenario {
+            usage: usage.fraction(),
+            ..UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp)
+        };
+        let be = scenario
+            .break_even(CarbonIntensity::from_g_per_kwh(200.0))
+            .expect("pays off at 200");
+        println!(
+            "  {:<12} ({:>4.1}% busy): break-even {be}, asymptotic saving {:.1}%",
+            usage.label(),
+            usage.fraction().percent(),
+            scenario.asymptotic_savings_percent()
+        );
+    }
+}

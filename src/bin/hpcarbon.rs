@@ -1,0 +1,243 @@
+//! `hpcarbon` — command-line front end to the sustainable-hpc framework.
+//!
+//! ```text
+//! hpcarbon figures  [--seed N] [--out DIR]      regenerate all paper artifacts
+//! hpcarbon parts                                 embodied-carbon catalog review
+//! hpcarbon systems                               Fig. 5 composition of Table 2 systems
+//! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
+//! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G] [--usage F]
+//! hpcarbon schedule [--jobs N] [--seed N]        policy comparison on GB+CA clusters
+//! ```
+//!
+//! Argument parsing is hand-rolled (the offline dependency set has no CLI
+//! crate); every subcommand prints plain text suitable for terminals and
+//! pipelines.
+
+use sustainable_hpc::grid::analysis::regional_summary;
+use sustainable_hpc::prelude::*;
+use sustainable_hpc::upgrade::savings::UsageLevel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("parts") => cmd_parts(),
+        Some("systems") => cmd_systems(),
+        Some("regions") => cmd_regions(&args[1..]),
+        Some("advisor") => cmd_advisor(&args[1..]),
+        Some("schedule") => cmd_schedule(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand: {other}\n");
+            print_usage();
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn print_usage() {
+    println!(
+        "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
+         USAGE:\n  hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
+         hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
+         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N]"
+    );
+}
+
+/// Reads `--flag value` from an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_node(s: &str) -> Option<NodeGen> {
+    match s.to_ascii_lowercase().as_str() {
+        "p100" => Some(NodeGen::P100Node),
+        "v100" => Some(NodeGen::V100Node),
+        "a100" => Some(NodeGen::A100Node),
+        _ => None,
+    }
+}
+
+fn parse_suite(s: &str) -> Option<Suite> {
+    match s.to_ascii_lowercase().as_str() {
+        "nlp" => Some(Suite::Nlp),
+        "vision" => Some(Suite::Vision),
+        "candle" => Some(Suite::Candle),
+        _ => None,
+    }
+}
+
+fn cmd_figures(args: &[String]) -> i32 {
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021);
+    let out = flag(args, "--out").unwrap_or_else(|| "out/paper".into());
+    let dir = std::path::Path::new(&out);
+    for a in sustainable_hpc::report::render_all(seed) {
+        if let Err(e) = a.write_to(dir) {
+            eprintln!("cannot write {}: {e}", dir.display());
+            return 1;
+        }
+        println!("wrote {}/{}.{{txt,csv}}", dir.display(), a.id);
+    }
+    0
+}
+
+fn cmd_parts() -> i32 {
+    println!(
+        "{:<28} {:>9} {:>12} {:>13} {:>7}",
+        "part", "kgCO2", "kg/TFLOPS", "kg/(GB/s)", "pack%"
+    );
+    for p in sustainable_hpc::core::db::all_parts() {
+        let s = p.spec();
+        let fmt_opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
+        println!(
+            "{:<28} {:>9.2} {:>12} {:>13} {:>6.1}%",
+            s.part_name,
+            s.embodied().total().as_kg(),
+            fmt_opt(s.embodied_per_tflops()),
+            fmt_opt(s.embodied_per_bandwidth()),
+            s.embodied().packaging_share().percent(),
+        );
+    }
+    0
+}
+
+fn cmd_systems() -> i32 {
+    for sys in HpcSystem::table2() {
+        println!(
+            "{} ({}, {}) — total embodied {:.0} tCO2:",
+            sys.name,
+            sys.location,
+            sys.year,
+            sys.embodied_total().as_t()
+        );
+        for (class, share) in sys.composition_shares() {
+            println!("  {:<5} {:>5.1}%", class.label(), share.percent());
+        }
+        println!(
+            "  memory+storage: {:.1}%\n",
+            sys.memory_storage_share().percent()
+        );
+    }
+    0
+}
+
+fn cmd_regions(args: &[String]) -> i32 {
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2021);
+    let traces = simulate_all_regions(2021, seed);
+    println!(
+        "{:<6} {:>8} {:>8} {:>8} {:>7}",
+        "region", "q1", "median", "q3", "CoV%"
+    );
+    for s in regional_summary(&traces) {
+        println!(
+            "{:<6} {:>8.1} {:>8.1} {:>8.1} {:>6.1}%",
+            s.operator.info().short,
+            s.boxplot.q1,
+            s.boxplot.median,
+            s.boxplot.q3,
+            s.cov_percent
+        );
+    }
+    0
+}
+
+fn cmd_advisor(args: &[String]) -> i32 {
+    let (Some(from), Some(to)) = (
+        flag(args, "--from").as_deref().and_then(parse_node),
+        flag(args, "--to").as_deref().and_then(parse_node),
+    ) else {
+        eprintln!("advisor requires --from and --to (p100|v100|a100)");
+        return 2;
+    };
+    let suite = flag(args, "--suite")
+        .as_deref()
+        .and_then(parse_suite)
+        .unwrap_or(Suite::Nlp);
+    let intensity = CarbonIntensity::from_g_per_kwh(
+        flag(args, "--intensity")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200.0),
+    );
+    let usage = flag(args, "--usage")
+        .and_then(|s| s.parse::<f64>().ok())
+        .and_then(Fraction::new)
+        .unwrap_or_else(|| UsageLevel::Medium.fraction());
+    let scenario = UpgradeScenario {
+        usage,
+        ..UpgradeScenario::paper_default(from, to, suite)
+    };
+    println!(
+        "{} -> {} | {} | usage {} | grid {}",
+        from.config().name,
+        to.config().name,
+        suite.label(),
+        usage,
+        intensity
+    );
+    println!("  speedup           : {:.2}x", scenario.speedup());
+    println!("  upgrade embodied  : {}", scenario.upgrade_embodied());
+    println!(
+        "  annual energy     : {} -> {}",
+        scenario.old_annual_energy(),
+        scenario.new_annual_energy()
+    );
+    println!(
+        "  asymptotic saving : {:.1}%",
+        scenario.asymptotic_savings_percent()
+    );
+    match scenario.break_even(intensity) {
+        Some(t) => println!("  break-even        : {t}"),
+        None => println!("  break-even        : never (no energy saving at this grid)"),
+    }
+    let verdict = UpgradeAdvisor::with_five_year_horizon().recommend(&scenario, intensity);
+    println!("  verdict           : {verdict}");
+    0
+}
+
+fn cmd_schedule(args: &[String]) -> i32 {
+    let jobs_n: usize = flag(args, "--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let gb = Cluster::new("gb", simulate_year(OperatorId::Eso, 2021, seed), 96);
+    let ca = Cluster::new("ca", simulate_year(OperatorId::Ciso, 2021, seed), 96);
+    let jobs = JobTraceGenerator::default_rates().generate(jobs_n, seed);
+    println!(
+        "{:<28} {:>10} {:>12} {:>10}",
+        "policy", "kgCO2", "mean wait", "max wait"
+    );
+    for policy in [
+        Policy::Fifo,
+        Policy::ThresholdDefer {
+            threshold_g_per_kwh: 150.0,
+        },
+        Policy::GreenestWindow { horizon_hours: 24 },
+        Policy::LowestIntensityRegion,
+        Policy::RegionAndTime { horizon_hours: 24 },
+    ] {
+        let out = Simulation::multi_region(vec![gb.clone(), ca.clone()], policy, &jobs).run();
+        println!(
+            "{:<28} {:>10.1} {:>10.1} h {:>8.1} h",
+            policy.label(),
+            out.total_carbon.as_kg(),
+            out.mean_wait_hours,
+            out.max_wait_hours
+        );
+    }
+    0
+}
