@@ -21,11 +21,7 @@ fn yield_sensitivity(c: &mut Criterion) {
         let d = ProcessNode::N7.fab_densities();
         b.iter(|| {
             for y in [0.5, 0.6, 0.7, 0.8, 0.875, 0.95] {
-                black_box(processor_manufacturing(
-                    d,
-                    area,
-                    Fraction::new_unchecked(y),
-                ));
+                black_box(processor_manufacturing(d, area, Fraction::new_unchecked(y)));
             }
         })
     });

@@ -59,11 +59,7 @@ fn fig9(c: &mut Criterion) {
     g.finish();
     c.bench_function("fig9/advisor_verdicts", |b| {
         let advisor = hpcarbon_upgrade::UpgradeAdvisor::with_five_year_horizon();
-        let s = UpgradeScenario::paper_default(
-            NodeGen::V100Node,
-            NodeGen::A100Node,
-            Suite::Nlp,
-        );
+        let s = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
         b.iter(|| {
             for level in IntensityLevel::ALL {
                 black_box(advisor.recommend(&s, level.intensity()));

@@ -1,10 +1,10 @@
 //! The part catalog: Table 1 + Table 5 components with model inputs.
 
+use crate::db::ProcessNode;
 use crate::embodied::{
     default_fab_yield, memory_manufacturing, processor_manufacturing, ComponentClass,
     EmbodiedBreakdown, PackagingSpec,
 };
-use crate::db::ProcessNode;
 use hpcarbon_units::{
     Bandwidth, CarbonMass, CarbonPerCapacity, ComputeRate, DataCapacity, Power, SiliconArea,
 };

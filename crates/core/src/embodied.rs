@@ -294,7 +294,8 @@ mod tests {
 
     #[test]
     fn breakdown_total_and_shares() {
-        let b = EmbodiedBreakdown::from_parts(CarbonMass::from_kg(4.16), PackagingSpec::IcCount(20));
+        let b =
+            EmbodiedBreakdown::from_parts(CarbonMass::from_kg(4.16), PackagingSpec::IcCount(20));
         assert!((b.total().as_kg() - 7.16).abs() < 1e-9);
         // DRAM calibration: packaging ~42% of embodied (Fig. 3).
         assert!((b.packaging_share().value() - 0.419).abs() < 0.01);

@@ -53,8 +53,11 @@ impl SwitchModel {
 
     /// Embodied carbon of one switch (Eq. 3 ASIC + Eq. 5 packaging).
     pub fn embodied(&self) -> EmbodiedBreakdown {
-        let mfg =
-            processor_manufacturing(self.node.fab_densities(), self.asic_area, default_fab_yield());
+        let mfg = processor_manufacturing(
+            self.node.fab_densities(),
+            self.asic_area,
+            default_fab_yield(),
+        );
         let ics = self.board_ics + self.ports * self.ics_per_port;
         EmbodiedBreakdown::from_parts(mfg, PackagingSpec::IcCount(ics))
     }
@@ -83,8 +86,11 @@ impl NicModel {
 
     /// Embodied carbon of one NIC.
     pub fn embodied(&self) -> EmbodiedBreakdown {
-        let mfg =
-            processor_manufacturing(self.node.fab_densities(), self.asic_area, default_fab_yield());
+        let mfg = processor_manufacturing(
+            self.node.fab_densities(),
+            self.asic_area,
+            default_fab_yield(),
+        );
         EmbodiedBreakdown::from_parts(mfg, PackagingSpec::IcCount(self.board_ics))
     }
 }
@@ -168,14 +174,22 @@ mod tests {
     fn switch_embodied_magnitude() {
         let s = SwitchModel::slingshot_class().embodied();
         // An 800 mm2 N7 ASIC alone is ~18 kg; ports add ~30 kg packaging.
-        assert!(s.total().as_kg() > 20.0 && s.total().as_kg() < 80.0, "{}", s.total());
+        assert!(
+            s.total().as_kg() > 20.0 && s.total().as_kg() < 80.0,
+            "{}",
+            s.total()
+        );
         assert!(s.packaging.as_kg() > s.manufacturing.as_kg() * 0.5);
     }
 
     #[test]
     fn nic_embodied_magnitude() {
         let n = NicModel::slingshot_class().embodied();
-        assert!(n.total().as_kg() > 3.0 && n.total().as_kg() < 15.0, "{}", n.total());
+        assert!(
+            n.total().as_kg() > 3.0 && n.total().as_kg() < 15.0,
+            "{}",
+            n.total()
+        );
     }
 
     #[test]
@@ -209,11 +223,7 @@ mod tests {
     fn sensitivity_is_monotone() {
         let frontier = HpcSystem::frontier();
         let fabric = Fabric::dragonfly_for(9_408, 4);
-        let sweep = sensitivity(
-            frontier.embodied_total(),
-            &fabric,
-            &[0.5, 1.0, 2.0, 4.0],
-        );
+        let sweep = sensitivity(frontier.embodied_total(), &fabric, &[0.5, 1.0, 2.0, 4.0]);
         for w in sweep.windows(2) {
             assert!(w[1].1 > w[0].1, "share must grow with the estimate");
         }

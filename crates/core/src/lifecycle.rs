@@ -50,7 +50,8 @@ impl LifecyclePosition {
 
     /// Annual operational energy (facility level, after PUE).
     pub fn annual_facility_energy(&self) -> Energy {
-        self.pue.apply(self.avg_it_power * TimeSpan::from_years(1.0))
+        self.pue
+            .apply(self.avg_it_power * TimeSpan::from_years(1.0))
     }
 }
 

@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn scores_live_in_unit_interval() {
-        for weights in [RfpWeights::performance_only(), RfpWeights::carbon_conscious()] {
+        for weights in [
+            RfpWeights::performance_only(),
+            RfpWeights::carbon_conscious(),
+        ] {
             for s in rank(&gpu_field(), weights) {
                 assert!((0.0..=1.0).contains(&s.score.value()));
                 assert!((0.0..=1.0).contains(&s.performance));

@@ -266,15 +266,15 @@ mod tests {
     fn storage_capacities_match_public_specs() {
         use hpcarbon_units::DataCapacity;
         let f = HpcSystem::frontier();
-        let hdd_pb = f.count_of(PartId::Hdd16tb) as f64
-            * PartId::Hdd16tb.spec().capacity.unwrap().as_pb();
+        let hdd_pb =
+            f.count_of(PartId::Hdd16tb) as f64 * PartId::Hdd16tb.spec().capacity.unwrap().as_pb();
         assert!((hdd_pb - 695.0).abs() < 1.0, "Frontier HDD {hdd_pb} PB");
-        let ssd_pb = f.count_of(PartId::Ssd3_2tb) as f64
-            * PartId::Ssd3_2tb.spec().capacity.unwrap().as_pb();
+        let ssd_pb =
+            f.count_of(PartId::Ssd3_2tb) as f64 * PartId::Ssd3_2tb.spec().capacity.unwrap().as_pb();
         assert!((ssd_pb - 75.0).abs() < 0.5, "Frontier SSD {ssd_pb} PB");
         let p = HpcSystem::perlmutter();
-        let pm_ssd = p.count_of(PartId::Ssd3_2tb) as f64
-            * PartId::Ssd3_2tb.spec().capacity.unwrap().as_pb();
+        let pm_ssd =
+            p.count_of(PartId::Ssd3_2tb) as f64 * PartId::Ssd3_2tb.spec().capacity.unwrap().as_pb();
         assert!((pm_ssd - 35.0).abs() < 0.5, "Perlmutter SSD {pm_ssd} PB");
         // Sanity on the unit helper itself.
         assert_eq!(DataCapacity::from_pb(1.0).as_tb(), 1000.0);

@@ -46,7 +46,10 @@ pub fn swap_storage_tier(base: &HpcSystem, from: PartId, to: PartId) -> WhatIf {
         .spec()
         .capacity
         .expect("source part must declare capacity");
-    let to_cap = to.spec().capacity.expect("target part must declare capacity");
+    let to_cap = to
+        .spec()
+        .capacity
+        .expect("target part must declare capacity");
     let count_from = base.count_of(from);
     assert!(count_from > 0, "system holds no {from:?}");
     let total_gb = from_cap.as_gb() * count_from as f64;
@@ -115,7 +118,7 @@ mod tests {
         let frontier = HpcSystem::frontier();
         let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb);
         assert!(w.after > w.before);
-        
+
         // 43,438 HDDs x 16 TB = 695,008,000 GB -> 217,190 SSDs at 3.2 TB.
         assert_eq!(w.system.count_of(PartId::Ssd3_2tb), 23_438 + 217_190);
         assert_eq!(w.system.count_of(PartId::Hdd16tb), 0);
@@ -142,8 +145,7 @@ mod tests {
         let before_gb = PartId::Hdd16tb.spec().capacity.unwrap().as_gb()
             * frontier.count_of(PartId::Hdd16tb) as f64;
         let after_gb = PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb()
-            * (w.system.count_of(PartId::Ssd3_2tb) - frontier.count_of(PartId::Ssd3_2tb))
-                as f64;
+            * (w.system.count_of(PartId::Ssd3_2tb) - frontier.count_of(PartId::Ssd3_2tb)) as f64;
         assert!(after_gb >= before_gb);
         assert!(after_gb < before_gb + PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb() * 2.0);
     }

@@ -135,11 +135,7 @@ fn inventory_scaling_matches_unit_sums() {
 #[test]
 fn class_sums_equal_total() {
     for sys in HpcSystem::table2() {
-        let by_class: f64 = sys
-            .embodied_by_class()
-            .iter()
-            .map(|(_, m)| m.as_g())
-            .sum();
+        let by_class: f64 = sys.embodied_by_class().iter().map(|(_, m)| m.as_g()).sum();
         assert!((by_class - sys.embodied_total().as_g()).abs() < by_class * 1e-12);
     }
 }

@@ -106,8 +106,7 @@ pub fn winner_counts(traces: &[IntensityTrace], tz: TimeZone) -> WinnerCounts {
     let hours = traces[0].series().len();
     let mut counts = vec![[0u32; 24]; traces.len()];
     for idx in 0..hours {
-        let local_hour =
-            ((idx as i64 + i64::from(tz.offset_hours())).rem_euclid(24)) as usize;
+        let local_hour = ((idx as i64 + i64::from(tz.offset_hours())).rem_euclid(24)) as usize;
         let mut best = 0usize;
         let mut best_v = traces[0].series().values()[idx];
         for (r, t) in traces.iter().enumerate().skip(1) {
@@ -131,14 +130,23 @@ mod tests {
     use super::*;
     use hpcarbon_timeseries::series::HourlySeries;
 
-    fn trace_of(op: OperatorId, f: impl FnMut(hpcarbon_timeseries::datetime::HourStamp) -> f64) -> IntensityTrace {
+    fn trace_of(
+        op: OperatorId,
+        f: impl FnMut(hpcarbon_timeseries::datetime::HourStamp) -> f64,
+    ) -> IntensityTrace {
         IntensityTrace::new(op, HourlySeries::from_fn(2021, f))
     }
 
     #[test]
     fn winner_counts_sum_to_days() {
-        let a = trace_of(OperatorId::Eso, |st| if st.hour() < 12 { 50.0 } else { 300.0 });
-        let b = trace_of(OperatorId::Ciso, |st| if st.hour() < 12 { 200.0 } else { 100.0 });
+        let a = trace_of(
+            OperatorId::Eso,
+            |st| if st.hour() < 12 { 50.0 } else { 300.0 },
+        );
+        let b = trace_of(
+            OperatorId::Ciso,
+            |st| if st.hour() < 12 { 200.0 } else { 100.0 },
+        );
         let w = winner_counts(&[a, b], TimeZone::UTC);
         for h in 0..24 {
             assert_eq!(w.days_per_hour(h), 365, "hour {h}");
@@ -147,8 +155,14 @@ mod tests {
 
     #[test]
     fn winner_is_the_lower_trace() {
-        let a = trace_of(OperatorId::Eso, |st| if st.hour() < 12 { 50.0 } else { 300.0 });
-        let b = trace_of(OperatorId::Ciso, |st| if st.hour() < 12 { 200.0 } else { 100.0 });
+        let a = trace_of(
+            OperatorId::Eso,
+            |st| if st.hour() < 12 { 50.0 } else { 300.0 },
+        );
+        let b = trace_of(
+            OperatorId::Ciso,
+            |st| if st.hour() < 12 { 200.0 } else { 100.0 },
+        );
         let w = winner_counts(&[a, b], TimeZone::UTC);
         for h in 0..12 {
             assert_eq!(w.plurality_winner(h), OperatorId::Eso, "hour {h}");
@@ -163,7 +177,10 @@ mod tests {
     fn jst_shift_moves_the_window() {
         // ESO is cheapest during UTC hours 0-11; in JST that window is
         // hours 9-20.
-        let a = trace_of(OperatorId::Eso, |st| if st.hour() < 12 { 50.0 } else { 300.0 });
+        let a = trace_of(
+            OperatorId::Eso,
+            |st| if st.hour() < 12 { 50.0 } else { 300.0 },
+        );
         let b = trace_of(OperatorId::Ciso, |_| 150.0);
         let w = winner_counts(&[a, b], TimeZone::JST);
         assert_eq!(w.plurality_winner(9), OperatorId::Eso);

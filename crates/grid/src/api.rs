@@ -195,7 +195,10 @@ mod tests {
         };
         let short = rms(1);
         let long = rms(48);
-        assert!(long > short, "48h error {long} must exceed 1h error {short}");
+        assert!(
+            long > short,
+            "48h error {long} must exceed 1h error {short}"
+        );
         // Magnitudes roughly match sigma * sqrt(h).
         assert!(short < 0.12);
         assert!(long < 0.60);

@@ -76,8 +76,11 @@ pub enum IntensityLevel {
 
 impl IntensityLevel {
     /// All levels in the paper's column order.
-    pub const ALL: [IntensityLevel; 3] =
-        [IntensityLevel::High, IntensityLevel::Medium, IntensityLevel::Low];
+    pub const ALL: [IntensityLevel; 3] = [
+        IntensityLevel::High,
+        IntensityLevel::Medium,
+        IntensityLevel::Low,
+    ];
 
     /// The constant intensity value.
     pub fn intensity(self) -> CarbonIntensity {

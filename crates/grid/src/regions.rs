@@ -263,9 +263,18 @@ impl OperatorId {
                 cloud_sigma: 0.10,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Coal, capacity: 0.20 },
-                    DispatchEntry { fuel: Gas, capacity: 0.80 },
-                    DispatchEntry { fuel: Oil, capacity: 0.08 },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.20,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 0.80,
+                    },
+                    DispatchEntry {
+                        fuel: Oil,
+                        capacity: 0.08,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
             },
@@ -293,9 +302,18 @@ impl OperatorId {
                 cloud_sigma: 0.10,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Coal, capacity: 0.28 },
-                    DispatchEntry { fuel: Gas, capacity: 0.90 },
-                    DispatchEntry { fuel: Oil, capacity: 0.10 },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.28,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 0.90,
+                    },
+                    DispatchEntry {
+                        fuel: Oil,
+                        capacity: 0.10,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
             },
@@ -324,9 +342,18 @@ impl OperatorId {
                 cloud_sigma: 0.18,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Hydro, capacity: 0.02 },
-                    DispatchEntry { fuel: Gas, capacity: 1.10 },
-                    DispatchEntry { fuel: Coal, capacity: 0.03 },
+                    DispatchEntry {
+                        fuel: Hydro,
+                        capacity: 0.02,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 1.10,
+                    },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.03,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(250.0),
             },
@@ -355,10 +382,22 @@ impl OperatorId {
                 cloud_sigma: 0.10,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Hydro, capacity: 0.06 },
-                    DispatchEntry { fuel: Gas, capacity: 0.55 },
-                    DispatchEntry { fuel: Imports, capacity: 0.30 },
-                    DispatchEntry { fuel: Gas, capacity: 0.40 },
+                    DispatchEntry {
+                        fuel: Hydro,
+                        capacity: 0.06,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 0.55,
+                    },
+                    DispatchEntry {
+                        fuel: Imports,
+                        capacity: 0.30,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 0.40,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(330.0),
             },
@@ -386,8 +425,14 @@ impl OperatorId {
                 cloud_sigma: 0.15,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Coal, capacity: 0.33 },
-                    DispatchEntry { fuel: Gas, capacity: 0.90 },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.33,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 0.90,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(600.0),
             },
@@ -415,8 +460,14 @@ impl OperatorId {
                 cloud_sigma: 0.15,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Coal, capacity: 0.45 },
-                    DispatchEntry { fuel: Gas, capacity: 1.00 },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.45,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 1.00,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(600.0),
             },
@@ -444,8 +495,14 @@ impl OperatorId {
                 cloud_sigma: 0.12,
                 cloud_theta: 0.08,
                 merit: vec![
-                    DispatchEntry { fuel: Coal, capacity: 0.22 },
-                    DispatchEntry { fuel: Gas, capacity: 1.20 },
+                    DispatchEntry {
+                        fuel: Coal,
+                        capacity: 0.22,
+                    },
+                    DispatchEntry {
+                        fuel: Gas,
+                        capacity: 1.20,
+                    },
                 ],
                 import_intensity: CarbonIntensity::from_g_per_kwh(500.0),
             },

@@ -235,7 +235,11 @@ impl RegionSim {
     /// Advances one hour and returns the dispatched generation mix.
     pub fn step(&mut self, stamp: HourStamp) -> GenerationMix {
         let ctx = HourContext::at(&self.params, stamp);
-        let d = demand(&self.params, &ctx, self.demand_ou.step(&mut self.demand_rng));
+        let d = demand(
+            &self.params,
+            &ctx,
+            self.demand_ou.step(&mut self.demand_rng),
+        );
         let w = wind_generation(&self.params, &ctx, self.wind_ou.step(&mut self.wind_rng));
         let s = solar_generation(&self.params, &ctx, self.cloud_ou.step(&mut self.cloud_rng));
         let avail = (1.0 + self.outage_ou.step(&mut self.outage_rng)).clamp(0.75, 1.0);
@@ -314,7 +318,11 @@ mod tests {
                 assert!(v.is_finite());
                 // Bounded by the dirtiest fuel (coal 820) and cleanest
                 // possible mix (> wind's 11).
-                assert!((5.0..=850.0).contains(&v), "{}: {v}", trace.operator().info().short);
+                assert!(
+                    (5.0..=850.0).contains(&v),
+                    "{}: {v}",
+                    trace.operator().info().short
+                );
             }
         }
     }
@@ -349,10 +357,7 @@ mod tests {
         let params = OperatorId::Ercot.params();
         let day = CivilDate::new(2021, 7, 14).unwrap(); // a Wednesday
         let at = |utc_hour: u8| {
-            let ctx = HourContext::at(
-                &params,
-                HourStamp::new(day, utc_hour).unwrap(),
-            );
+            let ctx = HourContext::at(&params, HourStamp::new(day, utc_hour).unwrap());
             demand(&params, &ctx, 0.0)
         };
         // CST: local 18:00 = UTC 0:00 next day; use UTC hours mapping to

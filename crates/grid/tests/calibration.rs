@@ -82,8 +82,10 @@ fn fig6_orderings_match_paper() {
 
     // "The two regions with the lowest medium carbon intensity – ESO and
     // CISO, also have the most variations."
-    let mut meds: Vec<(OperatorId, f64)> =
-        OperatorId::ALL.iter().map(|op| (*op, median(*op))).collect();
+    let mut meds: Vec<(OperatorId, f64)> = OperatorId::ALL
+        .iter()
+        .map(|op| (*op, median(*op)))
+        .collect();
     meds.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     assert_eq!(meds[0].0, OperatorId::Eso);
     assert_eq!(meds[1].0, OperatorId::Ciso);
@@ -98,7 +100,10 @@ fn fig6_orderings_match_paper() {
     // have the least carbon intensity variation among all regions."
     let bottom2: Vec<OperatorId> = covs[covs.len() - 2..].iter().map(|(o, _)| *o).collect();
     assert!(bottom2.contains(&OperatorId::Tokyo), "CoV bottom2 {covs:?}");
-    assert!(bottom2.contains(&OperatorId::Kansai), "CoV bottom2 {covs:?}");
+    assert!(
+        bottom2.contains(&OperatorId::Kansai),
+        "CoV bottom2 {covs:?}"
+    );
 }
 
 #[test]
@@ -133,12 +138,23 @@ fn fig7_diurnal_winner_structure() {
         "only {contested_hours}/24 hours show real variation"
     );
     let near_sweeps = (0..24).filter(|h| max_at(*h) >= 355).count();
-    assert!(near_sweeps <= 9, "{near_sweeps} hours are near-deterministic");
+    assert!(
+        near_sweeps <= 9,
+        "{near_sweeps} hours are near-deterministic"
+    );
 
     // The paper's hour-1 example: "ESO … about 150 days … while CISO …
     // about 215 days". Our JST hour 1 should land near that split.
-    let eso_idx = w.operators.iter().position(|o| *o == OperatorId::Eso).unwrap();
-    let ciso_idx = w.operators.iter().position(|o| *o == OperatorId::Ciso).unwrap();
+    let eso_idx = w
+        .operators
+        .iter()
+        .position(|o| *o == OperatorId::Eso)
+        .unwrap();
+    let ciso_idx = w
+        .operators
+        .iter()
+        .position(|o| *o == OperatorId::Ciso)
+        .unwrap();
     assert!(
         (100..=210).contains(&w.counts[eso_idx][1]),
         "ESO hour-1 wins {} (paper ≈150)",
@@ -174,7 +190,12 @@ fn fig7_diurnal_winner_structure() {
 
     // Every region wins somewhere (ERCOT's night wind gets it some days).
     for op in OperatorId::FIG7_REGIONS {
-        assert!(w.total_wins(op) > 100, "{:?} total {}", op, w.total_wins(op));
+        assert!(
+            w.total_wins(op) > 100,
+            "{:?} total {}",
+            op,
+            w.total_wins(op)
+        );
     }
 }
 

@@ -37,6 +37,6 @@ pub mod sampler;
 pub mod sensor;
 pub mod tracker;
 
-pub use sensor::{DevicePowerModel, PowerSensor, SimulatedDevice};
 pub use pue_model::SeasonalPue;
+pub use sensor::{DevicePowerModel, PowerSensor, SimulatedDevice};
 pub use tracker::CarbonTracker;

@@ -49,8 +49,7 @@ impl SeasonalPue {
 
     /// PUE on a given day of the year (1-based) in a year of `days`.
     pub fn at_day(&self, day_of_year: u32, days: u32) -> Pue {
-        let phase =
-            std::f64::consts::TAU * (f64::from(day_of_year) - 200.0) / f64::from(days);
+        let phase = std::f64::consts::TAU * (f64::from(day_of_year) - 200.0) / f64::from(days);
         Pue::new(self.mean + self.amplitude * phase.cos())
     }
 
@@ -119,10 +118,7 @@ mod tests {
 
     #[test]
     fn zero_amplitude_matches_constant_pue() {
-        let trace = IntensityTrace::new(
-            OperatorId::Eso,
-            HourlySeries::constant(2021, 250.0),
-        );
+        let trace = IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, 250.0));
         let p = SeasonalPue::new(1.2, 0.0);
         let c = account_with_seasonal_pue(
             &trace,
@@ -137,10 +133,7 @@ mod tests {
 
     #[test]
     fn summer_runs_cost_more_than_winter_runs() {
-        let trace = IntensityTrace::new(
-            OperatorId::Eso,
-            HourlySeries::constant(2021, 300.0),
-        );
+        let trace = IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, 300.0));
         let p = SeasonalPue::typical();
         let winter = account_with_seasonal_pue(
             &trace,
@@ -166,10 +159,7 @@ mod tests {
 
     #[test]
     fn fractional_duration_accounting() {
-        let trace = IntensityTrace::new(
-            OperatorId::Eso,
-            HourlySeries::constant(2021, 100.0),
-        );
+        let trace = IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2021, 100.0));
         let p = SeasonalPue::new(1.0, 0.0);
         let c = account_with_seasonal_pue(
             &trace,

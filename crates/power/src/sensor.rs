@@ -46,7 +46,10 @@ impl DevicePowerModel {
 
     /// Creates a model with an explicit curvature exponent.
     pub fn with_alpha(idle: Power, tdp: Power, alpha: f64) -> DevicePowerModel {
-        assert!(idle.as_w() >= 0.0 && tdp.as_w() >= 0.0, "power must be >= 0");
+        assert!(
+            idle.as_w() >= 0.0 && tdp.as_w() >= 0.0,
+            "power must be >= 0"
+        );
         assert!(idle <= tdp, "idle power cannot exceed TDP");
         assert!(alpha > 0.0 && alpha.is_finite(), "alpha must be positive");
         DevicePowerModel { idle, tdp, alpha }

@@ -201,12 +201,8 @@ mod tests {
         let t = CarbonTracker::new(Pue::new(1.0));
         // 4 kWh over 4 hours starting at hour 0: 1 kWh priced at each of
         // 100, 300, 100, 300 = 800 g.
-        let c = t.account_against_trace(
-            &trace,
-            0,
-            Energy::from_kwh(4.0),
-            TimeSpan::from_hours(4.0),
-        );
+        let c =
+            t.account_against_trace(&trace, 0, Energy::from_kwh(4.0), TimeSpan::from_hours(4.0));
         assert!((c.as_g() - 800.0).abs() < 1e-9);
     }
 
@@ -228,27 +224,13 @@ mod tests {
     #[test]
     fn greener_start_hours_cost_less() {
         // Cheap at night (hours 0-5), expensive in the day.
-        let series = HourlySeries::from_fn(2021, |st| {
-            if st.hour() < 6 {
-                50.0
-            } else {
-                400.0
-            }
-        });
+        let series = HourlySeries::from_fn(2021, |st| if st.hour() < 6 { 50.0 } else { 400.0 });
         let trace = IntensityTrace::new(OperatorId::Eso, series);
         let t = CarbonTracker::new(Pue::new(1.2));
-        let night = t.account_against_trace(
-            &trace,
-            0,
-            Energy::from_kwh(6.0),
-            TimeSpan::from_hours(6.0),
-        );
-        let day = t.account_against_trace(
-            &trace,
-            12,
-            Energy::from_kwh(6.0),
-            TimeSpan::from_hours(6.0),
-        );
+        let night =
+            t.account_against_trace(&trace, 0, Energy::from_kwh(6.0), TimeSpan::from_hours(6.0));
+        let day =
+            t.account_against_trace(&trace, 12, Energy::from_kwh(6.0), TimeSpan::from_hours(6.0));
         assert!(night.as_g() * 4.0 < day.as_g());
     }
 }

@@ -53,11 +53,7 @@ pub fn boxplot_chart(title: &str, rows: &[(String, BoxplotStats)], unit: &str) -
     };
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = format!("{title}\n");
-    let _ = writeln!(
-        out,
-        "  {:label_w$}  axis: {lo:.0} .. {hi:.0} {unit}",
-        ""
-    );
+    let _ = writeln!(out, "  {:label_w$}  axis: {lo:.0} .. {hi:.0} {unit}", "");
     for (label, b) in rows {
         let mut line = vec![b' '; width];
         for i in pos(b.whisker_lo)..=pos(b.whisker_hi) {
@@ -105,12 +101,7 @@ pub fn ring_chart(title: &str, slices: &[(String, f64)]) -> String {
 
 /// A multi-series line plot on a character grid. Each series gets a
 /// distinct glyph; the y axis is annotated with its range.
-pub fn line_plot(
-    title: &str,
-    x_label: &str,
-    xs: &[f64],
-    series: &[(String, Vec<f64>)],
-) -> String {
+pub fn line_plot(title: &str, x_label: &str, xs: &[f64], series: &[(String, Vec<f64>)]) -> String {
     assert!(!series.is_empty(), "line plot needs series");
     assert!(xs.len() >= 2, "line plot needs at least two x points");
     for (name, ys) in series {

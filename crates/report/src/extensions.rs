@@ -55,8 +55,7 @@ pub fn ext1_interconnect() -> Artifact {
 /// Ext. 2: upgrade break-even under grid decarbonization — Insight 8's
 /// "as could be the case in the future for many centers", quantified.
 pub fn ext2_decarbonization() -> Artifact {
-    let scenario =
-        UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
+    let scenario = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
     let initial = CarbonIntensity::from_g_per_kwh(100.0);
     let declines: Vec<f64> = vec![0.0, 0.02, 0.05, 0.08, 0.12, 0.20, 0.30];
     let mut csv = Csv::new(&["annual_decline_pct", "break_even_years"]);
@@ -102,7 +101,13 @@ pub fn ext3_scheduler(seed: u64) -> Artifact {
         Policy::LowestIntensityRegion,
         Policy::RegionAndTime { horizon_hours: 24 },
     ];
-    let mut csv = Csv::new(&["policy", "total_kgco2", "mean_wait_h", "max_wait_h", "vs_fifo_pct"]);
+    let mut csv = Csv::new(&[
+        "policy",
+        "total_kgco2",
+        "mean_wait_h",
+        "max_wait_h",
+        "vs_fifo_pct",
+    ]);
     let mut rows: Vec<(String, f64)> = Vec::new();
     let mut fifo_kg = None;
     let mut notes = String::new();

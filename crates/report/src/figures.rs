@@ -36,7 +36,9 @@ pub fn fig1() -> Artifact {
         .map(|p| {
             (
                 p.label().to_string(),
-                p.spec().embodied_per_tflops().expect("processors have FP64"),
+                p.spec()
+                    .embodied_per_tflops()
+                    .expect("processors have FP64"),
             )
         })
         .collect();

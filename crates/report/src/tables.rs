@@ -29,7 +29,13 @@ fn month_name(m: u8) -> &'static str {
 /// Table 1: modeled individual components.
 pub fn table1() -> Artifact {
     let mut md = MarkdownTable::new(&["Type", "Component", "Part Name", "Release Date"]);
-    let mut csv = Csv::new(&["type", "component", "part_name", "release_year", "release_month"]);
+    let mut csv = Csv::new(&[
+        "type",
+        "component",
+        "part_name",
+        "release_year",
+        "release_month",
+    ]);
     for part in TABLE1_PARTS {
         let s = part.spec();
         md.row([
@@ -182,7 +188,14 @@ pub fn table6() -> Artifact {
         "CANDLE Improv.",
         "Average Improv.",
     ]);
-    let mut csv = Csv::new(&["from", "to", "nlp_pct", "vision_pct", "candle_pct", "average_pct"]);
+    let mut csv = Csv::new(&[
+        "from",
+        "to",
+        "nlp_pct",
+        "vision_pct",
+        "candle_pct",
+        "average_pct",
+    ]);
     for row in perf::table6() {
         let from = row.from.config().name;
         let to = row.to.config().name;

@@ -50,8 +50,8 @@
 
 pub mod budget;
 pub mod cluster;
-pub mod metrics;
 pub mod job;
+pub mod metrics;
 pub mod policy;
 pub mod sim;
 

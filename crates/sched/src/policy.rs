@@ -111,10 +111,8 @@ impl Policy {
                 let best = (0..clusters.len())
                     .filter(|i| clusters[*i].capacity_gpus >= job.gpus)
                     .min_by(|a, b| {
-                        let ia =
-                            clusters[*a].mean_intensity_over(now_hours, job.runtime_hours);
-                        let ib =
-                            clusters[*b].mean_intensity_over(now_hours, job.runtime_hours);
+                        let ia = clusters[*a].mean_intensity_over(now_hours, job.runtime_hours);
+                        let ib = clusters[*b].mean_intensity_over(now_hours, job.runtime_hours);
                         ia.partial_cmp(&ib).expect("intensities are finite")
                     })
                     .unwrap_or(arrival_cluster);
@@ -198,10 +196,7 @@ mod tests {
     }
 
     fn flat_cluster(level: f64) -> Cluster {
-        let t = IntensityTrace::new(
-            OperatorId::Ciso,
-            HourlySeries::constant(2021, level),
-        );
+        let t = IntensityTrace::new(OperatorId::Ciso, HourlySeries::constant(2021, level));
         Cluster::new("b", t, 16)
     }
 
@@ -238,12 +233,8 @@ mod tests {
     #[test]
     fn greenest_window_finds_the_night() {
         let clusters = [diurnal_cluster()];
-        let p = Policy::GreenestWindow { horizon_hours: 24 }.place(
-            &job(48.0, 4.0),
-            8.0,
-            0,
-            &clusters,
-        );
+        let p =
+            Policy::GreenestWindow { horizon_hours: 24 }.place(&job(48.0, 4.0), 8.0, 0, &clusters);
         // Best 4-hour window within 24 h of hour 8 starts at hour 24
         // (midnight, fully inside the clean block).
         assert_eq!(p.earliest_start_hours, 24.0);
@@ -252,12 +243,8 @@ mod tests {
     #[test]
     fn greenest_window_with_no_tolerance_runs_now() {
         let clusters = [diurnal_cluster()];
-        let p = Policy::GreenestWindow { horizon_hours: 24 }.place(
-            &job(0.0, 4.0),
-            8.0,
-            0,
-            &clusters,
-        );
+        let p =
+            Policy::GreenestWindow { horizon_hours: 24 }.place(&job(0.0, 4.0), 8.0, 0, &clusters);
         assert_eq!(p.earliest_start_hours, 8.0);
     }
 

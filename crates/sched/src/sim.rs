@@ -114,11 +114,7 @@ impl<'a> Simulation<'a> {
 
     /// Multi-cluster setup. Jobs arrive round-robin across clusters (the
     /// user's home site); multi-region policies may move them.
-    pub fn multi_region(
-        clusters: Vec<Cluster>,
-        policy: Policy,
-        jobs: &'a [Job],
-    ) -> Simulation<'a> {
+    pub fn multi_region(clusters: Vec<Cluster>, policy: Policy, jobs: &'a [Job]) -> Simulation<'a> {
         assert!(!clusters.is_empty(), "need at least one cluster");
         Simulation {
             clusters,
@@ -226,8 +222,7 @@ impl<'a> Simulation<'a> {
                 Event::Finish(i, cluster) => {
                     regions[cluster].free_gpus += jobs[i].gpus;
                     regions[cluster].running.retain(|(_, _, j)| *j != i);
-                    if let (Some(ledger), Some(outcome)) = (ledger.as_mut(), outcomes[i].as_ref())
-                    {
+                    if let (Some(ledger), Some(outcome)) = (ledger.as_mut(), outcomes[i].as_ref()) {
                         ledger.charge(jobs[i].user, outcome.carbon);
                     }
                     try_start(
@@ -253,10 +248,7 @@ impl<'a> Simulation<'a> {
         let total_energy: Energy = jobs_out.iter().map(|j| j.energy).sum();
         let mean_wait =
             jobs_out.iter().map(|j| j.wait_hours).sum::<f64>() / jobs_out.len().max(1) as f64;
-        let max_wait = jobs_out
-            .iter()
-            .map(|j| j.wait_hours)
-            .fold(0.0f64, f64::max);
+        let max_wait = jobs_out.iter().map(|j| j.wait_hours).fold(0.0f64, f64::max);
         SimOutcome {
             policy,
             jobs: jobs_out,
@@ -321,7 +313,9 @@ fn try_start(
         let job_idx = region.queue.remove(pick);
         let job = &jobs[job_idx];
         region.free_gpus -= job.gpus;
-        region.running.push((now + job.runtime_hours, job.gpus, job_idx));
+        region
+            .running
+            .push((now + job.runtime_hours, job.gpus, job_idx));
         let duration = TimeSpan::from_hours(job.runtime_hours);
         let carbon = clusters[cluster].carbon_for(now, duration, job.power());
         let energy = clusters[cluster].energy_for(duration, job.power());
@@ -416,10 +410,7 @@ mod tests {
             fifo.total_carbon.as_kg()
         );
         // Waits stay within the deferral tolerances (+ small queueing).
-        let max_tolerance = js
-            .iter()
-            .map(|j| j.max_defer_hours)
-            .fold(0.0f64, f64::max);
+        let max_tolerance = js.iter().map(|j| j.max_defer_hours).fold(0.0f64, f64::max);
         assert!(aware.max_wait_hours <= max_tolerance + 1.0);
     }
 
@@ -454,12 +445,8 @@ mod tests {
         let js = jobs(200, 5);
         let single =
             Simulation::multi_region(vec![dirty.clone(), clean.clone()], Policy::Fifo, &js).run();
-        let multi = Simulation::multi_region(
-            vec![dirty, clean],
-            Policy::LowestIntensityRegion,
-            &js,
-        )
-        .run();
+        let multi =
+            Simulation::multi_region(vec![dirty, clean], Policy::LowestIntensityRegion, &js).run();
         assert!(multi.total_carbon.as_kg() < single.total_carbon.as_kg());
         // All jobs land on the clean cluster.
         assert!(multi.jobs.iter().all(|j| j.cluster == 1));

@@ -32,9 +32,7 @@ fn diurnal_trace(seed: u64) -> IntensityTrace {
     IntensityTrace::new(
         OperatorId::Eso,
         HourlySeries::from_fn(2021, move |st| {
-            200.0
-                + 150.0
-                    * (std::f64::consts::TAU * (f64::from(st.hour()) + phase) / 24.0).sin()
+            200.0 + 150.0 * (std::f64::consts::TAU * (f64::from(st.hour()) + phase) / 24.0).sin()
         }),
     )
 }

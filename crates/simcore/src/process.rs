@@ -145,7 +145,10 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let expect_var = sigma * sigma / (2.0 * theta);
         assert!(mean.abs() < 0.1, "mean={mean}");
-        assert!((var / expect_var - 1.0).abs() < 0.1, "var={var} vs {expect_var}");
+        assert!(
+            (var / expect_var - 1.0).abs() < 0.1,
+            "var={var} vs {expect_var}"
+        );
     }
 
     #[test]

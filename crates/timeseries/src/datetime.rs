@@ -470,10 +470,7 @@ mod tests {
             Weekday::Saturday
         );
         assert!(CivilDate::new(2021, 12, 25).unwrap().weekday().is_weekend());
-        assert!(!CivilDate::new(2021, 12, 27)
-            .unwrap()
-            .weekday()
-            .is_weekend());
+        assert!(!CivilDate::new(2021, 12, 27).unwrap().weekday().is_weekend());
     }
 
     #[test]
@@ -555,11 +552,26 @@ mod tests {
 
     #[test]
     fn seasons() {
-        assert_eq!(CivilDate::new(2021, 1, 15).unwrap().season(), Season::Winter);
-        assert_eq!(CivilDate::new(2021, 4, 15).unwrap().season(), Season::Spring);
-        assert_eq!(CivilDate::new(2021, 7, 15).unwrap().season(), Season::Summer);
-        assert_eq!(CivilDate::new(2021, 10, 15).unwrap().season(), Season::Autumn);
-        assert_eq!(CivilDate::new(2021, 12, 15).unwrap().season(), Season::Winter);
+        assert_eq!(
+            CivilDate::new(2021, 1, 15).unwrap().season(),
+            Season::Winter
+        );
+        assert_eq!(
+            CivilDate::new(2021, 4, 15).unwrap().season(),
+            Season::Spring
+        );
+        assert_eq!(
+            CivilDate::new(2021, 7, 15).unwrap().season(),
+            Season::Summer
+        );
+        assert_eq!(
+            CivilDate::new(2021, 10, 15).unwrap().season(),
+            Season::Autumn
+        );
+        assert_eq!(
+            CivilDate::new(2021, 12, 15).unwrap().season(),
+            Season::Winter
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl HourlySeries {
     /// # Panics
     /// If the years differ.
     pub fn zip_with(&self, other: &HourlySeries, f: impl Fn(f64, f64) -> f64) -> HourlySeries {
-        assert_eq!(self.year, other.year, "cannot zip series of different years");
+        assert_eq!(
+            self.year, other.year,
+            "cannot zip series of different years"
+        );
         HourlySeries {
             year: self.year,
             values: self
@@ -315,7 +318,10 @@ mod tests {
 
     #[test]
     fn rolling_mean_smooths() {
-        let s = HourlySeries::from_fn(2021, |st| if st.hour_of_year() % 2 == 0 { 0.0 } else { 2.0 });
+        let s = HourlySeries::from_fn(
+            2021,
+            |st| if st.hour_of_year() % 2 == 0 { 0.0 } else { 2.0 },
+        );
         let sm = s.rolling_mean(25);
         // Interior points should be close to the global mean of 1.0.
         assert!((sm.at(5000) - 1.0).abs() < 0.05);

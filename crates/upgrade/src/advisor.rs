@@ -186,7 +186,10 @@ mod tests {
             planned_lifetime: TimeSpan::from_years(0.5),
             margin: 0.8,
         };
-        assert!(matches!(long.recommend(&s, i), Recommendation::Upgrade { .. }));
+        assert!(matches!(
+            long.recommend(&s, i),
+            Recommendation::Upgrade { .. }
+        ));
         assert!(matches!(
             short.recommend(&s, i),
             Recommendation::ExtendLifetime { .. }

@@ -78,7 +78,7 @@ impl UpgradePlan {
     /// Embodied carbon is charged for every step's new node; operational
     /// carbon accrues per service window at each node's energy-per-work
     /// rate (busy time shrinks by the speedup relative to the initial
-    /// node, exactly as in [`UpgradeScenario`]).
+    /// node, exactly as in [`crate::savings::UpgradeScenario`]).
     pub fn total_carbon(
         &self,
         suite: Suite,
@@ -92,10 +92,7 @@ impl UpgradePlan {
         let mut t = TimeSpan::ZERO;
         let mut steps = self.steps.iter().peekable();
         loop {
-            let window_end = steps
-                .peek()
-                .map(|s| s.at.min(horizon))
-                .unwrap_or(horizon);
+            let window_end = steps.peek().map(|s| s.at.min(horizon)).unwrap_or(horizon);
             if window_end > t {
                 let window = window_end - t;
                 let busy = usage.value() / suite_speedup(suite, self.initial, current);
@@ -170,7 +167,10 @@ mod tests {
         );
         // Matches the UpgradeScenario baseline's keep-side accounting.
         let s = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp);
-        let keep = s.carbon_keep(TimeSpan::from_years(1.0), CarbonIntensity::from_g_per_kwh(200.0));
+        let keep = s.carbon_keep(
+            TimeSpan::from_years(1.0),
+            CarbonIntensity::from_g_per_kwh(200.0),
+        );
         assert!((c.as_g() - keep.as_g()).abs() < 1e-6);
     }
 

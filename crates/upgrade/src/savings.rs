@@ -308,12 +308,11 @@ mod tests {
         // for the V100 -> A100 upgrade.
         let i = IntensityLevel::Medium.intensity();
         let t = TimeSpan::from_years(3.0);
-        let nlp = scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp)
-            .savings_percent(t, i);
-        let vision = scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Vision)
-            .savings_percent(t, i);
-        let candle = scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Candle)
-            .savings_percent(t, i);
+        let nlp = scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Nlp).savings_percent(t, i);
+        let vision =
+            scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Vision).savings_percent(t, i);
+        let candle =
+            scenario(NodeGen::V100Node, NodeGen::A100Node, Suite::Candle).savings_percent(t, i);
         assert!(nlp < vision, "nlp={nlp} vision={vision}");
         assert!(nlp < candle, "nlp={nlp} candle={candle}");
     }

@@ -91,7 +91,13 @@ impl NodeGen {
     /// sweep keeps the host fixed and varies GPUs).
     pub fn embodied_with_gpus(self, gpu_count: u32) -> EmbodiedBreakdown {
         let c = self.config();
-        let gpus = c.gpu.spec().part.spec().embodied().scaled(f64::from(gpu_count));
+        let gpus = c
+            .gpu
+            .spec()
+            .part
+            .spec()
+            .embodied()
+            .scaled(f64::from(gpu_count));
         let cpus = c.cpus.0.spec().embodied().scaled(f64::from(c.cpus.1));
         let dram = c.dram.0.spec().embodied().scaled(f64::from(c.dram.1));
         EmbodiedBreakdown::sum([gpus, cpus, dram])

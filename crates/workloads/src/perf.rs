@@ -76,9 +76,7 @@ pub fn suite_speedup(suite: Suite, old: NodeGen, new: NodeGen) -> f64 {
     let ratios: Vec<f64> = suite
         .benchmarks()
         .iter()
-        .map(|b| {
-            gpu_throughput(b, new.config().gpu) / gpu_throughput(b, old.config().gpu)
-        })
+        .map(|b| gpu_throughput(b, new.config().gpu) / gpu_throughput(b, old.config().gpu))
         .collect();
     geomean(&ratios)
 }
@@ -194,11 +192,11 @@ mod tests {
         let node = NodeGen::V100Node;
         let e1 = node.embodied_with_gpus(1).total().as_kg();
         for suite in Suite::ALL {
-            let ratio2 = suite_scaling(suite, node, 2)
-                / (node.embodied_with_gpus(2).total().as_kg() / e1);
+            let ratio2 =
+                suite_scaling(suite, node, 2) / (node.embodied_with_gpus(2).total().as_kg() / e1);
             assert!((0.93..=1.10).contains(&ratio2), "{suite:?}: {ratio2}");
-            let ratio4 = suite_scaling(suite, node, 4)
-                / (node.embodied_with_gpus(4).total().as_kg() / e1);
+            let ratio4 =
+                suite_scaling(suite, node, 4) / (node.embodied_with_gpus(4).total().as_kg() / e1);
             let target = match suite {
                 Suite::Vision => 0.79,
                 _ => 0.88,
@@ -217,15 +215,17 @@ mod tests {
         //   P100->A100: NLP 59.0, Vision 60.2, CANDLE 68.3
         //   V100->A100: NLP 25.6, Vision 35.8, CANDLE 44.4
         let rows = table6();
-        let expect = [
-            (44.4, 41.2, 45.5),
-            (59.0, 60.2, 68.3),
-            (25.6, 35.8, 44.4),
-        ];
+        let expect = [(44.4, 41.2, 45.5), (59.0, 60.2, 68.3), (25.6, 35.8, 44.4)];
         for (row, (nlp, vision, candle)) in rows.iter().zip(expect) {
             assert!((row.nlp - nlp).abs() < 4.0, "{row:?} vs NLP {nlp}");
-            assert!((row.vision - vision).abs() < 4.0, "{row:?} vs Vision {vision}");
-            assert!((row.candle - candle).abs() < 4.0, "{row:?} vs CANDLE {candle}");
+            assert!(
+                (row.vision - vision).abs() < 4.0,
+                "{row:?} vs Vision {vision}"
+            );
+            assert!(
+                (row.candle - candle).abs() < 4.0,
+                "{row:?} vs CANDLE {candle}"
+            );
         }
         // Largest gains on the longest jump (P100 -> A100).
         assert!(rows[1].average() > rows[0].average());

@@ -42,8 +42,7 @@ pub fn node_active_power(node: NodeGen, _suite: Suite) -> Power {
 pub fn node_idle_power(node: NodeGen) -> Power {
     let c = node.config();
     let gpus = c.gpu.spec().idle * f64::from(c.gpu_count);
-    let cpus = c.cpus.0.spec().idle_power.expect("CPUs declare idle power")
-        * f64::from(c.cpus.1);
+    let cpus = c.cpus.0.spec().idle_power.expect("CPUs declare idle power") * f64::from(c.cpus.1);
     let dram = Power::from_w(DRAM_ACTIVE_W / 2.0) * f64::from(c.dram.1);
     gpus + cpus + dram
 }
@@ -116,11 +115,7 @@ mod tests {
     #[test]
     fn annual_energy_at_40_percent_usage() {
         // The paper's medium usage: a V100 node at 40% -> several MWh/yr.
-        let e = annual_node_energy(
-            NodeGen::V100Node,
-            Suite::Nlp,
-            Fraction::new_unchecked(0.4),
-        );
+        let e = annual_node_energy(NodeGen::V100Node, Suite::Nlp, Fraction::new_unchecked(0.4));
         assert!(e.as_mwh() > 3.0 && e.as_mwh() < 12.0, "{}", e.as_mwh());
     }
 

@@ -34,8 +34,7 @@ fn main() {
     );
     let mut fifo_carbon = None;
     for policy in policies {
-        let outcome =
-            Simulation::multi_region(vec![gb.clone(), ca.clone()], policy, &jobs).run();
+        let outcome = Simulation::multi_region(vec![gb.clone(), ca.clone()], policy, &jobs).run();
         let total_t = outcome.total_carbon.as_t();
         if policy == Policy::Fifo {
             fifo_carbon = Some(total_t);

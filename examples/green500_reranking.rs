@@ -56,7 +56,12 @@ fn main() {
     let mut by_eff: Vec<&Entry> = entries.iter().collect();
     by_eff.sort_by(|a, b| b.gflops_per_watt.partial_cmp(&a.gflops_per_watt).unwrap());
     for (i, e) in by_eff.iter().enumerate() {
-        println!("  #{} {:<34} {:.0} GFLOPS/W", i + 1, e.name, e.gflops_per_watt);
+        println!(
+            "  #{} {:<34} {:.0} GFLOPS/W",
+            i + 1,
+            e.name,
+            e.gflops_per_watt
+        );
     }
 
     println!("\nCarbon-aware ranking (annual gCO2 per delivered GFLOP-year):");
@@ -67,8 +72,7 @@ fn main() {
             // Annual operational carbon per unit of sustained compute:
             // (P * 8760h * I) / (P * eff) = 8760 * I / eff — efficiency
             // helps, but the grid's intensity multiplies everything.
-            let g_per_gflop_year =
-                8760.0 * intensity.as_g_per_kwh() / (e.gflops_per_watt * 1e3);
+            let g_per_gflop_year = 8760.0 * intensity.as_g_per_kwh() / (e.gflops_per_watt * 1e3);
             (e, g_per_gflop_year)
         })
         .collect();

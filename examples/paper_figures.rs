@@ -17,10 +17,19 @@ fn main() {
     artifacts.extend(sustainable_hpc::report::render_extensions(2021));
     for a in &artifacts {
         a.write_to(out).expect("writable output directory");
-        println!("wrote {}/{}.{{txt,csv}}  — {}", out.display(), a.id, a.title);
+        println!(
+            "wrote {}/{}.{{txt,csv}}  — {}",
+            out.display(),
+            a.id,
+            a.title
+        );
         if print {
             println!("\n{}\n{}", a.title, a.text);
         }
     }
-    println!("\n{} artifacts regenerated into {}", artifacts.len(), out.display());
+    println!(
+        "\n{} artifacts regenerated into {}",
+        artifacts.len(),
+        out.display()
+    );
 }

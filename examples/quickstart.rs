@@ -56,22 +56,14 @@ fn main() {
 
     // The actual run starts at 18:00 on June 1 (a dirty evening hour).
     let start = 24 * 151 + 18;
-    let actual = tracker.account_against_trace(
-        &trace,
-        start,
-        prediction.energy,
-        prediction.duration,
-    );
+    let actual =
+        tracker.account_against_trace(&trace, start, prediction.energy, prediction.duration);
     println!("  actual (hourly-priced, evening start): {actual}");
 
     // Shifting the same run to the greenest window of the next day helps:
     let best = trace.greenest_window(start, 24, prediction.duration.as_hours().ceil() as u32);
-    let shifted = tracker.account_against_trace(
-        &trace,
-        best,
-        prediction.energy,
-        prediction.duration,
-    );
+    let shifted =
+        tracker.account_against_trace(&trace, best, prediction.energy, prediction.duration);
     println!(
         "  shifted {}h later into the greenest window: {} ({:+.1}%)",
         best - start,

@@ -23,6 +23,10 @@
 //!   budgets (the paper's §4 implications, built)
 //! - [`report`] — regeneration of every paper table and figure
 //!
+//! Architecture, calibration methodology (§1) and the process-node
+//! interpolation scheme (§5) are documented in `DESIGN.md` at the
+//! repository root, next to this crate's `Cargo.toml`.
+//!
 //! ## Quickstart
 //!
 //! ```

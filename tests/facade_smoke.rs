@@ -1,0 +1,65 @@
+//! Smoke test for the `sustainable_hpc` facade: every name the crate docs
+//! and README advertise through `prelude::*` must resolve and produce sane
+//! values, so the facade cannot silently drift from the underlying crates.
+
+use sustainable_hpc::prelude::*;
+
+#[test]
+fn prelude_embodied_path_resolves() {
+    // PartId -> spec -> embodied breakdown -> total, per Eqs. 2-5.
+    let a100 = PartId::GpuA100Pcie40.spec();
+    let breakdown: EmbodiedBreakdown = a100.embodied();
+    let total = breakdown.total();
+    // Table 1 puts an A100 in the tens of kgCO2.
+    assert!(
+        (5.0..200.0).contains(&total.as_kg()),
+        "A100 embodied {} kg",
+        total.as_kg()
+    );
+    assert!(breakdown.packaging_share().value() > 0.0);
+}
+
+#[test]
+fn prelude_operational_path_resolves() {
+    // simulate_year -> intensity -> operational_carbon, per Eq. 6.
+    let trace = simulate_year(OperatorId::Eso, 2021, 42);
+    assert_eq!(trace.series().len(), 8760);
+    let intensity = trace.at_index(0);
+    let op = operational_carbon(Energy::from_kwh(100.0), Pue::DEFAULT, intensity);
+    // 100 kWh at a positive grid intensity with PUE >= 1 is positive and
+    // below 100 kWh x 2000 g/kWh (far above any simulated grid).
+    assert!(op.as_g() > 0.0);
+    assert!(op.as_g() < 100.0 * 2000.0);
+}
+
+#[test]
+fn prelude_lifecycle_total_combines_both() {
+    let embodied = PartId::GpuA100Pcie40.spec().embodied().total();
+    let trace = simulate_year(OperatorId::Ciso, 2021, 7);
+    let operational = operational_carbon(Energy::from_kwh(100.0), Pue::DEFAULT, trace.mean());
+    let total = total_carbon(embodied, operational);
+    assert!(total > embodied);
+    assert!(total > operational);
+    assert!((total.as_g() - embodied.as_g() - operational.as_g()).abs() < 1e-9);
+}
+
+#[test]
+fn prelude_wider_surface_resolves() {
+    // The remaining prelude names: systems, regions, scheduler, workloads,
+    // upgrade advisor. One cheap call each, so a rename anywhere in the
+    // underlying crates breaks this test instead of only downstream users.
+    let frontier = HpcSystem::frontier();
+    assert!(frontier.embodied_total().as_t() > 0.0);
+
+    let traces = simulate_all_regions(2021, 1);
+    assert_eq!(traces.len(), OperatorId::ALL.len());
+
+    let suite = Suite::Nlp;
+    assert!(!suite.benchmarks().is_empty());
+    let _node: NodeGen = NodeGen::A100Node;
+    let _gpu: GpuModel = GpuModel::A100;
+
+    let advisor = UpgradeAdvisor::with_five_year_horizon();
+    let scenario = UpgradeScenario::paper_default(NodeGen::V100Node, NodeGen::A100Node, suite);
+    let _rec: Recommendation = advisor.recommend(&scenario, CarbonIntensity::from_g_per_kwh(200.0));
+}

@@ -57,14 +57,12 @@ fn sampler_to_tracker_pipeline() {
 
     // Actual accounting against the hourly trace lands within a factor of
     // the mean-intensity prediction (hourly prices differ from the mean).
-    let actual = tracker.account_against_trace(
-        &trace,
-        4000,
-        prediction.energy,
-        prediction.duration,
-    );
+    // Hour 4000 is a mid-June morning in California: solar can push the
+    // window down to about a third of the annual mean, hence the wide band.
+    let actual =
+        tracker.account_against_trace(&trace, 4000, prediction.energy, prediction.duration);
     let ratio = actual.as_g() / prediction.carbon.as_g();
-    assert!((0.4..=2.5).contains(&ratio), "ratio {ratio}");
+    assert!((0.3..=3.0).contains(&ratio), "ratio {ratio}");
 }
 
 /// The virtual sampler gives bit-exact deterministic energy for model-

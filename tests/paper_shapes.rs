@@ -28,8 +28,7 @@ fn observation1_gpu_cpu_reversal() {
                 "{g:?} vs {c:?}"
             );
             assert!(
-                g.spec().embodied_per_tflops().unwrap()
-                    < c.spec().embodied_per_tflops().unwrap(),
+                g.spec().embodied_per_tflops().unwrap() < c.spec().embodied_per_tflops().unwrap(),
                 "{g:?} vs {c:?} per TFLOPS"
             );
         }
@@ -81,8 +80,7 @@ fn observation4_perf_per_embodied_degrades() {
     let e1 = node.embodied_with_gpus(1).total().as_kg();
     for suite in Suite::ALL {
         let ratio = |n: u32| {
-            perf::suite_scaling(suite, node, n)
-                / (node.embodied_with_gpus(n).total().as_kg() / e1)
+            perf::suite_scaling(suite, node, n) / (node.embodied_with_gpus(n).total().as_kg() / e1)
         };
         assert!(ratio(4) < ratio(2), "{suite:?}");
         assert!(ratio(2) <= 1.1, "{suite:?}");
@@ -104,8 +102,16 @@ fn observation5_system_composition() {
     }
     let f = HpcSystem::frontier();
     let shares = f.composition_shares();
-    let gpu = shares.iter().find(|(c, _)| *c == ComponentClass::Gpu).unwrap().1;
-    let cpu = shares.iter().find(|(c, _)| *c == ComponentClass::Cpu).unwrap().1;
+    let gpu = shares
+        .iter()
+        .find(|(c, _)| *c == ComponentClass::Gpu)
+        .unwrap()
+        .1;
+    let cpu = shares
+        .iter()
+        .find(|(c, _)| *c == ComponentClass::Cpu)
+        .unwrap()
+        .1;
     assert!(gpu.value() / cpu.value() > 7.0);
 }
 

@@ -8,11 +8,7 @@ use sustainable_hpc::upgrade::savings::UpgradeScenario;
 use sustainable_hpc::workloads::perf;
 
 fn any_suite() -> impl Strategy<Value = Suite> {
-    prop_oneof![
-        Just(Suite::Nlp),
-        Just(Suite::Vision),
-        Just(Suite::Candle)
-    ]
+    prop_oneof![Just(Suite::Nlp), Just(Suite::Vision), Just(Suite::Candle)]
 }
 
 fn any_upgrade() -> impl Strategy<Value = (NodeGen, NodeGen)> {

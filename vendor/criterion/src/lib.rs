@@ -1,0 +1,209 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://docs.rs/criterion/0.5) API this workspace uses.
+//!
+//! Benchmarks compile and run (`cargo bench`), timing each closure over a
+//! fixed number of samples and reporting the median wall-clock time per
+//! iteration. There is no statistical analysis, outlier rejection, or HTML
+//! report — this shim exists so the bench targets stay buildable and give
+//! order-of-magnitude numbers until the real crate can be pulled in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark's iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Iterations per sample, chosen during calibration.
+    iters: u64,
+    /// Measured duration of the last [`Bencher::iter`] call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Shared measurement settings.
+#[derive(Debug, Clone)]
+struct Settings {
+    sample_size: usize,
+    target_sample_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            sample_size: 10,
+            target_sample_time: Duration::from_millis(100),
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, settings: &Settings, mut f: F) {
+    // Calibrate: find an iteration count that fills the target sample time.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= settings.target_sample_time || b.iters >= 1 << 20 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (settings.target_sample_time.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 16)
+                as u64
+        };
+        b.iters = b.iters.saturating_mul(grow);
+    }
+
+    let mut per_iter: Vec<f64> = (0..settings.sample_size)
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        })
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    println!(
+        "{id:<48} {:>14} /iter (median of {} samples)",
+        format_ns(median),
+        per_iter.len()
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_benchmark(id, &self.settings, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Runs `f` as a benchmark named `{group}/{id}`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), &self.settings, f);
+        self
+    }
+
+    /// Ends the group. (No-op here; exists for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Defines a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                target_sample_time: Duration::from_micros(50),
+            },
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_prefixes_and_finishes() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                target_sample_time: Duration::from_micros(50),
+            },
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(3 * 3)));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

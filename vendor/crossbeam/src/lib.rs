@@ -1,0 +1,87 @@
+//! Offline stand-in for the subset of the
+//! [`crossbeam`](https://docs.rs/crossbeam/0.8) API this workspace uses:
+//! [`thread::scope`] with crossbeam's `Result`-returning signature and
+//! spawn closures that receive the scope handle.
+//!
+//! Backed by `std::thread::scope` (stable since Rust 1.63). One semantic
+//! difference: when a spawned thread panics, std's scope re-raises the
+//! panic at scope exit instead of returning `Err`, so the `Ok` returned
+//! here means "no worker panicked" exactly as with crossbeam.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to [`scope`] closures; spawns threads bound to the
+    /// scope's lifetime.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// workers can spawn further scoped threads, as in crossbeam.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all threads are
+    /// joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicU64::new(0);
+        let data: Vec<u64> = (0..100).collect();
+        super::thread::scope(|s| {
+            for chunk in data.chunks(10) {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let r = super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            h.join().unwrap() * 2
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,259 @@
+//! Offline stand-in for the subset of the
+//! [`proptest`](https://docs.rs/proptest/1) API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a miniature property-testing harness with the same surface the
+//! test suites are written against:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! - [`strategy::Strategy`] with range/tuple/[`strategy::Just`] instances,
+//!   `prop_map`, [`prop_oneof!`] unions and [`collection::vec()`],
+//! - `prop_assert!`-family macros and [`prop_assume!`],
+//! - a deterministic [`test_runner::TestRunner`].
+//!
+//! Deliberate simplifications versus upstream: inputs are sampled uniformly
+//! (no bias toward edge cases) and failing cases are **not shrunk** — the
+//! failure message reports the case index and seed instead, which is enough
+//! to reproduce because the runner is fully deterministic. Case count
+//! defaults to 64 and can be overridden with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Value-generation strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and
+    /// elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "vec size range must be non-empty");
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The most common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+///
+/// Each function body runs once per generated case; `prop_assert!`-family
+/// failures abort the run with the case index and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let outcome = runner.run(|__proptest_rng| {
+                $(let $p = $crate::strategy::Strategy::sample(&($s), __proptest_rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+            if let ::core::result::Result::Err(message) = outcome {
+                ::core::panic!("{}", message);
+            }
+        }
+    )*};
+}
+
+/// Like `assert!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (counted separately from failures) when the
+/// generated inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Strategy choosing uniformly between several strategies with the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = TestRng::from_seed(1);
+        for _ in 0..1000 {
+            let x = (1.5..9.5f64).sample(&mut rng);
+            assert!((1.5..9.5).contains(&x));
+            let n = (3usize..17).sample(&mut rng);
+            assert!((3..17).contains(&n));
+            let i = (-5i64..=5).sample(&mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::from_seed(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let s = (1u32..10).prop_map(|x| x * 100);
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert_eq!(v % 100, 0);
+            assert!((100..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_size() {
+        let s = crate::collection::vec(0.0..1.0f64, 2..5);
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_cases(x in 0.0..1.0f64, n in 1usize..10) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!(n >= 1);
+            prop_assert_eq!(n + 1, 1 + n);
+            prop_assert_ne!(n, n + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_and_assume(mut v in crate::collection::vec(0u32..100, 1..4)) {
+            prop_assume!(!v.is_empty());
+            v.sort_unstable();
+            prop_assert!(v[0] <= v[v.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = 0.0..1.0f64;
+        let a: Vec<f64> = {
+            let mut rng = TestRng::from_seed(9);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = TestRng::from_seed(9);
+            (0..10).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

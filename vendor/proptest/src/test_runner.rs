@@ -1,0 +1,154 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use core::fmt;
+
+/// Configuration for a [`TestRunner`].
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable with the `PROPTEST_CASES` environment variable.
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs did not meet a [`crate::prop_assume!`] precondition; the
+    /// case is discarded, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic random source handed to strategies.
+///
+/// A SplitMix64 stream: statistically solid for test-input generation and
+/// trivially reproducible from its seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a stream from a seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+/// Runs a property against a sequence of deterministically generated cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given config.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Runs `property` until `config.cases` cases pass, an input fails, or
+    /// too many inputs are rejected.
+    ///
+    /// The base seed comes from `PROPTEST_SEED` (default `0x5EED_CAFE`);
+    /// each case forks its own stream, so any failure message's `case` and
+    /// `seed` pair reproduces the exact inputs.
+    pub fn run<F>(&mut self, mut property: F) -> Result<(), String>
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let base_seed: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE);
+        let max_rejects = 16 * self.config.cases.max(16);
+        let mut passed: u32 = 0;
+        let mut rejected: u32 = 0;
+        let mut stream: u64 = 0;
+        while passed < self.config.cases {
+            let mut rng =
+                TestRng::from_seed(base_seed ^ (stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            stream += 1;
+            match property(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        return Err(format!(
+                            "too many rejected inputs ({rejected}) after {passed} passing cases"
+                        ));
+                    }
+                }
+                Err(TestCaseError::Fail(message)) => {
+                    return Err(format!(
+                        "property failed at case {passed} (stream {}, base seed {base_seed}): {message}",
+                        stream - 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
