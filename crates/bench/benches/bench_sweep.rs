@@ -1,0 +1,52 @@
+//! Benches for the scenario-sweep engine: serial vs. parallel execution
+//! of the same grid, plus expansion and emission costs.
+//!
+//! On a multi-core host `executor/parallel` beats `executor/serial_1_thread`
+//! roughly by the core count (scenarios are independent and the executor's
+//! atomic-cursor distribution keeps workers busy); on a single core the
+//! two collapse to the same time, never worse.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+use std::hint::black_box;
+
+/// A mid-size grid: large enough to amortize thread startup, small enough
+/// for bench iteration (3 x 1 x 7 x 1 x 2 x 1 = 42 scenarios).
+fn bench_grid() -> ScenarioGrid {
+    let g = ScenarioGrid::paper_default();
+    let (pue, policies, upgrade) = (g.pues[0], [g.policies[0], g.policies[1]], g.upgrades[0]);
+    g.storage([hpcarbon_sweep::StorageVariant::Baseline])
+        .pues([pue])
+        .policies(policies)
+        .upgrades([upgrade])
+}
+
+fn grid_expansion(c: &mut Criterion) {
+    let grid = ScenarioGrid::paper_default();
+    c.bench_function("sweep/grid_expansion_504", |b| {
+        b.iter(|| black_box(grid.scenarios()))
+    });
+}
+
+fn executor(c: &mut Criterion) {
+    let grid = bench_grid();
+    let cfg = SweepConfig::fast();
+    let mut g = c.benchmark_group("sweep/executor");
+    g.sample_size(10);
+    g.bench_function("serial_1_thread", |b| {
+        b.iter(|| black_box(SweepExecutor::new(cfg).with_threads(1).run(&grid)))
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| black_box(SweepExecutor::new(cfg).run(&grid)))
+    });
+    g.finish();
+}
+
+fn emission(c: &mut Criterion) {
+    let results = SweepExecutor::new(SweepConfig::fast()).run(&bench_grid());
+    c.bench_function("sweep/to_csv", |b| b.iter(|| black_box(results.to_csv())));
+    c.bench_function("sweep/to_json", |b| b.iter(|| black_box(results.to_json())));
+}
+
+criterion_group!(benches, grid_expansion, executor, emission);
+criterion_main!(benches);

@@ -12,6 +12,37 @@ use crate::embodied::ComponentClass;
 use crate::systems::HpcSystem;
 use hpcarbon_units::CarbonMass;
 
+/// Why a what-if transformation cannot be applied to a system.
+///
+/// Sweep engines batch thousands of (system, transformation) combinations;
+/// an inapplicable combination (e.g. "swap the HDD tier" on all-flash
+/// Perlmutter) must fail soft as an `Err` item rather than abort the whole
+/// batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WhatIfError {
+    /// The part does not declare a storage capacity, so "equal capacity"
+    /// is undefined.
+    MissingCapacity(PartId),
+    /// The system holds no units of the source part.
+    NoSourceUnits(PartId),
+    /// The scale factor is negative, NaN or infinite.
+    InvalidFactor(f64),
+}
+
+impl std::fmt::Display for WhatIfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WhatIfError::MissingCapacity(p) => {
+                write!(f, "part {p:?} declares no capacity")
+            }
+            WhatIfError::NoSourceUnits(p) => write!(f, "system holds no {p:?}"),
+            WhatIfError::InvalidFactor(x) => write!(f, "scale factor {x} is not finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for WhatIfError {}
+
 /// A derived system plus the delta against its baseline.
 #[derive(Debug, Clone)]
 pub struct WhatIf {
@@ -39,19 +70,22 @@ impl WhatIf {
 /// total capacity (both parts must declare capacities). Counts round up —
 /// you cannot buy fractional drives.
 ///
-/// # Panics
+/// # Errors
 /// If either part lacks a capacity, or the system holds no `from` units.
-pub fn swap_storage_tier(base: &HpcSystem, from: PartId, to: PartId) -> WhatIf {
+pub fn swap_storage_tier(
+    base: &HpcSystem,
+    from: PartId,
+    to: PartId,
+) -> Result<WhatIf, WhatIfError> {
     let from_cap = from
         .spec()
         .capacity
-        .expect("source part must declare capacity");
-    let to_cap = to
-        .spec()
-        .capacity
-        .expect("target part must declare capacity");
+        .ok_or(WhatIfError::MissingCapacity(from))?;
+    let to_cap = to.spec().capacity.ok_or(WhatIfError::MissingCapacity(to))?;
     let count_from = base.count_of(from);
-    assert!(count_from > 0, "system holds no {from:?}");
+    if count_from == 0 {
+        return Err(WhatIfError::NoSourceUnits(from));
+    }
     let total_gb = from_cap.as_gb() * count_from as f64;
     let count_to = (total_gb / to_cap.as_gb()).ceil() as u64;
 
@@ -69,17 +103,26 @@ pub fn swap_storage_tier(base: &HpcSystem, from: PartId, to: PartId) -> WhatIf {
         year: base.year,
         inventory,
     };
-    WhatIf {
+    Ok(WhatIf {
         before: base.embodied_total(),
         after: system.embodied_total(),
         system,
-    }
+    })
 }
 
 /// Scales the count of every part of `class` by `factor` (rounding to the
 /// nearest unit) — e.g. "what if we doubled memory per node?".
-pub fn scale_class(base: &HpcSystem, class: ComponentClass, factor: f64) -> WhatIf {
-    assert!(factor >= 0.0 && factor.is_finite(), "factor must be finite");
+///
+/// # Errors
+/// If `factor` is negative or not finite.
+pub fn scale_class(
+    base: &HpcSystem,
+    class: ComponentClass,
+    factor: f64,
+) -> Result<WhatIf, WhatIfError> {
+    if !(factor >= 0.0 && factor.is_finite()) {
+        return Err(WhatIfError::InvalidFactor(factor));
+    }
     let inventory: Vec<(PartId, u64)> = base
         .inventory
         .iter()
@@ -98,11 +141,11 @@ pub fn scale_class(base: &HpcSystem, class: ComponentClass, factor: f64) -> What
         year: base.year,
         inventory,
     };
-    WhatIf {
+    Ok(WhatIf {
         before: base.embodied_total(),
         after: system.embodied_total(),
         system,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -116,7 +159,7 @@ mod tests {
         // gCO2/GB storage (1.33) with expensive flash (6.21) — an all-
         // flash Orion would embody several times more storage carbon.
         let frontier = HpcSystem::frontier();
-        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb);
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap();
         assert!(w.after > w.before);
 
         // 43,438 HDDs x 16 TB = 695,008,000 GB -> 217,190 SSDs at 3.2 TB.
@@ -141,7 +184,7 @@ mod tests {
     #[test]
     fn capacity_is_preserved_up_to_rounding() {
         let frontier = HpcSystem::frontier();
-        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb);
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap();
         let before_gb = PartId::Hdd16tb.spec().capacity.unwrap().as_gb()
             * frontier.count_of(PartId::Hdd16tb) as f64;
         let after_gb = PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb()
@@ -159,7 +202,7 @@ mod tests {
             .find(|(c, _)| *c == ComponentClass::Dram)
             .unwrap()
             .1;
-        let w = scale_class(&p, ComponentClass::Dram, 2.0);
+        let w = scale_class(&p, ComponentClass::Dram, 2.0).unwrap();
         let after_share = w
             .system
             .composition_shares()
@@ -176,7 +219,7 @@ mod tests {
     #[test]
     fn zero_scale_removes_the_class() {
         let l = HpcSystem::lumi();
-        let w = scale_class(&l, ComponentClass::Hdd, 0.0);
+        let w = scale_class(&l, ComponentClass::Hdd, 0.0).unwrap();
         let hdd = w
             .system
             .composition_shares()
@@ -191,15 +234,32 @@ mod tests {
     #[test]
     fn identity_scale_changes_nothing() {
         let f = HpcSystem::frontier();
-        let w = scale_class(&f, ComponentClass::Gpu, 1.0);
+        let w = scale_class(&f, ComponentClass::Gpu, 1.0).unwrap();
         assert!((w.delta().as_g()).abs() < 1e-9);
         assert!(w.relative_change().abs() < 1e-12);
     }
 
     #[test]
-    #[should_panic(expected = "holds no")]
     fn swap_requires_presence() {
         let p = HpcSystem::perlmutter(); // all-flash, no HDD
-        let _ = swap_storage_tier(&p, PartId::Hdd16tb, PartId::Ssd3_2tb);
+        let e = swap_storage_tier(&p, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap_err();
+        assert_eq!(e, WhatIfError::NoSourceUnits(PartId::Hdd16tb));
+        assert!(e.to_string().contains("holds no"));
+    }
+
+    #[test]
+    fn swap_requires_capacities() {
+        let f = HpcSystem::frontier();
+        let e = swap_storage_tier(&f, PartId::Hdd16tb, PartId::CpuEpyc7763).unwrap_err();
+        assert_eq!(e, WhatIfError::MissingCapacity(PartId::CpuEpyc7763));
+    }
+
+    #[test]
+    fn scale_rejects_non_finite_factors() {
+        let f = HpcSystem::frontier();
+        for bad in [-1.0, f64::NAN, f64::INFINITY] {
+            let e = scale_class(&f, ComponentClass::Gpu, bad).unwrap_err();
+            assert!(matches!(e, WhatIfError::InvalidFactor(_)), "{bad}");
+        }
     }
 }

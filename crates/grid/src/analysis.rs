@@ -5,6 +5,32 @@ use crate::trace::IntensityTrace;
 use hpcarbon_timeseries::datetime::TimeZone;
 use hpcarbon_timeseries::stats::BoxplotStats;
 
+/// Why a cross-region analysis cannot run on the given trace set.
+///
+/// Batched sweeps feed arbitrary region combinations through these
+/// analyses; a bad combination must surface as an `Err` item, not a panic
+/// that aborts the batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Fewer than two traces were supplied.
+    NotEnoughRegions(usize),
+    /// The traces cover different years.
+    YearMismatch,
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::NotEnoughRegions(n) => {
+                write!(f, "need at least two regions to compare, got {n}")
+            }
+            AnalysisError::YearMismatch => write!(f, "all traces must cover the same year"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
 /// Fig. 6 row: one region's annual summary.
 #[derive(Debug, Clone)]
 pub struct RegionSummary {
@@ -95,14 +121,31 @@ impl WinnerCounts {
 ///
 /// # Panics
 /// If fewer than two traces are supplied or the traces cover different
-/// years.
+/// years. [`try_winner_counts`] is the non-panicking variant.
 pub fn winner_counts(traces: &[IntensityTrace], tz: TimeZone) -> WinnerCounts {
-    assert!(traces.len() >= 2, "need at least two regions to compare");
+    match try_winner_counts(traces, tz) {
+        Ok(w) => w,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`winner_counts`] as a pure scenario function: bad inputs come back as
+/// an [`AnalysisError`] instead of a panic.
+///
+/// # Errors
+/// If fewer than two traces are supplied or the traces cover different
+/// years.
+pub fn try_winner_counts(
+    traces: &[IntensityTrace],
+    tz: TimeZone,
+) -> Result<WinnerCounts, AnalysisError> {
+    if traces.len() < 2 {
+        return Err(AnalysisError::NotEnoughRegions(traces.len()));
+    }
     let year = traces[0].series().year();
-    assert!(
-        traces.iter().all(|t| t.series().year() == year),
-        "all traces must cover the same year"
-    );
+    if !traces.iter().all(|t| t.series().year() == year) {
+        return Err(AnalysisError::YearMismatch);
+    }
     let hours = traces[0].series().len();
     let mut counts = vec![[0u32; 24]; traces.len()];
     for idx in 0..hours {
@@ -118,11 +161,11 @@ pub fn winner_counts(traces: &[IntensityTrace], tz: TimeZone) -> WinnerCounts {
         }
         counts[best][local_hour] += 1;
     }
-    WinnerCounts {
+    Ok(WinnerCounts {
         operators: traces.iter().map(|t| t.operator()).collect(),
         counts,
         tz,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -204,6 +247,22 @@ mod tests {
     fn requires_two_traces() {
         let a = trace_of(OperatorId::Eso, |_| 100.0);
         let _ = winner_counts(&[a], TimeZone::UTC);
+    }
+
+    #[test]
+    fn try_variant_fails_soft() {
+        let a = trace_of(OperatorId::Eso, |_| 100.0);
+        assert_eq!(
+            try_winner_counts(std::slice::from_ref(&a), TimeZone::UTC).unwrap_err(),
+            AnalysisError::NotEnoughRegions(1)
+        );
+        let b = IntensityTrace::new(OperatorId::Ciso, HourlySeries::from_fn(2022, |_| 90.0));
+        assert_eq!(
+            try_winner_counts(&[a.clone(), b], TimeZone::UTC).unwrap_err(),
+            AnalysisError::YearMismatch
+        );
+        let c = trace_of(OperatorId::Ciso, |_| 90.0);
+        assert!(try_winner_counts(&[a, c], TimeZone::UTC).is_ok());
     }
 
     #[test]

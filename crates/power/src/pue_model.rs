@@ -99,7 +99,7 @@ mod tests {
         let summer = p.at_day(200, 365).value();
         let winter = p.at_day(17, 365).value();
         assert!(summer > 1.28 && summer <= 1.3001, "{summer}");
-        assert!(winter < 1.12 && winter >= 1.0999, "{winter}");
+        assert!((1.0999..1.12).contains(&winter), "{winter}");
         assert!((p.mean().value() - 1.2).abs() < 1e-12);
     }
 

@@ -56,12 +56,8 @@ pub fn boxplot_chart(title: &str, rows: &[(String, BoxplotStats)], unit: &str) -
     let _ = writeln!(out, "  {:label_w$}  axis: {lo:.0} .. {hi:.0} {unit}", "");
     for (label, b) in rows {
         let mut line = vec![b' '; width];
-        for i in pos(b.whisker_lo)..=pos(b.whisker_hi) {
-            line[i] = b'-';
-        }
-        for i in pos(b.q1)..=pos(b.q3) {
-            line[i] = b'=';
-        }
+        line[pos(b.whisker_lo)..=pos(b.whisker_hi)].fill(b'-');
+        line[pos(b.q1)..=pos(b.q3)].fill(b'=');
         line[pos(b.whisker_lo)] = b'|';
         line[pos(b.whisker_hi)] = b'|';
         line[pos(b.q1)] = b'[';
@@ -143,12 +139,7 @@ pub fn line_plot(title: &str, x_label: &str, xs: &[f64], series: &[(String, Vec<
     for row in grid {
         let _ = writeln!(out, "  |{}|", row.into_iter().collect::<String>());
     }
-    let _ = writeln!(
-        out,
-        "   {}{}",
-        format!("{xmin:.1}"),
-        format!("{:>w$.1}", xs[xs.len() - 1], w = width - 3)
-    );
+    let _ = writeln!(out, "   {xmin:.1}{:>w$.1}", xs[xs.len() - 1], w = width - 3);
     let _ = writeln!(out, "   x: {x_label}");
     for (si, (name, _)) in series.iter().enumerate() {
         let _ = writeln!(out, "   {} = {name}", GLYPHS[si % GLYPHS.len()]);

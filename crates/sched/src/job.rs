@@ -93,7 +93,7 @@ impl JobTraceGenerator {
                     user: rng.index(self.users),
                     arrival_hours: t,
                     // Cap runtimes at a week to keep the tail physical.
-                    runtime_hours: runtime.sample(&mut rng).min(168.0).max(0.05),
+                    runtime_hours: runtime.sample(&mut rng).clamp(0.05, 168.0),
                     gpus: self.gpu_sizes[size_dist.sample(&mut rng)].0,
                     power_per_gpu: self.power_per_gpu,
                     max_defer_hours: defer.sample(&mut rng),

@@ -59,4 +59,4 @@ pub use budget::CarbonBudgetLedger;
 pub use cluster::Cluster;
 pub use job::{Job, JobTraceGenerator};
 pub use policy::Policy;
-pub use sim::{QueueDiscipline, SimOutcome, Simulation};
+pub use sim::{QueueDiscipline, SimError, SimOutcome, Simulation};

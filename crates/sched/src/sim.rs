@@ -18,6 +18,35 @@ enum Event {
     Finish(usize, usize),
 }
 
+/// Why a configured simulation cannot run.
+///
+/// Sweep batches construct simulations from generated (cluster, trace,
+/// job) combinations; an infeasible combination must come back as an
+/// `Err` row rather than a panic that kills the whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A job demands more GPUs than any cluster offers.
+    OversizedJob {
+        /// Offending job id.
+        job: usize,
+        /// GPUs the job demands.
+        gpus: u32,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OversizedJob { job, gpus } => write!(
+                f,
+                "job {job} needs {gpus} GPUs but no cluster is large enough"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
 /// Per-job outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct JobOutcome {
@@ -140,7 +169,23 @@ impl<'a> Simulation<'a> {
     }
 
     /// Runs the simulation to completion.
+    ///
+    /// # Panics
+    /// If a job is larger than every cluster ([`Simulation::try_run`] is
+    /// the non-panicking variant).
     pub fn run(self) -> SimOutcome {
+        match self.try_run() {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs the simulation, reporting infeasible configurations as a
+    /// [`SimError`] instead of panicking — the sweep-friendly entry point.
+    ///
+    /// # Errors
+    /// [`SimError::OversizedJob`] when a job is larger than every cluster.
+    pub fn try_run(self) -> Result<SimOutcome, SimError> {
         let Simulation {
             clusters,
             policy,
@@ -165,12 +210,12 @@ impl<'a> Simulation<'a> {
 
         // Capacity guard: a job larger than every cluster can never run.
         for job in jobs {
-            assert!(
-                clusters.iter().any(|c| c.capacity_gpus >= job.gpus),
-                "job {} needs {} GPUs but no cluster is large enough",
-                job.id,
-                job.gpus
-            );
+            if !clusters.iter().any(|c| c.capacity_gpus >= job.gpus) {
+                return Err(SimError::OversizedJob {
+                    job: job.id,
+                    gpus: job.gpus,
+                });
+            }
         }
 
         while let Some((now, event)) = q.pop() {
@@ -249,7 +294,7 @@ impl<'a> Simulation<'a> {
         let mean_wait =
             jobs_out.iter().map(|j| j.wait_hours).sum::<f64>() / jobs_out.len().max(1) as f64;
         let max_wait = jobs_out.iter().map(|j| j.wait_hours).fold(0.0f64, f64::max);
-        SimOutcome {
+        Ok(SimOutcome {
             policy,
             jobs: jobs_out,
             total_carbon,
@@ -257,7 +302,7 @@ impl<'a> Simulation<'a> {
             mean_wait_hours: mean_wait,
             max_wait_hours: max_wait,
             ledger,
-        }
+        })
     }
 }
 
@@ -486,6 +531,23 @@ mod tests {
         let out = Simulation::single_region(c.clone(), Policy::Fifo, &js).run();
         let expected = c.carbon_for(2.0, TimeSpan::from_hours(3.0), Power::from_w(500.0));
         assert!((out.total_carbon.as_g() - expected.as_g()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_run_reports_oversized_jobs_softly() {
+        let js = vec![Job {
+            id: 7,
+            user: 0,
+            arrival_hours: 0.0,
+            runtime_hours: 1.0,
+            gpus: 64,
+            power_per_gpu: Power::from_w(250.0),
+            max_defer_hours: 0.0,
+        }];
+        let err = Simulation::single_region(diurnal_cluster(8), Policy::Fifo, &js)
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, SimError::OversizedJob { job: 7, gpus: 64 });
     }
 
     #[test]

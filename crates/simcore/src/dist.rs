@@ -99,7 +99,7 @@ impl LogNormal {
     /// Constructs the log-normal with a given *median* and multiplicative
     /// spread `sigma` (median = exp(mu)).
     pub fn from_median(median: f64, sigma: f64) -> Result<Self, ParamError> {
-        if !(median > 0.0) {
+        if median <= 0.0 || median.is_nan() {
             return Err(ParamError("lognormal: median must be positive"));
         }
         Self::new(median.ln(), sigma)

@@ -39,11 +39,27 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_workers(items, worker_count(items.len()), f)
+}
+
+/// [`par_map`] with an explicit worker count.
+///
+/// The result is identical for every `workers` value — work distribution
+/// affects only wall-clock time, never outputs (results return in input
+/// order and randomness must be forked per item, not per thread). Sweep
+/// determinism tests exercise exactly this property; `workers` is clamped
+/// to `[1, items.len()]`.
+pub fn par_map_workers<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = worker_count(n);
+    let workers = workers.clamp(1, n);
     if workers == 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -192,6 +208,56 @@ mod tests {
         assert_eq!(worker_count(0), 1);
         assert_eq!(worker_count(1), 1);
         assert!(worker_count(1_000_000) >= 1);
+    }
+
+    #[test]
+    fn forced_worker_counts_agree() {
+        use rand::RngCore;
+        // The determinism guarantee the sweep engine is built on: the
+        // result is a pure function of the input, not of the thread count.
+        let items: Vec<u64> = (0..257).collect();
+        let reference: Vec<u64> = par_map_workers(&items, 1, |i, &x| {
+            let mut rng = crate::rng::SimRng::seed_from(42).fork(i as u64);
+            x.wrapping_add(rng.next_u64())
+        });
+        for workers in [2, 3, 4, 8, 64, 1000] {
+            let out = par_map_workers(&items, workers, |i, &x| {
+                let mut rng = crate::rng::SimRng::seed_from(42).fork(i as u64);
+                x.wrapping_add(rng.next_u64())
+            });
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_with_forced_workers() {
+        let out: Vec<u64> = par_map_workers(&[] as &[u64], 8, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_is_sequential() {
+        // With one worker the items are processed strictly in order.
+        let order = std::sync::Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..100).collect();
+        let _ = par_map_workers(&items, 1, |i, _| {
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), items);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u64> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            par_map_workers(&items, 4, |_, &x| {
+                if x == 33 {
+                    panic!("worker exploded on item {x}");
+                }
+                x
+            })
+        });
+        assert!(result.is_err(), "a worker panic must not be swallowed");
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! The batched executor: fan a grid out over worker threads.
+
+use crate::grid::ScenarioGrid;
+use crate::scenario::run_scenario;
+use crate::table::{SweepResults, SweepRow};
+use hpcarbon_sim::par::{par_map_workers, worker_count};
+
+/// Per-scenario workload knobs shared by every grid point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Simulated grid year.
+    pub year: i32,
+    /// Jobs in each scenario's scheduling trace.
+    pub jobs_per_scenario: usize,
+    /// GPUs in each scenario's cluster.
+    pub cluster_gpus: u32,
+}
+
+impl SweepConfig {
+    /// The default workload: a 2021 grid year, 120-job traces, 96 GPUs.
+    pub fn paper_default() -> SweepConfig {
+        SweepConfig {
+            year: 2021,
+            jobs_per_scenario: 120,
+            cluster_gpus: 96,
+        }
+    }
+
+    /// A reduced workload for tests and demos (40-job traces).
+    pub fn fast() -> SweepConfig {
+        SweepConfig {
+            year: 2021,
+            jobs_per_scenario: 40,
+            cluster_gpus: 96,
+        }
+    }
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig::paper_default()
+    }
+}
+
+/// Runs scenario grids over [`par_map_workers`].
+///
+/// Each work item evaluates [`run_scenario`], which derives all of its
+/// randomness from the scenario's own seed ([`crate::scenario::Scenario::rng`]
+/// forks named substreams). Results come back in grid order, so the
+/// produced [`SweepResults`] — and everything emitted from it — is
+/// **byte-identical for every `threads` setting**.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepExecutor {
+    /// Shared workload knobs.
+    pub config: SweepConfig,
+    /// Forced worker count; `None` uses the available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl SweepExecutor {
+    /// Creates an executor with automatic thread count.
+    pub fn new(config: SweepConfig) -> SweepExecutor {
+        SweepExecutor {
+            config,
+            threads: None,
+        }
+    }
+
+    /// Forces the worker count (1 = serial reference run).
+    pub fn with_threads(mut self, threads: usize) -> SweepExecutor {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Expands and evaluates the grid, one row per scenario, in grid
+    /// order. Infeasible scenarios become error rows; the batch always
+    /// completes.
+    pub fn run(&self, grid: &ScenarioGrid) -> SweepResults {
+        let scenarios = grid.scenarios();
+        let workers = self
+            .threads
+            .unwrap_or_else(|| worker_count(scenarios.len()));
+        let config = self.config;
+        let rows: Vec<SweepRow> = par_map_workers(&scenarios, workers, |_, sc| SweepRow {
+            scenario: *sc,
+            outcome: run_scenario(sc, &config),
+        });
+        SweepResults::new(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_runs_are_byte_identical() {
+        let grid = ScenarioGrid::quick();
+        let cfg = SweepConfig::fast();
+        let serial = SweepExecutor::new(cfg).with_threads(1).run(&grid);
+        let parallel = SweepExecutor::new(cfg).with_threads(8).run(&grid);
+        assert_eq!(serial.to_csv(), parallel.to_csv());
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn empty_grid_runs_to_an_empty_table() {
+        let grid = ScenarioGrid::new();
+        let results = SweepExecutor::new(SweepConfig::fast()).run(&grid);
+        assert_eq!(results.len(), 0);
+        assert_eq!(results.to_csv().lines().count(), 1); // header only
+    }
+
+    #[test]
+    fn infeasible_scenarios_do_not_abort_the_batch() {
+        // Perlmutter has no HDD tier: its all-flash rows must fail soft.
+        let grid = ScenarioGrid::quick().storage(crate::StorageVariant::ALL);
+        let results = SweepExecutor::new(SweepConfig::fast()).run(&grid);
+        assert_eq!(results.len(), grid.len());
+        assert!(results.error_count() > 0);
+        assert!(results.ok_count() > 0);
+        assert_eq!(results.ok_count() + results.error_count(), results.len());
+    }
+}

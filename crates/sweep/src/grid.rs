@@ -1,0 +1,241 @@
+//! Declarative scenario grids: the cartesian product of dimension lists.
+
+use crate::scenario::{PueSpec, Scenario, StorageVariant, SystemId, UpgradePath};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_sched::Policy;
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+
+/// A sweep declared as value lists per dimension; expansion is the
+/// cartesian product in a fixed row-major order (systems outermost, seeds
+/// innermost), which is also the row order of the result table.
+///
+/// An empty dimension yields an empty grid — the executor treats that as
+/// a zero-row sweep, not an error.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Deployed systems.
+    pub systems: Vec<SystemId>,
+    /// Storage-architecture variants.
+    pub storage: Vec<StorageVariant>,
+    /// Grid regions.
+    pub regions: Vec<OperatorId>,
+    /// Facility PUE models.
+    pub pues: Vec<PueSpec>,
+    /// Scheduling policies.
+    pub policies: Vec<Policy>,
+    /// Upgrade paths.
+    pub upgrades: Vec<UpgradePath>,
+    /// Random seeds (one full sub-grid per seed).
+    pub seeds: Vec<u64>,
+}
+
+impl ScenarioGrid {
+    /// Starts an empty grid; chain the dimension setters.
+    pub fn new() -> ScenarioGrid {
+        ScenarioGrid {
+            systems: Vec::new(),
+            storage: Vec::new(),
+            regions: Vec::new(),
+            pues: Vec::new(),
+            policies: Vec::new(),
+            upgrades: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Sets the system dimension.
+    pub fn systems(mut self, v: impl Into<Vec<SystemId>>) -> Self {
+        self.systems = v.into();
+        self
+    }
+
+    /// Sets the storage-variant dimension.
+    pub fn storage(mut self, v: impl Into<Vec<StorageVariant>>) -> Self {
+        self.storage = v.into();
+        self
+    }
+
+    /// Sets the region dimension.
+    pub fn regions(mut self, v: impl Into<Vec<OperatorId>>) -> Self {
+        self.regions = v.into();
+        self
+    }
+
+    /// Sets the PUE dimension.
+    pub fn pues(mut self, v: impl Into<Vec<PueSpec>>) -> Self {
+        self.pues = v.into();
+        self
+    }
+
+    /// Sets the policy dimension.
+    pub fn policies(mut self, v: impl Into<Vec<Policy>>) -> Self {
+        self.policies = v.into();
+        self
+    }
+
+    /// Sets the upgrade-path dimension.
+    pub fn upgrades(mut self, v: impl Into<Vec<UpgradePath>>) -> Self {
+        self.upgrades = v.into();
+        self
+    }
+
+    /// Sets the seed dimension.
+    pub fn seeds(mut self, v: impl Into<Vec<u64>>) -> Self {
+        self.seeds = v.into();
+        self
+    }
+
+    /// Number of scenarios the grid expands to.
+    pub fn len(&self) -> usize {
+        self.systems.len()
+            * self.storage.len()
+            * self.regions.len()
+            * self.pues.len()
+            * self.policies.len()
+            * self.upgrades.len()
+            * self.seeds.len()
+    }
+
+    /// True when any dimension is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cartesian product into scenarios, ids in row order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut id = 0;
+        for &system in &self.systems {
+            for &storage in &self.storage {
+                for &region in &self.regions {
+                    for &pue in &self.pues {
+                        for &policy in &self.policies {
+                            for &upgrade in &self.upgrades {
+                                for &seed in &self.seeds {
+                                    out.push(Scenario {
+                                        id,
+                                        system,
+                                        storage,
+                                        region,
+                                        pue,
+                                        policy,
+                                        upgrade,
+                                        seed,
+                                    });
+                                    id += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The default full sweep: every Table 2 system × both storage
+    /// variants × all seven Table 3 regions × constant and seasonal PUE ×
+    /// three policies × two upgrade paths — 504 scenarios per seed.
+    pub fn paper_default() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .systems(SystemId::ALL)
+            .storage(StorageVariant::ALL)
+            .regions(OperatorId::ALL)
+            .pues([
+                PueSpec::Constant(1.2),
+                PueSpec::Seasonal {
+                    mean: 1.2,
+                    amplitude: 0.1,
+                },
+            ])
+            .policies([
+                Policy::Fifo,
+                Policy::GreenestWindow { horizon_hours: 24 },
+                Policy::ThresholdDefer {
+                    threshold_g_per_kwh: 150.0,
+                },
+            ])
+            .upgrades([
+                UpgradePath {
+                    from: NodeGen::P100Node,
+                    to: NodeGen::A100Node,
+                    suite: Suite::Nlp,
+                },
+                UpgradePath {
+                    from: NodeGen::V100Node,
+                    to: NodeGen::A100Node,
+                    suite: Suite::Vision,
+                },
+            ])
+            .seeds([2021])
+    }
+
+    /// A 16-scenario grid for demos, doctests and smoke tests.
+    pub fn quick() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .systems([SystemId::Frontier, SystemId::Perlmutter])
+            .storage([StorageVariant::Baseline])
+            .regions([OperatorId::Eso, OperatorId::Ciso])
+            .pues([PueSpec::Constant(1.2)])
+            .policies([Policy::Fifo, Policy::GreenestWindow { horizon_hours: 24 }])
+            .upgrades([UpgradePath {
+                from: NodeGen::V100Node,
+                to: NodeGen::A100Node,
+                suite: Suite::Nlp,
+            }])
+            .seeds([2021, 7])
+    }
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> ScenarioGrid {
+        ScenarioGrid::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_the_dimension_product() {
+        let g = ScenarioGrid::paper_default();
+        assert_eq!(g.len(), 3 * 2 * 7 * 2 * 3 * 2);
+        assert_eq!(g.scenarios().len(), g.len());
+        assert!(g.len() >= 500, "the default sweep must cover ≥500 points");
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let s = ScenarioGrid::quick().scenarios();
+        for (i, sc) in s.iter().enumerate() {
+            assert_eq!(sc.id, i);
+        }
+    }
+
+    #[test]
+    fn empty_dimension_empties_the_grid() {
+        let g = ScenarioGrid::paper_default().seeds(Vec::new());
+        assert!(g.is_empty());
+        assert!(g.scenarios().is_empty());
+    }
+
+    #[test]
+    fn seeds_are_the_innermost_dimension() {
+        let s = ScenarioGrid::quick().scenarios();
+        // quick() has seeds [2021, 7]: adjacent rows alternate seeds.
+        assert_eq!(s[0].seed, 2021);
+        assert_eq!(s[1].seed, 7);
+        assert_eq!(s[0].system, s[1].system);
+        assert_eq!(s[0].policy, s[1].policy);
+    }
+
+    #[test]
+    fn scenarios_differ_only_in_declared_dimensions() {
+        let s = ScenarioGrid::quick().scenarios();
+        let distinct: std::collections::BTreeSet<String> =
+            s.iter().map(|x| format!("{x:?}")).collect();
+        assert_eq!(distinct.len(), s.len(), "every scenario is unique");
+    }
+}

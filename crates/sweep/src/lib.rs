@@ -1,0 +1,60 @@
+//! # hpcarbon-sweep
+//!
+//! Declarative scenario grids and a deterministic, parallel sweep
+//! executor over the whole carbon-modeling stack.
+//!
+//! The paper's headline results (Figs. 5–8) are each *one point* in a much
+//! larger design space: system composition × grid region × PUE model ×
+//! scheduling policy × upgrade path × seed. This crate makes the whole
+//! space addressable:
+//!
+//! - [`ScenarioGrid`] declares the sweep as a cartesian product of
+//!   dimension value lists ([`grid`]);
+//! - [`run_scenario`] evaluates one grid point end to end — embodied
+//!   composition (with optional storage-tier what-ifs), a simulated grid
+//!   year, a scheduling run, PUE-adjusted node accounting, and the upgrade
+//!   advisor — as a *pure function* that fails soft with a
+//!   [`ScenarioError`] ([`scenario`]);
+//! - [`SweepExecutor`] fans the grid out over
+//!   [`hpcarbon_sim::par::par_map_workers`] ([`exec`]);
+//! - [`SweepResults`] holds the per-scenario rows plus summary statistics
+//!   and rankings, and emits CSV and JSON ([`table`]).
+//!
+//! ## Determinism
+//!
+//! Every scenario derives its randomness from its **own** parameters
+//! (seed dimension + fixed substream labels via
+//! [`hpcarbon_sim::rng::SimRng::substream`]), never from thread-local or
+//! shared state, and the executor returns rows in grid order. Sweeping the
+//! same grid therefore produces **byte-identical CSV/JSON output for any
+//! worker count** — `--threads 1` and `--threads N` runs can be `diff`ed
+//! in CI.
+//!
+//! ## Example
+//!
+//! ```
+//! use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+//!
+//! let grid = ScenarioGrid::quick(); // a small 16-point demo grid
+//! let results = SweepExecutor::new(SweepConfig::fast()).run(&grid);
+//! assert_eq!(results.len(), grid.len());
+//! assert_eq!(results.error_count(), 0);
+//! let csv = results.to_csv();
+//! assert!(csv.lines().count() == grid.len() + 1); // header + one row each
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod grid;
+pub mod scenario;
+pub mod table;
+
+pub use exec::{SweepConfig, SweepExecutor};
+pub use grid::ScenarioGrid;
+pub use scenario::{
+    run_scenario, PueSpec, Scenario, ScenarioError, ScenarioOutcome, StorageVariant, SystemId,
+    UpgradePath,
+};
+pub use table::{MetricSummary, SweepResults, SweepRow};

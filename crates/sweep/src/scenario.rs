@@ -1,0 +1,461 @@
+//! One grid point, evaluated end to end as a pure function.
+//!
+//! A [`Scenario`] fixes every free variable of the paper's analyses —
+//! which system is deployed (and with what storage architecture), which
+//! regional grid powers it, how efficient the facility is, how jobs are
+//! scheduled, and which upgrade is on the table. [`run_scenario`] turns
+//! that point into a [`ScenarioOutcome`] of comparable metrics, or a
+//! [`ScenarioError`] when the combination is infeasible (e.g. an all-flash
+//! what-if on a system with no HDD tier). It never prints and never
+//! panics on bad combinations, so batched executors can fan thousands of
+//! points out and keep going.
+
+use hpcarbon_core::db::PartId;
+use hpcarbon_core::operational::Pue;
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_core::whatif::{swap_storage_tier, WhatIfError};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_year;
+use hpcarbon_power::pue_model::{account_with_seasonal_pue, SeasonalPue};
+use hpcarbon_sched::{Cluster, JobTraceGenerator, Policy, SimError, Simulation};
+use hpcarbon_sim::rng::SimRng;
+use hpcarbon_units::{CarbonIntensity, TimeSpan};
+use hpcarbon_upgrade::savings::{UpgradeScenario, UsageLevel};
+use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor};
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+use hpcarbon_workloads::power::node_active_power;
+
+/// Which Table 2 system the scenario deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemId {
+    /// Frontier (Oak Ridge).
+    Frontier,
+    /// LUMI (Kajaani).
+    Lumi,
+    /// Perlmutter (Berkeley).
+    Perlmutter,
+}
+
+impl SystemId {
+    /// All Table 2 systems, paper order.
+    pub const ALL: [SystemId; 3] = [SystemId::Frontier, SystemId::Lumi, SystemId::Perlmutter];
+
+    /// Builds the system inventory.
+    pub fn build(self) -> HpcSystem {
+        match self {
+            SystemId::Frontier => HpcSystem::frontier(),
+            SystemId::Lumi => HpcSystem::lumi(),
+            SystemId::Perlmutter => HpcSystem::perlmutter(),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemId::Frontier => "frontier",
+            SystemId::Lumi => "lumi",
+            SystemId::Perlmutter => "perlmutter",
+        }
+    }
+}
+
+/// Storage-architecture variant applied to the system before costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageVariant {
+    /// The as-built inventory.
+    Baseline,
+    /// The Fig. 5 discussion's what-if: replace the HDD capacity tier with
+    /// flash at equal capacity. Fails soft on systems with no HDD tier.
+    AllFlash,
+}
+
+impl StorageVariant {
+    /// Both variants.
+    pub const ALL: [StorageVariant; 2] = [StorageVariant::Baseline, StorageVariant::AllFlash];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageVariant::Baseline => "baseline",
+            StorageVariant::AllFlash => "all-flash",
+        }
+    }
+}
+
+/// Facility PUE model for the scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PueSpec {
+    /// Constant year-round PUE (the paper's assumption).
+    Constant(f64),
+    /// Seasonal PUE: sinusoidal around `mean` with the given swing
+    /// (summer chiller peak, winter free cooling).
+    Seasonal {
+        /// Annual mean PUE.
+        mean: f64,
+        /// Seasonal half-swing; the winter minimum `mean - amplitude`
+        /// must stay ≥ 1.0.
+        amplitude: f64,
+    },
+}
+
+impl PueSpec {
+    /// The annual-mean PUE value.
+    pub fn mean_value(self) -> f64 {
+        match self {
+            PueSpec::Constant(v) => v,
+            PueSpec::Seasonal { mean, .. } => mean,
+        }
+    }
+
+    /// Checks physical validity (no PUE below 1.0, finite values).
+    pub fn validate(self) -> Result<(), ScenarioError> {
+        let ok = match self {
+            PueSpec::Constant(v) => v.is_finite() && v >= 1.0,
+            PueSpec::Seasonal { mean, amplitude } => {
+                mean.is_finite()
+                    && amplitude.is_finite()
+                    && amplitude >= 0.0
+                    && mean - amplitude >= 1.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ScenarioError::InvalidPue(self))
+        }
+    }
+
+    /// Compact display label (`1.20` or `1.20±0.10`).
+    pub fn label(self) -> String {
+        match self {
+            PueSpec::Constant(v) => format!("{v:.2}"),
+            PueSpec::Seasonal { mean, amplitude } => format!("{mean:.2}±{amplitude:.2}"),
+        }
+    }
+}
+
+/// One upgrade question swept alongside the system scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradePath {
+    /// Currently deployed node generation.
+    pub from: NodeGen,
+    /// Candidate replacement.
+    pub to: NodeGen,
+    /// Workload mix driving performance/power.
+    pub suite: Suite,
+}
+
+impl UpgradePath {
+    /// Compact display label (`p100->a100/NLP`).
+    pub fn label(self) -> String {
+        let short = |n: NodeGen| match n {
+            NodeGen::P100Node => "p100",
+            NodeGen::V100Node => "v100",
+            NodeGen::A100Node => "a100",
+        };
+        format!(
+            "{}->{}/{}",
+            short(self.from),
+            short(self.to),
+            self.suite.label()
+        )
+    }
+}
+
+/// One fully specified grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Position in the expanded grid (row order of the result table).
+    pub id: usize,
+    /// Deployed system.
+    pub system: SystemId,
+    /// Storage-architecture variant.
+    pub storage: StorageVariant,
+    /// Grid region powering the facility.
+    pub region: OperatorId,
+    /// Facility PUE model.
+    pub pue: PueSpec,
+    /// Scheduling policy for the job-trace run.
+    pub policy: Policy,
+    /// Upgrade question evaluated at the region's median intensity.
+    pub upgrade: UpgradePath,
+    /// Seed of this scenario's random streams.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The root random stream of this scenario.
+    ///
+    /// Derived **only** from the scenario's seed dimension — never from
+    /// grid position, thread id, or shared state — so outcomes are a pure
+    /// function of the scenario and independent of executor parallelism.
+    /// Named substreams fork off this root (`trace`, `jobs`).
+    pub fn rng(&self) -> SimRng {
+        SimRng::seed_from(self.seed)
+    }
+}
+
+/// Why a scenario cannot be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScenarioError {
+    /// The storage what-if does not apply to this system.
+    WhatIf(WhatIfError),
+    /// The scheduling run is infeasible.
+    Sched(SimError),
+    /// The PUE model is unphysical.
+    InvalidPue(PueSpec),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::WhatIf(e) => write!(f, "storage what-if: {e}"),
+            ScenarioError::Sched(e) => write!(f, "scheduling: {e}"),
+            ScenarioError::InvalidPue(p) => write!(f, "invalid PUE model {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<WhatIfError> for ScenarioError {
+    fn from(e: WhatIfError) -> ScenarioError {
+        ScenarioError::WhatIf(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> ScenarioError {
+        ScenarioError::Sched(e)
+    }
+}
+
+/// The comparable metrics of one evaluated scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Embodied carbon of the (possibly transformed) inventory, tCO₂.
+    pub embodied_t: f64,
+    /// Relative embodied change of the storage what-if, % (`None` for the
+    /// baseline variant).
+    pub storage_delta_pct: Option<f64>,
+    /// Median annual carbon intensity of the simulated region, gCO₂/kWh.
+    pub median_g_per_kwh: f64,
+    /// Coefficient of variation of the intensity trace, %.
+    pub cov_percent: f64,
+    /// Total operational carbon of the scheduled job trace, kgCO₂.
+    pub sched_carbon_kg: f64,
+    /// Total facility energy of the job trace, kWh.
+    pub sched_energy_kwh: f64,
+    /// Mean queue wait, hours.
+    pub mean_wait_hours: f64,
+    /// Max queue wait, hours.
+    pub max_wait_hours: f64,
+    /// Annual carbon of one `upgrade.from` node serving the reference
+    /// workload under this scenario's PUE model, kgCO₂. Seasonal PUE
+    /// models are integrated hour by hour against the trace.
+    pub node_annual_kg: f64,
+    /// Upgrade break-even time at the median intensity, years (`None`
+    /// when the upgrade never pays off).
+    pub break_even_years: Option<f64>,
+    /// Asymptotic energy saving of the upgrade, %.
+    pub asymptotic_savings_pct: f64,
+    /// Advisor verdict at a five-year horizon.
+    pub verdict: &'static str,
+}
+
+/// Evaluates one scenario. Pure: no printing, no panicking on bad
+/// combinations, and no dependence on global or thread state.
+///
+/// # Errors
+/// [`ScenarioError`] when the combination is infeasible — the caller is
+/// expected to record the error row and continue the batch.
+pub fn run_scenario(
+    s: &Scenario,
+    cfg: &crate::exec::SweepConfig,
+) -> Result<ScenarioOutcome, ScenarioError> {
+    s.pue.validate()?;
+
+    // Layer 1: embodied composition, with the storage what-if applied.
+    let base = s.system.build();
+    let (system, storage_delta_pct) = match s.storage {
+        StorageVariant::Baseline => (base, None),
+        StorageVariant::AllFlash => {
+            let w = swap_storage_tier(&base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
+            let delta = w.relative_change() * 100.0;
+            (w.system, Some(delta))
+        }
+    };
+    let embodied_t = system.embodied_total().as_t();
+
+    // Layer 2: the regional grid year, from this scenario's own stream.
+    let rng = s.rng();
+    let trace_seed = rng.substream("trace").seed();
+    let trace = simulate_year(s.region, cfg.year, trace_seed);
+    let boxplot = trace.boxplot();
+    let median = CarbonIntensity::from_g_per_kwh(boxplot.median);
+
+    // Layer 3: the scheduling run on a cluster powered by that grid.
+    let mut cluster = Cluster::new(s.region.info().short, trace.clone(), cfg.cluster_gpus);
+    cluster.pue = s.pue.mean_value();
+    let jobs_seed = rng.substream("jobs").seed();
+    let jobs = JobTraceGenerator::default_rates().generate(cfg.jobs_per_scenario, jobs_seed);
+    let sim = Simulation::single_region(cluster, s.policy, &jobs).try_run()?;
+
+    // Layer 4: PUE-adjusted annual accounting of one reference node.
+    let usage = UsageLevel::Medium.fraction();
+    let year = TimeSpan::from_years(1.0);
+    let it_energy = node_active_power(s.upgrade.from, s.upgrade.suite) * usage.value() * year;
+    let node_annual_kg = match s.pue {
+        PueSpec::Constant(v) => (median * Pue::new(v).apply(it_energy)).as_kg(),
+        PueSpec::Seasonal { mean, amplitude } => {
+            // validate() above guarantees SeasonalPue's invariants.
+            let seasonal = SeasonalPue::new(mean, amplitude);
+            account_with_seasonal_pue(&trace, &seasonal, 0, it_energy, year).as_kg()
+        }
+    };
+
+    // Layer 5: the upgrade question at the region's median intensity.
+    let upgrade = UpgradeScenario {
+        old: s.upgrade.from,
+        new: s.upgrade.to,
+        suite: s.upgrade.suite,
+        usage,
+        pue: Pue::new(s.pue.mean_value()),
+    };
+    let verdict = match UpgradeAdvisor::with_five_year_horizon().recommend(&upgrade, median) {
+        Recommendation::Upgrade { .. } => "upgrade",
+        Recommendation::ExtendLifetime { .. } => "extend",
+        Recommendation::KeepHardware => "keep",
+    };
+
+    Ok(ScenarioOutcome {
+        embodied_t,
+        storage_delta_pct,
+        median_g_per_kwh: boxplot.median,
+        cov_percent: trace.cov_percent(),
+        sched_carbon_kg: sim.total_carbon.as_kg(),
+        sched_energy_kwh: sim.total_energy.as_kwh(),
+        mean_wait_hours: sim.mean_wait_hours,
+        max_wait_hours: sim.max_wait_hours,
+        node_annual_kg,
+        break_even_years: upgrade.break_even(median).map(|t| t.as_years()),
+        asymptotic_savings_pct: upgrade.asymptotic_savings_percent(),
+        verdict,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::SweepConfig;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            id: 0,
+            system: SystemId::Frontier,
+            storage: StorageVariant::Baseline,
+            region: OperatorId::Eso,
+            pue: PueSpec::Constant(1.2),
+            policy: Policy::Fifo,
+            upgrade: UpgradePath {
+                from: NodeGen::V100Node,
+                to: NodeGen::A100Node,
+                suite: Suite::Nlp,
+            },
+            seed: 2021,
+        }
+    }
+
+    #[test]
+    fn baseline_scenario_evaluates() {
+        let out = run_scenario(&scenario(), &SweepConfig::fast()).unwrap();
+        assert!(out.embodied_t > 1000.0);
+        assert!(out.storage_delta_pct.is_none());
+        assert!(out.median_g_per_kwh > 0.0);
+        assert!(out.sched_carbon_kg > 0.0);
+        assert!(out.node_annual_kg > 0.0);
+        assert_eq!(out.verdict, "upgrade"); // GB median is well above 100 g/kWh
+    }
+
+    #[test]
+    fn all_flash_fails_soft_on_perlmutter() {
+        let s = Scenario {
+            system: SystemId::Perlmutter,
+            storage: StorageVariant::AllFlash,
+            ..scenario()
+        };
+        let err = run_scenario(&s, &SweepConfig::fast()).unwrap_err();
+        assert!(matches!(
+            err,
+            ScenarioError::WhatIf(WhatIfError::NoSourceUnits(_))
+        ));
+    }
+
+    #[test]
+    fn all_flash_raises_frontier_embodied() {
+        let cfg = SweepConfig::fast();
+        let base = run_scenario(&scenario(), &cfg).unwrap();
+        let flash = run_scenario(
+            &Scenario {
+                storage: StorageVariant::AllFlash,
+                ..scenario()
+            },
+            &cfg,
+        )
+        .unwrap();
+        assert!(flash.embodied_t > base.embodied_t);
+        assert!(flash.storage_delta_pct.unwrap() > 50.0);
+    }
+
+    #[test]
+    fn invalid_pue_is_rejected() {
+        let s = Scenario {
+            pue: PueSpec::Constant(0.8),
+            ..scenario()
+        };
+        assert!(matches!(
+            run_scenario(&s, &SweepConfig::fast()).unwrap_err(),
+            ScenarioError::InvalidPue(_)
+        ));
+        let s = Scenario {
+            pue: PueSpec::Seasonal {
+                mean: 1.1,
+                amplitude: 0.5,
+            },
+            ..scenario()
+        };
+        assert!(run_scenario(&s, &SweepConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn seasonal_pue_stays_near_constant_mean() {
+        let cfg = SweepConfig::fast();
+        let constant = run_scenario(&scenario(), &cfg).unwrap();
+        let seasonal = run_scenario(
+            &Scenario {
+                pue: PueSpec::Seasonal {
+                    mean: 1.2,
+                    amplitude: 0.1,
+                },
+                ..scenario()
+            },
+            &cfg,
+        )
+        .unwrap();
+        // The seasonal model integrates PUE(t) × intensity(t); its annual
+        // node carbon stays within a few percent of the constant-PUE one.
+        let ratio = seasonal.node_annual_kg / constant.node_annual_kg;
+        assert!((0.9..1.1).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn same_scenario_same_outcome() {
+        let cfg = SweepConfig::fast();
+        let a = run_scenario(&scenario(), &cfg).unwrap();
+        let b = run_scenario(&scenario(), &cfg).unwrap();
+        assert_eq!(a.sched_carbon_kg, b.sched_carbon_kg);
+        assert_eq!(a.median_g_per_kwh, b.median_g_per_kwh);
+        assert_eq!(a.node_annual_kg, b.node_annual_kg);
+    }
+}

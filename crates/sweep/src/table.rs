@@ -1,0 +1,462 @@
+//! The result table: per-scenario rows, summary statistics, rankings,
+//! and CSV/JSON emission.
+
+use crate::scenario::{Scenario, ScenarioError, ScenarioOutcome};
+use hpcarbon_report::emit::{Csv, MarkdownTable};
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Its outcome, or why it was infeasible.
+    pub outcome: Result<ScenarioOutcome, ScenarioError>,
+}
+
+/// Min/mean/max of one metric over the successful rows.
+#[derive(Debug, Clone)]
+pub struct MetricSummary {
+    /// Metric name (matches the CSV column).
+    pub metric: &'static str,
+    /// Rows contributing (rows where the metric is defined).
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// The full sweep result, rows in grid order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    rows: Vec<SweepRow>,
+}
+
+/// CSV column order; [`SweepResults::to_csv`] and the JSON emitter both
+/// follow it.
+const COLUMNS: [&str; 22] = [
+    "id",
+    "system",
+    "storage",
+    "region",
+    "pue",
+    "policy",
+    "upgrade",
+    "seed",
+    "status",
+    "error",
+    "embodied_t",
+    "storage_delta_pct",
+    "median_g_per_kwh",
+    "cov_pct",
+    "sched_kg",
+    "sched_kwh",
+    "mean_wait_h",
+    "max_wait_h",
+    "node_annual_kg",
+    "break_even_y",
+    "asymptotic_pct",
+    "verdict",
+];
+
+/// Stable decimal formatting: enough digits to distinguish real metric
+/// differences, no dependence on shortest-roundtrip printing.
+fn num(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(num).unwrap_or_default()
+}
+
+impl SweepResults {
+    /// Wraps evaluated rows (grid order).
+    pub fn new(rows: Vec<SweepRow>) -> SweepResults {
+        SweepResults { rows }
+    }
+
+    /// All rows, grid order.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// Total rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the sweep had zero scenarios.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows that evaluated successfully.
+    pub fn ok_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.outcome.is_ok()).count()
+    }
+
+    /// Rows that failed soft.
+    pub fn error_count(&self) -> usize {
+        self.rows.len() - self.ok_count()
+    }
+
+    /// The `k` successful rows with the lowest scheduled carbon,
+    /// ascending; ties break by grid order.
+    pub fn rank_by_sched_carbon(&self, k: usize) -> Vec<&SweepRow> {
+        let mut ok: Vec<&SweepRow> = self.rows.iter().filter(|r| r.outcome.is_ok()).collect();
+        ok.sort_by(|a, b| {
+            let ka = a.outcome.as_ref().expect("filtered ok").sched_carbon_kg;
+            let kb = b.outcome.as_ref().expect("filtered ok").sched_carbon_kg;
+            ka.partial_cmp(&kb)
+                .expect("finite carbon")
+                .then(a.scenario.id.cmp(&b.scenario.id))
+        });
+        ok.truncate(k);
+        ok
+    }
+
+    /// Min/mean/max summaries of the headline metrics over successful
+    /// rows. Empty when no row succeeded.
+    pub fn summary(&self) -> Vec<MetricSummary> {
+        type MetricGetter = fn(&ScenarioOutcome) -> Option<f64>;
+        let metrics: [(&'static str, MetricGetter); 6] = [
+            ("embodied_t", |o| Some(o.embodied_t)),
+            ("median_g_per_kwh", |o| Some(o.median_g_per_kwh)),
+            ("sched_kg", |o| Some(o.sched_carbon_kg)),
+            ("mean_wait_h", |o| Some(o.mean_wait_hours)),
+            ("node_annual_kg", |o| Some(o.node_annual_kg)),
+            ("break_even_y", |o| o.break_even_years),
+        ];
+        metrics
+            .iter()
+            .filter_map(|(name, get)| {
+                let values: Vec<f64> = self
+                    .rows
+                    .iter()
+                    .filter_map(|r| r.outcome.as_ref().ok().and_then(get))
+                    .collect();
+                if values.is_empty() {
+                    return None;
+                }
+                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let mean = values.iter().sum::<f64>() / values.len() as f64;
+                Some(MetricSummary {
+                    metric: name,
+                    count: values.len(),
+                    min,
+                    mean,
+                    max,
+                })
+            })
+            .collect()
+    }
+
+    /// The summary as an aligned Markdown table (terminal-friendly).
+    pub fn summary_table(&self) -> String {
+        let mut t = MarkdownTable::new(&["metric", "n", "min", "mean", "max"]);
+        for s in self.summary() {
+            t.row([
+                s.metric.to_string(),
+                s.count.to_string(),
+                num(s.min),
+                num(s.mean),
+                num(s.max),
+            ]);
+        }
+        t.finish()
+    }
+
+    /// The scenario dimensions of one row as display strings, CSV order.
+    fn dimension_cells(s: &Scenario) -> [String; 8] {
+        [
+            s.id.to_string(),
+            s.system.label().to_string(),
+            s.storage.label().to_string(),
+            s.region.info().short.to_string(),
+            s.pue.label(),
+            s.policy.label().to_string(),
+            s.upgrade.label(),
+            s.seed.to_string(),
+        ]
+    }
+
+    /// Emits the full table as RFC-4180 CSV, header first, rows in grid
+    /// order. Error rows carry the error message and empty metric cells.
+    pub fn to_csv(&self) -> String {
+        let mut csv = Csv::new(&COLUMNS);
+        for r in &self.rows {
+            let dims = Self::dimension_cells(&r.scenario);
+            let (status, error, metrics) = match &r.outcome {
+                Ok(o) => (
+                    "ok".to_string(),
+                    String::new(),
+                    [
+                        num(o.embodied_t),
+                        opt(o.storage_delta_pct),
+                        num(o.median_g_per_kwh),
+                        num(o.cov_percent),
+                        num(o.sched_carbon_kg),
+                        num(o.sched_energy_kwh),
+                        num(o.mean_wait_hours),
+                        num(o.max_wait_hours),
+                        num(o.node_annual_kg),
+                        opt(o.break_even_years),
+                        num(o.asymptotic_savings_pct),
+                        o.verdict.to_string(),
+                    ],
+                ),
+                Err(e) => (
+                    "error".to_string(),
+                    e.to_string(),
+                    std::array::from_fn(|_| String::new()),
+                ),
+            };
+            csv.row(dims.into_iter().chain([status, error]).chain(metrics));
+        }
+        csv.finish()
+    }
+
+    /// Emits the table as a JSON array of objects with a **uniform
+    /// schema**: every row carries every CSV column. `id` and `seed` are
+    /// numbers; the other dimensions are strings; `error` and `verdict`
+    /// are strings or `null`; metrics are numbers or `null` (always
+    /// `null` on error rows, mirroring the CSV's empty cells).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            let dims = Self::dimension_cells(&r.scenario);
+            let mut obj = String::from("  {");
+            let push = |obj: &mut String, key: &str, value: String| {
+                if !obj.ends_with('{') {
+                    obj.push_str(", ");
+                }
+                obj.push_str(&format!("\"{key}\": {value}"));
+            };
+            push(&mut obj, "id", r.scenario.id.to_string());
+            for (key, cell) in COLUMNS[1..7].iter().zip(dims[1..7].iter()) {
+                push(&mut obj, key, json_string(cell));
+            }
+            push(&mut obj, "seed", r.scenario.seed.to_string());
+            let o = r.outcome.as_ref();
+            push(
+                &mut obj,
+                "status",
+                json_string(if o.is_ok() { "ok" } else { "error" }),
+            );
+            push(
+                &mut obj,
+                "error",
+                match &r.outcome {
+                    Ok(_) => "null".to_string(),
+                    Err(e) => json_string(&e.to_string()),
+                },
+            );
+            push(
+                &mut obj,
+                "embodied_t",
+                json_num(o.ok().map(|o| o.embodied_t)),
+            );
+            push(
+                &mut obj,
+                "storage_delta_pct",
+                json_num(o.ok().and_then(|o| o.storage_delta_pct)),
+            );
+            push(
+                &mut obj,
+                "median_g_per_kwh",
+                json_num(o.ok().map(|o| o.median_g_per_kwh)),
+            );
+            push(&mut obj, "cov_pct", json_num(o.ok().map(|o| o.cov_percent)));
+            push(
+                &mut obj,
+                "sched_kg",
+                json_num(o.ok().map(|o| o.sched_carbon_kg)),
+            );
+            push(
+                &mut obj,
+                "sched_kwh",
+                json_num(o.ok().map(|o| o.sched_energy_kwh)),
+            );
+            push(
+                &mut obj,
+                "mean_wait_h",
+                json_num(o.ok().map(|o| o.mean_wait_hours)),
+            );
+            push(
+                &mut obj,
+                "max_wait_h",
+                json_num(o.ok().map(|o| o.max_wait_hours)),
+            );
+            push(
+                &mut obj,
+                "node_annual_kg",
+                json_num(o.ok().map(|o| o.node_annual_kg)),
+            );
+            push(
+                &mut obj,
+                "break_even_y",
+                json_num(o.ok().and_then(|o| o.break_even_years)),
+            );
+            push(
+                &mut obj,
+                "asymptotic_pct",
+                json_num(o.ok().map(|o| o.asymptotic_savings_pct)),
+            );
+            push(
+                &mut obj,
+                "verdict",
+                match o.ok() {
+                    Some(o) => json_string(o.verdict),
+                    None => "null".to_string(),
+                },
+            );
+            obj.push('}');
+            if i + 1 < self.rows.len() {
+                obj.push(',');
+            }
+            out.push_str(&obj);
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the emitted strings are controlled
+/// labels, but quotes/backslashes/control bytes are handled anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number with the same fixed formatting as the CSV; `null` when
+/// undefined.
+fn json_num(v: Option<f64>) -> String {
+    match v {
+        Some(v) => num(v),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{SweepConfig, SweepExecutor};
+    use crate::grid::ScenarioGrid;
+
+    fn results() -> SweepResults {
+        SweepExecutor::new(SweepConfig::fast())
+            .with_threads(2)
+            .run(&ScenarioGrid::quick())
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_scenario() {
+        let r = results();
+        let csv = r.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), r.len() + 1);
+        assert!(lines[0].starts_with("id,system,storage,region,pue,policy"));
+        // Every row has the full column count.
+        for line in &lines {
+            assert_eq!(line.split(',').count(), COLUMNS.len(), "{line}");
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let json = results().to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(
+            json.matches("\"status\": \"ok\"").count(),
+            results().ok_count()
+        );
+        // Balanced braces (no nesting in the emitted objects).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_schema_is_uniform_across_ok_and_error_rows() {
+        // Run a grid that contains infeasible points so both row kinds
+        // appear, then check every row carries every column key.
+        let r = SweepExecutor::new(SweepConfig::fast())
+            .with_threads(2)
+            .run(&ScenarioGrid::quick().storage(crate::scenario::StorageVariant::ALL));
+        assert!(r.error_count() > 0 && r.ok_count() > 0);
+        let json = r.to_json();
+        let rows: Vec<&str> = json
+            .lines()
+            .filter(|l| l.trim_start().starts_with('{'))
+            .collect();
+        assert_eq!(rows.len(), r.len());
+        for key in super::COLUMNS {
+            for row in &rows {
+                assert!(
+                    row.contains(&format!("\"{key}\":")),
+                    "{key} missing in {row}"
+                );
+            }
+        }
+        // seed is a number, error rows null their metrics.
+        assert!(json.contains("\"seed\": 2021,"));
+        assert!(json.contains("\"error\": \"storage what-if"));
+        assert!(json.contains("\"sched_kg\": null"));
+    }
+
+    #[test]
+    fn rankings_are_sorted_and_bounded() {
+        let r = results();
+        let top = r.rank_by_sched_carbon(5);
+        assert_eq!(top.len(), 5.min(r.ok_count()));
+        for w in top.windows(2) {
+            let a = w[0].outcome.as_ref().unwrap().sched_carbon_kg;
+            let b = w[1].outcome.as_ref().unwrap().sched_carbon_kg;
+            assert!(a <= b);
+        }
+    }
+
+    #[test]
+    fn summary_covers_the_headline_metrics() {
+        let r = results();
+        let s = r.summary();
+        assert!(s.iter().any(|m| m.metric == "sched_kg"));
+        for m in &s {
+            assert!(m.min <= m.mean && m.mean <= m.max, "{}", m.metric);
+            assert!(m.count > 0);
+        }
+        let table = r.summary_table();
+        assert!(table.contains("sched_kg"));
+    }
+
+    #[test]
+    fn greener_policies_rank_ahead_of_fifo() {
+        // In the quick grid (GB + CA), greenest-window rows must beat the
+        // FIFO rows from the same region/seed on scheduled carbon.
+        let r = results();
+        let best = r.rank_by_sched_carbon(1)[0];
+        assert_ne!(best.scenario.policy, hpcarbon_sched::Policy::Fifo);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_num(None), "null");
+    }
+}

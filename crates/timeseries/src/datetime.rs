@@ -196,8 +196,8 @@ impl CivilDate {
     pub fn season(self) -> Season {
         match self.month {
             12 | 1 | 2 => Season::Winter,
-            3 | 4 | 5 => Season::Spring,
-            6 | 7 | 8 => Season::Summer,
+            3..=5 => Season::Spring,
+            6..=8 => Season::Summer,
             _ => Season::Autumn,
         }
     }

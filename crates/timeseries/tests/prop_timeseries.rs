@@ -95,7 +95,7 @@ proptest! {
         let n = xs.len().min(ys.len());
         let r = pearson(&xs[..n], &ys[..n]);
         if !r.is_nan() {
-            prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
         }
     }
 }

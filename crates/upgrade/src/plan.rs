@@ -51,13 +51,30 @@ impl UpgradePlan {
     }
 
     /// Two swaps.
+    ///
+    /// # Panics
+    /// If the steps are out of time order ([`UpgradePlan::try_double`] is
+    /// the non-panicking variant).
     pub fn double(
         initial: NodeGen,
         first: (NodeGen, TimeSpan),
         second: (NodeGen, TimeSpan),
     ) -> UpgradePlan {
-        assert!(first.1 < second.1, "steps must be in time order");
-        UpgradePlan {
+        Self::try_double(initial, first, second).expect("steps must be in time order")
+    }
+
+    /// [`UpgradePlan::double`] as a pure scenario function: `None` when the
+    /// steps are out of time order, so generated upgrade paths fail soft in
+    /// batched sweeps.
+    pub fn try_double(
+        initial: NodeGen,
+        first: (NodeGen, TimeSpan),
+        second: (NodeGen, TimeSpan),
+    ) -> Option<UpgradePlan> {
+        if first.1 >= second.1 {
+            return None;
+        }
+        Some(UpgradePlan {
             initial,
             steps: vec![
                 PlanStep {
@@ -69,7 +86,7 @@ impl UpgradePlan {
                     node: second.0,
                 },
             ],
-        }
+        })
     }
 
     /// Total carbon of executing this plan over `horizon`, serving the
@@ -270,5 +287,21 @@ mod tests {
             (NodeGen::V100Node, TimeSpan::from_years(2.0)),
             (NodeGen::A100Node, TimeSpan::from_years(1.0)),
         );
+    }
+
+    #[test]
+    fn try_double_fails_soft() {
+        assert!(UpgradePlan::try_double(
+            NodeGen::P100Node,
+            (NodeGen::V100Node, TimeSpan::from_years(2.0)),
+            (NodeGen::A100Node, TimeSpan::from_years(1.0)),
+        )
+        .is_none());
+        assert!(UpgradePlan::try_double(
+            NodeGen::P100Node,
+            (NodeGen::V100Node, TimeSpan::from_years(1.0)),
+            (NodeGen::A100Node, TimeSpan::from_years(2.0)),
+        )
+        .is_some());
     }
 }

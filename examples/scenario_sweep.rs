@@ -1,0 +1,87 @@
+//! Scenario sweep: the paper's design space as a declarative grid.
+//!
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+//!
+//! Figs. 5–8 each fix all but one dimension of the design space. This
+//! example sweeps a 504-point cartesian product — Table 2 system ×
+//! storage what-if × Table 3 region × PUE model × scheduling policy ×
+//! upgrade path — through the deterministic parallel executor, then uses
+//! the result table to answer questions no single figure can: which
+//! combinations minimize scheduled carbon, how the all-flash what-if
+//! shifts embodied totals across every system at once, and where the
+//! upgrade advisor flips its verdict.
+
+use sustainable_hpc::prelude::*;
+use sustainable_hpc::sweep::scenario::StorageVariant;
+
+fn main() {
+    let grid = ScenarioGrid::paper_default();
+    println!(
+        "sweeping {} scenarios ({} systems x {} storage x {} regions x {} PUE x {} policies x {} upgrades)\n",
+        grid.len(),
+        grid.systems.len(),
+        grid.storage.len(),
+        grid.regions.len(),
+        grid.pues.len(),
+        grid.policies.len(),
+        grid.upgrades.len(),
+    );
+    let results = SweepExecutor::new(SweepConfig::paper_default()).run(&grid);
+    println!(
+        "{} ok, {} infeasible (all-flash what-ifs on HDD-free systems)\n",
+        results.ok_count(),
+        results.error_count()
+    );
+
+    // Headline distributions over the whole space.
+    print!("{}", results.summary_table());
+
+    // Q1: the greenest (scheduled-carbon) corner of the space.
+    println!("\nlowest scheduled carbon:");
+    for row in results.rank_by_sched_carbon(3) {
+        let o = row.outcome.as_ref().expect("ranked rows are ok");
+        let s = &row.scenario;
+        println!(
+            "  {} / {} / {} / {} -> {:.1} kgCO2 (mean wait {:.1} h)",
+            s.system.label(),
+            s.region.info().short,
+            s.policy.label(),
+            s.upgrade.label(),
+            o.sched_carbon_kg,
+            o.mean_wait_hours
+        );
+    }
+
+    // Q2: the all-flash embodied penalty, per system, from the same table.
+    println!("\nall-flash embodied penalty (vs. baseline):");
+    let mut seen = std::collections::BTreeSet::new();
+    for row in results.rows() {
+        if row.scenario.storage != StorageVariant::AllFlash {
+            continue;
+        }
+        let label = row.scenario.system.label();
+        if !seen.insert(label) {
+            continue;
+        }
+        match &row.outcome {
+            Ok(o) => println!(
+                "  {:<10} +{:.1}% embodied ({:.0} tCO2 total)",
+                label,
+                o.storage_delta_pct.expect("all-flash rows carry a delta"),
+                o.embodied_t
+            ),
+            Err(e) => println!("  {label:<10} infeasible: {e}"),
+        }
+    }
+
+    // Q3: where the five-year advisor verdict lands across regions.
+    let mut counts = std::collections::BTreeMap::new();
+    for row in results.rows() {
+        if let Ok(o) = &row.outcome {
+            *counts.entry(o.verdict).or_insert(0usize) += 1;
+        }
+    }
+    println!("\nfive-year upgrade verdicts across the space: {counts:?}");
+}

@@ -7,6 +7,7 @@
 //! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
 //! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G] [--usage F]
 //! hpcarbon schedule [--jobs N] [--seed N]        policy comparison on GB+CA clusters
+//! hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K] [--quick]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no CLI
@@ -26,6 +27,7 @@ fn main() {
         Some("regions") => cmd_regions(&args[1..]),
         Some("advisor") => cmd_advisor(&args[1..]),
         Some("schedule") => cmd_schedule(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -44,7 +46,12 @@ fn print_usage() {
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
          USAGE:\n  hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
-         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N]"
+         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N]\n  \
+         hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K] [--quick]\n\n\
+         sweep runs the full scenario grid (system x storage x region x PUE x\n\
+         policy x upgrade path; 504 scenarios by default, 16 with --quick) in\n\
+         parallel and writes sweep.csv + sweep.json under --out (default\n\
+         out/sweep). Output is byte-identical for every --threads value."
     );
 }
 
@@ -204,6 +211,64 @@ fn cmd_advisor(args: &[String]) -> i32 {
     }
     let verdict = UpgradeAdvisor::with_five_year_horizon().recommend(&scenario, intensity);
     println!("  verdict           : {verdict}");
+    0
+}
+
+fn cmd_sweep(args: &[String]) -> i32 {
+    let mut grid = if args.iter().any(|a| a == "--quick") {
+        ScenarioGrid::quick()
+    } else {
+        ScenarioGrid::paper_default()
+    };
+    if let Some(seed) = flag(args, "--seed").and_then(|s| s.parse::<u64>().ok()) {
+        grid = grid.seeds([seed]);
+    }
+    let mut config = SweepConfig::paper_default();
+    if let Some(jobs) = flag(args, "--jobs").and_then(|s| s.parse().ok()) {
+        config.jobs_per_scenario = jobs;
+    }
+    let mut executor = SweepExecutor::new(config);
+    if let Some(threads) = flag(args, "--threads").and_then(|s| s.parse().ok()) {
+        executor = executor.with_threads(threads);
+    }
+    let top: usize = flag(args, "--top")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let out = flag(args, "--out").unwrap_or_else(|| "out/sweep".into());
+
+    let results = executor.run(&grid);
+    println!(
+        "swept {} scenarios ({} ok, {} infeasible)\n",
+        results.len(),
+        results.ok_count(),
+        results.error_count()
+    );
+    print!("{}", results.summary_table());
+    println!("\nlowest scheduled carbon (top {top}):");
+    for row in results.rank_by_sched_carbon(top) {
+        let o = row.outcome.as_ref().expect("ranked rows are ok");
+        let s = &row.scenario;
+        println!(
+            "  #{:<4} {:<10} {:<9} {:<4} pue {:<9} {:<28} {:>9.1} kgCO2",
+            s.id,
+            s.system.label(),
+            s.storage.label(),
+            s.region.info().short,
+            s.pue.label(),
+            s.policy.label(),
+            o.sched_carbon_kg
+        );
+    }
+
+    let dir = std::path::Path::new(&out);
+    if let Err(e) = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("sweep.csv"), results.to_csv()))
+        .and_then(|()| std::fs::write(dir.join("sweep.json"), results.to_json()))
+    {
+        eprintln!("cannot write {}: {e}", dir.display());
+        return 1;
+    }
+    println!("\nwrote {}/sweep.{{csv,json}}", dir.display());
     0
 }
 

@@ -22,6 +22,8 @@
 //! - [`sched`] — carbon-intensity-aware job scheduling with carbon
 //!   budgets (the paper's §4 implications, built)
 //! - [`report`] — regeneration of every paper table and figure
+//! - [`sweep`] — declarative scenario grids and a deterministic parallel
+//!   sweep executor over the whole stack (`hpcarbon sweep`)
 //!
 //! Architecture, calibration methodology (§1) and the process-node
 //! interpolation scheme (§5) are documented in `DESIGN.md` at the
@@ -56,6 +58,7 @@ pub use hpcarbon_power as power;
 pub use hpcarbon_report as report;
 pub use hpcarbon_sched as sched;
 pub use hpcarbon_sim as sim;
+pub use hpcarbon_sweep as sweep;
 pub use hpcarbon_timeseries as timeseries;
 pub use hpcarbon_units as units;
 pub use hpcarbon_upgrade as upgrade;
@@ -70,6 +73,7 @@ pub mod prelude {
     pub use hpcarbon_core::systems::HpcSystem;
     pub use hpcarbon_grid::{simulate_all_regions, simulate_year, IntensityTrace, OperatorId};
     pub use hpcarbon_sched::{Cluster, Job, JobTraceGenerator, Policy, Simulation};
+    pub use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
     pub use hpcarbon_units::*;
     pub use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor, UpgradeScenario};
     pub use hpcarbon_workloads::{benchmarks::Suite, nodes::NodeGen, GpuModel};

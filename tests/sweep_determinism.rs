@@ -1,0 +1,87 @@
+//! Workspace-level guarantees of the sweep engine: byte-identical output
+//! for any thread count, soft failure of infeasible grid points, and the
+//! default grid's ≥500-scenario coverage.
+
+use sustainable_hpc::prelude::*;
+use sustainable_hpc::sweep::scenario::StorageVariant;
+
+/// A grid that keeps every layer in play (storage what-ifs included, so it
+/// contains infeasible points) while staying test-sized: 2 x 2 x 2 x 1 x
+/// 2 x 1 x 2 = 32 scenarios.
+fn mixed_grid() -> ScenarioGrid {
+    let full = ScenarioGrid::paper_default();
+    full.clone()
+        .systems([
+            sustainable_hpc::sweep::scenario::SystemId::Frontier,
+            sustainable_hpc::sweep::scenario::SystemId::Perlmutter,
+        ])
+        .storage(StorageVariant::ALL)
+        .regions([OperatorId::Eso, OperatorId::Ciso])
+        .pues([full.pues[1]])
+        .policies([full.policies[0], full.policies[1]])
+        .upgrades([full.upgrades[0]])
+        .seeds([2021, 7])
+}
+
+#[test]
+fn csv_and_json_are_thread_count_invariant() {
+    let grid = mixed_grid();
+    let cfg = SweepConfig::fast();
+    let reference = SweepExecutor::new(cfg).with_threads(1).run(&grid);
+    for threads in [2, 5, 16] {
+        let run = SweepExecutor::new(cfg).with_threads(threads).run(&grid);
+        assert_eq!(reference.to_csv(), run.to_csv(), "{threads} threads");
+        assert_eq!(reference.to_json(), run.to_json(), "{threads} threads");
+    }
+}
+
+#[test]
+fn infeasible_points_fail_soft_and_are_labeled() {
+    let results = SweepExecutor::new(SweepConfig::fast()).run(&mixed_grid());
+    // Perlmutter is all-flash already: its all-flash what-if rows error.
+    assert!(results.error_count() > 0);
+    assert_eq!(results.len(), mixed_grid().len());
+    let csv = results.to_csv();
+    assert!(csv.contains("error,"));
+    assert!(csv.contains("holds no"));
+    // Errors never leak into the ok rows' metric columns.
+    let error_rows = csv
+        .lines()
+        .skip(1) // header also names an "error" column
+        .filter(|l| l.contains(",error,"))
+        .count();
+    assert_eq!(
+        error_rows,
+        results.error_count(),
+        "one error status cell per failed row"
+    );
+}
+
+#[test]
+fn default_grid_covers_at_least_500_scenarios() {
+    let grid = ScenarioGrid::paper_default();
+    assert!(grid.len() >= 500, "{}", grid.len());
+    // And it expands without duplicate ids.
+    let scenarios = grid.scenarios();
+    assert_eq!(scenarios.len(), grid.len());
+    assert_eq!(scenarios.last().unwrap().id, grid.len() - 1);
+}
+
+#[test]
+fn rerunning_a_sweep_is_reproducible() {
+    let grid = mixed_grid();
+    let cfg = SweepConfig::fast();
+    let a = SweepExecutor::new(cfg).run(&grid);
+    let b = SweepExecutor::new(cfg).run(&grid);
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+#[test]
+fn facade_prelude_exposes_the_sweep_types() {
+    // ScenarioGrid, SweepConfig, SweepExecutor all arrive via the prelude.
+    let results = SweepExecutor::new(SweepConfig::fast())
+        .with_threads(1)
+        .run(&ScenarioGrid::quick());
+    assert_eq!(results.len(), 16);
+    assert_eq!(results.error_count(), 0);
+}
