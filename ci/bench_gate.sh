@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Bench-regression gate.
+#
+# Runs the window-index and sweep bench suites, records each benchmark's
+# median ns/iter as machine-readable JSON (BENCH_window_index.json,
+# BENCH_sweep.json — uploaded as CI artifacts), and compares against the
+# committed baseline:
+#
+#   * a benchmark slower than baseline × BENCH_GATE_MAX_RATIO fails the
+#     gate (regression);
+#   * a benchmark faster than baseline ÷ BENCH_GATE_MAX_RATIO prints a
+#     notice suggesting a baseline refresh (never fails);
+#   * window_index/argmin_indexed must beat window_index/argmin_naive by
+#     ≥ BENCH_GATE_MIN_ARGMIN_SPEEDUP — the indexed-query contract, a
+#     pure ratio and therefore machine-independent.
+#
+# Usage:
+#   ci/bench_gate.sh            run the gate
+#   ci/bench_gate.sh --update   rewrite ci/bench_baseline.json from this
+#                               machine's run (commit the result)
+#
+# Knobs (env): BENCH_GATE_MAX_RATIO (default 1.30 = ±30%),
+# BENCH_GATE_MIN_ARGMIN_SPEEDUP (default 10), BENCH_GATE_OUT_DIR
+# (default ci/out), BENCH_GATE_BASELINE (default ci/bench_baseline.json).
+#
+# Wall-clock baselines move with the host; refresh with --update when the
+# CI runner class changes, and widen BENCH_GATE_MAX_RATIO rather than
+# deleting the gate if a shared runner proves noisy.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MAX_RATIO="${BENCH_GATE_MAX_RATIO:-1.30}"
+MIN_SPEEDUP="${BENCH_GATE_MIN_ARGMIN_SPEEDUP:-10}"
+OUT_DIR="${BENCH_GATE_OUT_DIR:-ci/out}"
+BASELINE="${BENCH_GATE_BASELINE:-ci/bench_baseline.json}"
+SUITES=(bench_window_index bench_sweep)
+mkdir -p "$OUT_DIR"
+
+# --- run one suite and emit its JSON ---------------------------------------
+run_suite() { # $1 = bench target name (bench_foo -> BENCH_foo.json)
+    local target="$1"
+    local json="$OUT_DIR/BENCH_${target#bench_}.json"
+    local raw="$OUT_DIR/${target}.out"
+    echo "== running $target"
+    cargo bench --bench "$target" 2>/dev/null | tee "$raw"
+    awk '
+        index($0, "/iter (median") {
+            id = $1; value = $2; unit = $3
+            ns = value
+            if (unit == "\302\265s")  ns = value * 1e3
+            else if (unit == "ms")    ns = value * 1e6
+            else if (unit == "s")     ns = value * 1e9
+            printf "    \"%s\": %.1f,\n", id, ns
+        }
+    ' "$raw" >"$raw.entries"
+    {
+        echo "{"
+        echo "  \"suite\": \"$target\","
+        echo "  \"unit\": \"ns_per_iter_median\","
+        echo "  \"benchmarks\": {"
+        sed '$ s/,$//' "$raw.entries"
+        echo "  }"
+        echo "}"
+    } >"$json"
+    rm -f "$raw.entries"
+    echo "wrote $json"
+}
+
+# Print "name value" pairs from one of our flat JSON files.
+extract() {
+    awk -F'"' '/": [0-9]/ { v = $3; sub(/^: /, "", v); sub(/,.*$/, "", v); print $2, v }' "$1"
+}
+
+for suite in "${SUITES[@]}"; do
+    run_suite "$suite"
+done
+
+# --- --update: rewrite the baseline from this run --------------------------
+if [[ "${1:-}" == "--update" ]]; then
+    {
+        echo "{"
+        echo "  \"schema\": \"hpcarbon-bench-baseline-v1\","
+        echo "  \"unit\": \"ns_per_iter_median\","
+        echo "  \"benchmarks\": {"
+        # Executor-parallel timing scales with the host's core count, so it
+        # stays out of the committed baseline.
+        for suite in "${SUITES[@]}"; do
+            extract "$OUT_DIR/BENCH_${suite#bench_}.json"
+        done | grep -v "executor/parallel" | awk '{ printf "    \"%s\": %s,\n", $1, $2 }' | sed '$ s/,$//'
+        echo "  }"
+        echo "}"
+    } >"$BASELINE"
+    echo "rewrote $BASELINE — review and commit it"
+    exit 0
+fi
+
+# --- gate 1: the indexed-argmin speedup contract ---------------------------
+fail=0
+naive=$(extract "$OUT_DIR/BENCH_window_index.json" | awk '$1 == "window_index/argmin_naive" { print $2 }')
+indexed=$(extract "$OUT_DIR/BENCH_window_index.json" | awk '$1 == "window_index/argmin_indexed" { print $2 }')
+if [[ -z "$naive" || -z "$indexed" ]]; then
+    echo "FAIL: argmin benchmarks missing from BENCH_window_index.json"
+    fail=1
+else
+    speedup=$(awk -v n="$naive" -v i="$indexed" 'BEGIN { printf "%.1f", n / i }')
+    if awk -v s="$speedup" -v m="$MIN_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+        echo "FAIL: indexed argmin speedup ${speedup}x < required ${MIN_SPEEDUP}x"
+        fail=1
+    else
+        echo "OK: indexed argmin beats the naive scan by ${speedup}x (>= ${MIN_SPEEDUP}x)"
+    fi
+fi
+
+# --- gate 2: ±30% against the committed baseline ---------------------------
+if [[ ! -f "$BASELINE" ]]; then
+    echo "FAIL: no baseline at $BASELINE (run ci/bench_gate.sh --update and commit it)"
+    exit 1
+fi
+while read -r name base; do
+    cur=""
+    for suite in "${SUITES[@]}"; do
+        v=$(extract "$OUT_DIR/BENCH_${suite#bench_}.json" | awk -v n="$name" '$1 == n { print $2 }')
+        [[ -n "$v" ]] && cur="$v"
+    done
+    if [[ -z "$cur" ]]; then
+        echo "FAIL: baseline benchmark '$name' missing from the current run"
+        fail=1
+        continue
+    fi
+    ratio=$(awk -v c="$cur" -v b="$base" 'BEGIN { printf "%.2f", c / b }')
+    if awk -v c="$cur" -v b="$base" -v t="$MAX_RATIO" 'BEGIN { exit !(c > b * t) }'; then
+        echo "FAIL: $name regressed ${ratio}x vs baseline (${cur} ns vs ${base} ns, limit ${MAX_RATIO}x)"
+        fail=1
+    elif awk -v c="$cur" -v b="$base" -v t="$MAX_RATIO" 'BEGIN { exit !(c * t < b) }'; then
+        echo "note: $name sped up to ${ratio}x of baseline — consider ci/bench_gate.sh --update"
+    else
+        echo "ok: $name ${ratio}x of baseline (${cur} ns vs ${base} ns)"
+    fi
+done < <(extract "$BASELINE")
+
+if [[ "$fail" -ne 0 ]]; then
+    echo "bench gate: FAILED"
+    exit 1
+fi
+echo "bench gate: green"

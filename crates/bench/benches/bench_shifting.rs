@@ -1,0 +1,68 @@
+//! Benches for the carbon-shifting subsystem: trace generation (dispatch
+//! vs synthetic harmonics), shifting-policy simulations on the indexed
+//! hot path, and the end-to-end shifting sweep grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_grid::{simulate_year, synthesize_year, OperatorId};
+use hpcarbon_sched::{Cluster, JobTraceGenerator, Policy, Simulation};
+use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+use std::hint::black_box;
+
+fn trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shifting/trace");
+    g.bench_function("dispatch_year", |b| {
+        b.iter(|| black_box(simulate_year(OperatorId::Eso, 2021, 7)))
+    });
+    g.bench_function("synthetic_year", |b| {
+        b.iter(|| black_box(synthesize_year(OperatorId::Eso, 2021, 7)))
+    });
+    g.finish();
+}
+
+fn policy_runs(c: &mut Criterion) {
+    let gb = Cluster::new("gb", simulate_year(OperatorId::Eso, 2021, 7), 96);
+    let ca = Cluster::new("ca", simulate_year(OperatorId::Ciso, 2021, 7), 96);
+    let jobs = JobTraceGenerator::default_rates().generate(150, 9);
+    let mut g = c.benchmark_group("shifting/sim");
+    for (name, policy) in [
+        ("fifo", Policy::Fifo),
+        (
+            "greenest_window_24h",
+            Policy::GreenestWindow { horizon_hours: 24 },
+        ),
+        (
+            "temporal_shift_24h",
+            Policy::TemporalShift { slack_hours: 24 },
+        ),
+        (
+            "spatio_temporal_24h",
+            Policy::SpatioTemporal { slack_hours: 24 },
+        ),
+    ] {
+        let clusters = vec![gb.clone(), ca.clone()];
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::multi_region(clusters.clone(), policy, &jobs)
+                        .run()
+                        .total_carbon,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn shifting_sweep(c: &mut Criterion) {
+    let grid = ScenarioGrid::shifting();
+    let cfg = SweepConfig::fast();
+    let mut g = c.benchmark_group("shifting/sweep");
+    g.sample_size(3);
+    g.bench_function("grid_20_scenarios", |b| {
+        b.iter(|| black_box(SweepExecutor::new(cfg).run(&grid)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, trace_generation, policy_runs, shifting_sweep);
+criterion_main!(benches);

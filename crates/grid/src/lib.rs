@@ -28,7 +28,13 @@
 //! On top of the simulator sit:
 //!
 //! - [`trace::IntensityTrace`]: a year of hourly intensities bound to an
-//!   operator, with box-plot/CoV statistics;
+//!   operator, with box-plot/CoV statistics and an always-on
+//!   [`hpcarbon_timeseries::window::WindowIndex`] for `O(1)` window
+//!   averages and indexed greenest-start queries;
+//! - [`synth`]: deterministic *synthetic* region-years (harmonics +
+//!   fuel-mix-weighted OU noise) an order of magnitude cheaper than the
+//!   dispatch simulator, so sweeps are not limited to the calibrated
+//!   trace set;
 //! - [`api::IntensityApi`]: an ESO-Carbon-Intensity-API-style interface
 //!   (actual + forecast with horizon-dependent error, intensity index
 //!   bands) used by the carbon-aware scheduler;
@@ -54,10 +60,12 @@ pub mod api;
 pub mod fuel;
 pub mod regions;
 pub mod sim;
+pub mod synth;
 pub mod trace;
 
 pub use regions::OperatorId;
 pub use sim::{simulate_all_regions, simulate_year};
+pub use synth::{synthesize_year, SyntheticSpec};
 pub use trace::IntensityTrace;
 
 use hpcarbon_units::CarbonIntensity;

@@ -4,20 +4,31 @@ use crate::regions::OperatorId;
 use hpcarbon_timeseries::datetime::{HourStamp, TimeZone};
 use hpcarbon_timeseries::series::HourlySeries;
 use hpcarbon_timeseries::stats::{cov_percent, BoxplotStats};
+use hpcarbon_timeseries::window::WindowIndex;
 use hpcarbon_units::CarbonIntensity;
 
 /// An hourly carbon-intensity trace for one region-year. Values are stored
 /// in gCO₂/kWh and indexed by UTC hour-of-year.
+///
+/// Every trace carries a [`WindowIndex`] built at construction, so window
+/// averages and greenest-start queries — the primitives of carbon-aware
+/// shifting — are `O(1)`/`O(slack)` instead of rescans of the raw series.
 #[derive(Debug, Clone)]
 pub struct IntensityTrace {
     operator: OperatorId,
     series: HourlySeries,
+    index: WindowIndex,
 }
 
 impl IntensityTrace {
-    /// Binds a series (gCO₂/kWh) to an operator.
+    /// Binds a series (gCO₂/kWh) to an operator and indexes it.
     pub fn new(operator: OperatorId, series: HourlySeries) -> IntensityTrace {
-        IntensityTrace { operator, series }
+        let index = WindowIndex::of_series(&series);
+        IntensityTrace {
+            operator,
+            series,
+            index,
+        }
     }
 
     /// The operator this trace belongs to.
@@ -60,29 +71,33 @@ impl IntensityTrace {
         self.series.hourly_profile(tz)
     }
 
+    /// The prefix-sum window index over this trace.
+    pub fn window_index(&self) -> &WindowIndex {
+        &self.index
+    }
+
+    /// Mean intensity over the wrapped window `[start, start+w)` hours of
+    /// the year; `O(1)` from the index.
+    pub fn mean_over(&self, start: u32, w: u32) -> CarbonIntensity {
+        CarbonIntensity::from_g_per_kwh(self.index.window_mean(start, w))
+    }
+
+    /// The shift `d ∈ [0, slack]` minimizing the mean intensity of the
+    /// wrapped `w`-hour window starting `d` hours after `start` — the
+    /// indexed primitive behind the temporal-shift policies. `start` may
+    /// run past the year (it wraps); ties break toward the smallest
+    /// shift, i.e. the lowest start hour.
+    pub fn greenest_shift(&self, start: u32, slack: u32, w: u32) -> u32 {
+        self.index.greenest_shift(start, slack, w)
+    }
+
     /// The `n` consecutive-hour window starting within the next `horizon`
-    /// hours (from `start`) with the lowest mean intensity. Returns the
-    /// starting hour-of-year index. This is the primitive a
+    /// hours (from `start`) with the lowest mean intensity, never wrapping
+    /// past year end. Returns the starting hour-of-year index; ties break
+    /// toward the lowest start. This is the primitive a
     /// carbon-intensity-aware scheduler uses to defer jobs.
     pub fn greenest_window(&self, start: u32, horizon: u32, n: u32) -> u32 {
-        assert!(n >= 1, "window must span at least one hour");
-        let len = self.series.len() as u32;
-        assert!(start < len, "start out of range");
-        let last_start = (start + horizon).min(len.saturating_sub(n));
-        let mut best_start = start;
-        let mut best_mean = f64::INFINITY;
-        for s in start..=last_start {
-            if s + n > len {
-                break;
-            }
-            let window = &self.series.values()[s as usize..(s + n) as usize];
-            let mean = window.iter().sum::<f64>() / f64::from(n);
-            if mean < best_mean {
-                best_mean = mean;
-                best_start = s;
-            }
-        }
-        best_start
+        self.index.argmin_window_clamped(start, horizon, n)
     }
 }
 
@@ -139,5 +154,20 @@ mod tests {
     #[should_panic(expected = "start out of range")]
     fn greenest_window_rejects_bad_start() {
         let _ = ramp_trace().greenest_window(9000, 10, 2);
+    }
+
+    #[test]
+    fn indexed_queries_match_direct_scans() {
+        let t = ramp_trace();
+        // mean_over wraps: window [8758, 8762) covers hours 22, 23, 0, 1.
+        let wrapped = t.mean_over(8758, 4).as_g_per_kwh();
+        assert!((wrapped - (320.0 + 330.0 + 100.0 + 110.0) / 4.0).abs() < 1e-9);
+        // greenest_shift from noon of day 1 with a day of slack lands on
+        // the next midnight (shift 12).
+        assert_eq!(t.greenest_shift(12, 24, 3), 12);
+        // Zero slack pins the window at the start hour.
+        assert_eq!(t.greenest_shift(12, 0, 3), 0);
+        // Starts past the year wrap instead of panicking.
+        assert_eq!(t.greenest_shift(8760 + 12, 24, 3), 12);
     }
 }

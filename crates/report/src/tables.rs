@@ -223,6 +223,49 @@ pub fn table6() -> Artifact {
     )
 }
 
+/// One row of the carbon-shifting comparison: a policy and its outcome
+/// on the same job trace.
+#[derive(Debug, Clone)]
+pub struct ShiftingRow {
+    /// Policy label.
+    pub policy: String,
+    /// Total operational carbon, kgCO₂.
+    pub carbon_kg: f64,
+    /// Carbon saved vs the run-at-arrival baseline, kgCO₂.
+    pub saved_kg: f64,
+    /// The same savings in percent of the baseline.
+    pub saved_pct: f64,
+    /// Mean queue wait, hours.
+    pub mean_wait_h: f64,
+    /// Max queue wait, hours.
+    pub max_wait_h: f64,
+}
+
+/// Renders the shifting comparison as an aligned Markdown table — the
+/// terminal view of "what does each policy buy, and what does it cost in
+/// queue time" used by `hpcarbon schedule` and the shifting example.
+pub fn shifting_comparison(rows: &[ShiftingRow]) -> String {
+    let mut md = MarkdownTable::new(&[
+        "policy",
+        "kgCO2",
+        "saved kg",
+        "saved %",
+        "mean wait h",
+        "max wait h",
+    ]);
+    for r in rows {
+        md.row([
+            r.policy.clone(),
+            format!("{:.1}", r.carbon_kg),
+            format!("{:.1}", r.saved_kg),
+            format!("{:.1}", r.saved_pct),
+            format!("{:.1}", r.mean_wait_h),
+            format!("{:.1}", r.max_wait_h),
+        ]);
+    }
+    md.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +328,31 @@ mod tests {
     fn month_names() {
         assert_eq!(month_name(1), "January");
         assert_eq!(month_name(11), "November");
+    }
+
+    #[test]
+    fn shifting_comparison_renders_every_row() {
+        let rows = vec![
+            ShiftingRow {
+                policy: "FIFO (carbon-unaware)".into(),
+                carbon_kg: 1200.0,
+                saved_kg: 0.0,
+                saved_pct: 0.0,
+                mean_wait_h: 0.0,
+                max_wait_h: 0.0,
+            },
+            ShiftingRow {
+                policy: "temporal shift".into(),
+                carbon_kg: 800.0,
+                saved_kg: 400.0,
+                saved_pct: 33.3,
+                mean_wait_h: 6.2,
+                max_wait_h: 24.0,
+            },
+        ];
+        let t = shifting_comparison(&rows);
+        assert!(t.contains("temporal shift"));
+        assert!(t.contains("400.0"));
+        assert_eq!(t.lines().count(), 2 + rows.len()); // header + rule + rows
     }
 }

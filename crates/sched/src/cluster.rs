@@ -1,7 +1,27 @@
 //! A GPU partition in one grid region.
 
+use crate::job::Job;
 use hpcarbon_grid::trace::IntensityTrace;
 use hpcarbon_units::{CarbonMass, Energy, Power, TimeSpan};
+
+/// The cluster `job` actually runs on when `preferred` is requested:
+/// `preferred` if it fits, else the first cluster that does, else
+/// `preferred` again (callers guard the no-fit case up front).
+///
+/// This is THE placement-fallback rule. The simulator's arrival event,
+/// the shifting policies and the savings baseline all call it, so the
+/// deferral trace, the counterfactual and the actual run can never
+/// drift onto different clusters when the rule changes.
+pub fn fitting_cluster(preferred: usize, job: &Job, clusters: &[Cluster]) -> usize {
+    if clusters[preferred].capacity_gpus >= job.gpus {
+        preferred
+    } else {
+        clusters
+            .iter()
+            .position(|c| c.capacity_gpus >= job.gpus)
+            .unwrap_or(preferred)
+    }
+}
 
 /// A homogeneous GPU partition whose electricity comes from one regional
 /// grid (its [`IntensityTrace`]).
@@ -55,16 +75,39 @@ impl Cluster {
         (power * duration) * self.pue
     }
 
-    /// Average intensity over a window (used by forecast-free policies).
+    /// Average intensity over a window (used by forecast-free policies):
+    /// one `O(1)` lookup in the trace's window index, wrapping past year
+    /// end. Durations beyond one trace year are approximated by the
+    /// full-year mean — the clamp ignores the extra weight a partial
+    /// second cycle would put on its hours, which only matters for
+    /// runtimes far outside the workload model (log-normal, median 3 h).
     pub fn mean_intensity_over(&self, start_hours: f64, duration_hours: f64) -> f64 {
-        let len = self.trace.series().len() as f64;
-        let n = duration_hours.ceil().max(1.0) as u32;
-        let mut acc = 0.0;
-        for k in 0..n {
-            let idx = ((start_hours.floor() + f64::from(k)) as u64 % len as u64) as u32;
-            acc += self.trace.at_index(idx).as_g_per_kwh();
-        }
-        acc / f64::from(n)
+        let len = self.trace.series().len() as u32;
+        let w = (duration_hours.ceil().max(1.0) as u32).min(len);
+        let start = (start_hours.floor() as u64 % u64::from(len)) as u32;
+        self.trace.window_index().window_mean(start, w)
+    }
+
+    /// The indexed greenest shift for a `duration_hours` run on this
+    /// cluster: the deferral `d ∈ [0, slack_hours]` minimizing the mean
+    /// intensity of the (wrapped) run window, plus that mean. `O(slack)`
+    /// via the trace's window index; ties break toward the smallest
+    /// shift.
+    pub fn greenest_shift_for(
+        &self,
+        start_hours: f64,
+        duration_hours: f64,
+        slack_hours: u32,
+    ) -> (u32, f64) {
+        let len = self.trace.series().len() as u32;
+        let w = (duration_hours.ceil().max(1.0) as u32).min(len);
+        let start = (start_hours.floor() as u64 % u64::from(len)) as u32;
+        let shift = self.trace.greenest_shift(start, slack_hours, w);
+        let mean = self
+            .trace
+            .window_index()
+            .window_mean((start + shift) % len, w);
+        (shift, mean)
     }
 }
 
@@ -128,6 +171,22 @@ mod tests {
         let c = Cluster::new("t", step_trace(), 8);
         assert!((c.mean_intensity_over(0.0, 12.0) - 100.0).abs() < 1e-9);
         assert!((c.mean_intensity_over(6.0, 12.0) - 200.0).abs() < 1e-9);
+        // The mean wraps at year end: hours 8759 (dirty) and 0 (clean).
+        assert!((c.mean_intensity_over(8759.0, 2.0) - 200.0).abs() < 1e-9);
+        // Durations beyond the trace clamp to one full year.
+        assert!((c.mean_intensity_over(0.0, 20_000.0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greenest_shift_finds_the_clean_block() {
+        let c = Cluster::new("t", step_trace(), 8);
+        // A 4-hour run arriving at hour 18 (dirty): best shift is 6 hours
+        // to midnight, mean 100.
+        let (shift, mean) = c.greenest_shift_for(18.0, 4.0, 24);
+        assert_eq!(shift, 6);
+        assert!((mean - 100.0).abs() < 1e-9);
+        // No slack: pinned to now.
+        assert_eq!(c.greenest_shift_for(18.0, 4.0, 0).0, 0);
     }
 
     #[test]

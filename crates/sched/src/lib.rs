@@ -19,13 +19,18 @@
 //!   shape);
 //! - [`cluster`]: a GPU partition bound to a regional intensity trace;
 //! - [`policy`]: scheduling policies — FIFO baseline, temporal deferral
-//!   (threshold and greenest-window forms) and cross-region dispatch;
+//!   (threshold and greenest-window forms), cross-region dispatch, and
+//!   the indexed shifting pair [`Policy::TemporalShift`] /
+//!   [`Policy::SpatioTemporal`] answering "greenest start within slack"
+//!   from the trace's window index instead of rescans;
 //! - [`sim`]: a discrete-event simulation joining the above, accounting
 //!   every job's operational carbon against the hourly trace (Eq. 6 per
 //!   hour);
 //! - [`budget`]: per-user carbon budgets with queue-priority incentives;
-//! - [`metrics`]: wait-time distributions, per-user statistics and Jain
-//!   fairness — the operator's view of a policy's queue-time cost.
+//! - [`metrics`]: wait-time distributions, per-user statistics, Jain
+//!   fairness, and per-job shifted-vs-baseline carbon savings — the
+//!   operator's view of what a policy costs in queue time and buys in
+//!   carbon.
 //!
 //! # Example
 //!
@@ -58,5 +63,6 @@ pub mod sim;
 pub use budget::CarbonBudgetLedger;
 pub use cluster::Cluster;
 pub use job::{Job, JobTraceGenerator};
+pub use metrics::{shift_savings, summarize_shift_savings, JobShiftSavings, ShiftSavingsSummary};
 pub use policy::Policy;
 pub use sim::{QueueDiscipline, SimError, SimOutcome, Simulation};

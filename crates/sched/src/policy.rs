@@ -43,6 +43,25 @@ pub enum Policy {
         /// Look-ahead horizon.
         horizon_hours: u32,
     },
+    /// Indexed temporal shifting: defer to the greenest runtime-length
+    /// window within the *policy's* slack, found by one `O(slack)` query
+    /// against the trace's window index (the `O(slack × runtime)` scan of
+    /// [`Policy::GreenestWindow`] collapsed to indexed lookups). The slack
+    /// is an operator-level contract applied to every job; per-job
+    /// deferral tolerance is not consulted. Ties break toward the
+    /// earliest start hour.
+    TemporalShift {
+        /// Hours a job may be deferred past its arrival.
+        slack_hours: u32,
+    },
+    /// Joint cluster + start-hour choice by indexed lookup: for every
+    /// cluster that fits the job, find its greenest in-slack window, then
+    /// run where the resulting window mean is lowest. Ties break toward
+    /// the earlier start hour, then the lower cluster index.
+    SpatioTemporal {
+        /// Hours a job may be deferred past its arrival.
+        slack_hours: u32,
+    },
 }
 
 impl Policy {
@@ -50,8 +69,20 @@ impl Policy {
     pub fn is_multi_region(self) -> bool {
         matches!(
             self,
-            Policy::LowestIntensityRegion | Policy::RegionAndTime { .. }
+            Policy::LowestIntensityRegion
+                | Policy::RegionAndTime { .. }
+                | Policy::SpatioTemporal { .. }
         )
+    }
+
+    /// The policy's shifting slack, when it is a shifting policy.
+    pub fn shift_slack_hours(self) -> Option<u32> {
+        match self {
+            Policy::TemporalShift { slack_hours } | Policy::SpatioTemporal { slack_hours } => {
+                Some(slack_hours)
+            }
+            _ => None,
+        }
     }
 
     /// Display label for reports.
@@ -62,6 +93,8 @@ impl Policy {
             Policy::GreenestWindow { .. } => "greenest-window deferral",
             Policy::LowestIntensityRegion => "lowest-intensity region",
             Policy::RegionAndTime { .. } => "region + time aware",
+            Policy::TemporalShift { .. } => "temporal shift",
+            Policy::SpatioTemporal { .. } => "spatio-temporal shift",
         }
     }
 
@@ -138,6 +171,43 @@ impl Policy {
                         best = Placement {
                             cluster: i,
                             earliest_start_hours: start,
+                        };
+                    }
+                }
+                best
+            }
+            Policy::TemporalShift { slack_hours } => {
+                // Shift against the trace of the cluster the job will
+                // actually run on, so the deferral is never optimized
+                // against the wrong region's trace.
+                let cluster = crate::cluster::fitting_cluster(arrival_cluster, job, clusters);
+                let (shift, _) =
+                    clusters[cluster].greenest_shift_for(now_hours, job.runtime_hours, slack_hours);
+                Placement {
+                    cluster,
+                    earliest_start_hours: now_hours + f64::from(shift),
+                }
+            }
+            Policy::SpatioTemporal { slack_hours } => {
+                let mut best = Placement {
+                    cluster: arrival_cluster,
+                    earliest_start_hours: now_hours,
+                };
+                let mut best_key = (f64::INFINITY, u32::MAX);
+                for (i, c) in clusters.iter().enumerate() {
+                    if c.capacity_gpus < job.gpus {
+                        continue;
+                    }
+                    let (shift, mean) =
+                        c.greenest_shift_for(now_hours, job.runtime_hours, slack_hours);
+                    // Strict lexicographic improvement keeps the earliest
+                    // start on equal means and the lowest cluster index on
+                    // full ties — fully deterministic placement.
+                    if (mean, shift) < best_key {
+                        best_key = (mean, shift);
+                        best = Placement {
+                            cluster: i,
+                            earliest_start_hours: now_hours + f64::from(shift),
                         };
                     }
                 }
@@ -290,10 +360,120 @@ mod tests {
             Policy::GreenestWindow { horizon_hours: 1 },
             Policy::LowestIntensityRegion,
             Policy::RegionAndTime { horizon_hours: 1 },
+            Policy::TemporalShift { slack_hours: 1 },
+            Policy::SpatioTemporal { slack_hours: 1 },
         ] {
             assert!(!p.label().is_empty());
         }
         assert!(Policy::LowestIntensityRegion.is_multi_region());
+        assert!(Policy::SpatioTemporal { slack_hours: 1 }.is_multi_region());
+        assert!(!Policy::TemporalShift { slack_hours: 1 }.is_multi_region());
         assert!(!Policy::Fifo.is_multi_region());
+        assert_eq!(
+            Policy::TemporalShift { slack_hours: 9 }.shift_slack_hours(),
+            Some(9)
+        );
+        assert_eq!(Policy::Fifo.shift_slack_hours(), None);
+    }
+
+    #[test]
+    fn temporal_shift_defers_into_the_night() {
+        let clusters = [diurnal_cluster()];
+        // Arriving at hour 8 with 24 h of slack: a 4-hour run is greenest
+        // starting at the next midnight (hour 24 -> shift 16).
+        let p = Policy::TemporalShift { slack_hours: 24 }.place(
+            &job(0.0, 4.0), // job tolerance is irrelevant to this policy
+            8.0,
+            0,
+            &clusters,
+        );
+        assert_eq!(p.cluster, 0);
+        assert_eq!(p.earliest_start_hours, 24.0);
+    }
+
+    #[test]
+    fn temporal_shift_with_zero_slack_runs_now() {
+        let clusters = [diurnal_cluster()];
+        let p = Policy::TemporalShift { slack_hours: 0 }.place(&job(0.0, 4.0), 8.0, 0, &clusters);
+        assert_eq!(p.earliest_start_hours, 8.0);
+    }
+
+    #[test]
+    fn temporal_shift_ties_break_to_the_earliest_start() {
+        let clusters = [flat_cluster(200.0)];
+        let p = Policy::TemporalShift { slack_hours: 48 }.place(&job(0.0, 3.0), 5.0, 0, &clusters);
+        // All windows are equal on a flat trace: run immediately.
+        assert_eq!(p.earliest_start_hours, 5.0);
+    }
+
+    #[test]
+    fn spatio_temporal_jointly_picks_region_and_hour() {
+        // Cluster 0 is flat 200; cluster 1 is diurnal (clean nights at 50).
+        let clusters = [flat_cluster(200.0), diurnal_cluster()];
+        let p = Policy::SpatioTemporal { slack_hours: 24 }.place(&job(0.0, 4.0), 8.0, 0, &clusters);
+        // Deferring to cluster 1's night (mean 50) beats running at 200.
+        assert_eq!(p.cluster, 1);
+        assert_eq!(p.earliest_start_hours, 24.0);
+    }
+
+    #[test]
+    fn spatio_temporal_respects_capacity() {
+        let mut tiny = diurnal_cluster();
+        tiny.capacity_gpus = 1;
+        let clusters = [flat_cluster(200.0), tiny];
+        let mut j = job(0.0, 4.0);
+        j.gpus = 4;
+        let p = Policy::SpatioTemporal { slack_hours: 24 }.place(&j, 8.0, 1, &clusters);
+        assert_eq!(p.cluster, 0);
+    }
+
+    #[test]
+    fn spatio_temporal_ties_break_to_the_lowest_cluster() {
+        let clusters = [flat_cluster(200.0), flat_cluster(200.0)];
+        let p = Policy::SpatioTemporal { slack_hours: 12 }.place(&job(0.0, 2.0), 1.0, 1, &clusters);
+        assert_eq!(p.cluster, 0);
+        assert_eq!(p.earliest_start_hours, 1.0);
+    }
+
+    #[test]
+    fn temporal_shift_falls_back_to_a_fitting_cluster() {
+        // The arrival cluster is too small: the shift must be computed on
+        // (and the placement point at) the cluster the job actually runs
+        // on, not the arrival cluster's unrelated trace.
+        let mut tiny = flat_cluster(100.0);
+        tiny.capacity_gpus = 1;
+        let clusters = [tiny, diurnal_cluster()];
+        let mut j = job(0.0, 4.0);
+        j.gpus = 4;
+        let p = Policy::TemporalShift { slack_hours: 24 }.place(&j, 8.0, 0, &clusters);
+        assert_eq!(p.cluster, 1);
+        // Deferred to cluster 1's clean night, not run immediately on the
+        // flat trace's "everything is equal" answer.
+        assert_eq!(p.earliest_start_hours, 24.0);
+    }
+
+    #[test]
+    fn temporal_shift_matches_naive_argmin() {
+        // The indexed placement must agree with a direct scan of every
+        // candidate start on a structured trace.
+        let clusters = [diurnal_cluster()];
+        let j = job(0.0, 5.0);
+        for now in [0.0, 7.0, 13.0, 22.0] {
+            let p = Policy::TemporalShift { slack_hours: 30 }.place(&j, now, 0, &clusters);
+            let mut best_shift = 0u32;
+            let mut best = f64::INFINITY;
+            for d in 0..=30u32 {
+                let m = clusters[0].mean_intensity_over(now + f64::from(d), 5.0);
+                if m < best {
+                    best = m;
+                    best_shift = d;
+                }
+            }
+            assert_eq!(
+                p.earliest_start_hours,
+                now + f64::from(best_shift),
+                "now {now}"
+            );
+        }
     }
 }

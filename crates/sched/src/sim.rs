@@ -32,6 +32,16 @@ pub enum SimError {
         /// GPUs the job demands.
         gpus: u32,
     },
+    /// A shifting policy's slack spans at least one full trace year, so a
+    /// deferred release hour could land outside the trace (and the
+    /// "greenest window within slack" question degenerates to scanning
+    /// the whole year again).
+    ShiftSlackExceedsTrace {
+        /// The policy's slack, hours.
+        slack_hours: u32,
+        /// The shortest cluster trace, hours.
+        trace_hours: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -40,6 +50,13 @@ impl std::fmt::Display for SimError {
             SimError::OversizedJob { job, gpus } => write!(
                 f,
                 "job {job} needs {gpus} GPUs but no cluster is large enough"
+            ),
+            SimError::ShiftSlackExceedsTrace {
+                slack_hours,
+                trace_hours,
+            } => write!(
+                f,
+                "shifting slack of {slack_hours} h meets or exceeds the {trace_hours} h trace horizon"
             ),
         }
     }
@@ -218,18 +235,29 @@ impl<'a> Simulation<'a> {
             }
         }
 
+        // Slack guard: a shifting slack of a full trace year (or more)
+        // would defer jobs past the hours the trace can price.
+        if let Some(slack_hours) = policy.shift_slack_hours() {
+            for c in &clusters {
+                let trace_hours = c.trace.series().len() as u32;
+                if slack_hours >= trace_hours {
+                    return Err(SimError::ShiftSlackExceedsTrace {
+                        slack_hours,
+                        trace_hours,
+                    });
+                }
+            }
+        }
+
         while let Some((now, event)) = q.pop() {
             match event {
                 Event::Arrive(i) => {
                     let arrival_cluster = jobs[i].user % clusters.len();
                     let mut placement = policy.place(&jobs[i], now, arrival_cluster, &clusters);
-                    if clusters[placement.cluster].capacity_gpus < jobs[i].gpus {
-                        // Fall back to any cluster that fits.
-                        placement.cluster = clusters
-                            .iter()
-                            .position(|c| c.capacity_gpus >= jobs[i].gpus)
-                            .expect("guard above ensures a fit exists");
-                    }
+                    // The shared fallback rule; the capacity guard above
+                    // ensures a fit exists.
+                    placement.cluster =
+                        crate::cluster::fitting_cluster(placement.cluster, &jobs[i], &clusters);
                     if placement.earliest_start_hours > now {
                         q.schedule_at(
                             placement.earliest_start_hours,
@@ -531,6 +559,92 @@ mod tests {
         let out = Simulation::single_region(c.clone(), Policy::Fifo, &js).run();
         let expected = c.carbon_for(2.0, TimeSpan::from_hours(3.0), Power::from_w(500.0));
         assert!((out.total_carbon.as_g() - expected.as_g()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temporal_shift_cuts_carbon_via_release_events() {
+        let js = jobs(300, 3);
+        let fifo = Simulation::single_region(diurnal_cluster(512), Policy::Fifo, &js).run();
+        let shifted = Simulation::single_region(
+            diurnal_cluster(512),
+            Policy::TemporalShift { slack_hours: 24 },
+            &js,
+        )
+        .run();
+        assert!(
+            shifted.total_carbon.as_kg() < fifo.total_carbon.as_kg() * 0.8,
+            "shifted {} vs fifo {}",
+            shifted.total_carbon.as_kg(),
+            fifo.total_carbon.as_kg()
+        );
+        // Deferral is bounded by the policy slack (+ capacity queueing,
+        // which is zero at this capacity).
+        assert!(shifted.max_wait_hours <= 24.0 + 1e-9);
+    }
+
+    #[test]
+    fn spatio_temporal_beats_single_axis_policies() {
+        let dirty_flat = Cluster::new(
+            "flat",
+            IntensityTrace::new(OperatorId::Miso, HourlySeries::constant(2021, 300.0)),
+            512,
+        );
+        let js = jobs(200, 9);
+        let run = |policy| {
+            Simulation::multi_region(vec![dirty_flat.clone(), diurnal_cluster(512)], policy, &js)
+                .run()
+                .total_carbon
+                .as_kg()
+        };
+        let joint = run(Policy::SpatioTemporal { slack_hours: 24 });
+        let temporal_only = run(Policy::TemporalShift { slack_hours: 24 });
+        let spatial_only = run(Policy::LowestIntensityRegion);
+        assert!(joint <= temporal_only + 1e-9, "{joint} vs {temporal_only}");
+        assert!(joint <= spatial_only + 1e-9, "{joint} vs {spatial_only}");
+    }
+
+    #[test]
+    fn shifting_outcomes_are_deterministic() {
+        let js = jobs(150, 8);
+        let run = || {
+            Simulation::single_region(
+                diurnal_cluster(32),
+                Policy::SpatioTemporal { slack_hours: 18 },
+                &js,
+            )
+            .run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.total_carbon.as_g(), b.total_carbon.as_g());
+        assert_eq!(a.mean_wait_hours, b.mean_wait_hours);
+    }
+
+    #[test]
+    fn oversized_slack_fails_soft() {
+        let js = jobs(10, 1);
+        let err = Simulation::single_region(
+            diurnal_cluster(512),
+            Policy::TemporalShift { slack_hours: 8760 },
+            &js,
+        )
+        .try_run()
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ShiftSlackExceedsTrace {
+                slack_hours: 8760,
+                trace_hours: 8760
+            }
+        );
+        assert!(err.to_string().contains("trace horizon"));
+        // One hour less is fine.
+        assert!(Simulation::single_region(
+            diurnal_cluster(512),
+            Policy::TemporalShift { slack_hours: 8759 },
+            &js,
+        )
+        .try_run()
+        .is_ok());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Declarative scenario grids: the cartesian product of dimension lists.
 
-use crate::scenario::{PueSpec, Scenario, StorageVariant, SystemId, UpgradePath};
+use crate::scenario::{PueSpec, Scenario, StorageVariant, SystemId, TraceSource, UpgradePath};
 use hpcarbon_grid::regions::OperatorId;
 use hpcarbon_sched::Policy;
 use hpcarbon_workloads::benchmarks::Suite;
@@ -20,6 +20,8 @@ pub struct ScenarioGrid {
     pub storage: Vec<StorageVariant>,
     /// Grid regions.
     pub regions: Vec<OperatorId>,
+    /// Trace sources (paper dispatch simulation vs synthetic harmonics).
+    pub sources: Vec<TraceSource>,
     /// Facility PUE models.
     pub pues: Vec<PueSpec>,
     /// Scheduling policies.
@@ -37,6 +39,7 @@ impl ScenarioGrid {
             systems: Vec::new(),
             storage: Vec::new(),
             regions: Vec::new(),
+            sources: Vec::new(),
             pues: Vec::new(),
             policies: Vec::new(),
             upgrades: Vec::new(),
@@ -59,6 +62,12 @@ impl ScenarioGrid {
     /// Sets the region dimension.
     pub fn regions(mut self, v: impl Into<Vec<OperatorId>>) -> Self {
         self.regions = v.into();
+        self
+    }
+
+    /// Sets the trace-source dimension.
+    pub fn sources(mut self, v: impl Into<Vec<TraceSource>>) -> Self {
+        self.sources = v.into();
         self
     }
 
@@ -91,6 +100,7 @@ impl ScenarioGrid {
         self.systems.len()
             * self.storage.len()
             * self.regions.len()
+            * self.sources.len()
             * self.pues.len()
             * self.policies.len()
             * self.upgrades.len()
@@ -109,21 +119,24 @@ impl ScenarioGrid {
         for &system in &self.systems {
             for &storage in &self.storage {
                 for &region in &self.regions {
-                    for &pue in &self.pues {
-                        for &policy in &self.policies {
-                            for &upgrade in &self.upgrades {
-                                for &seed in &self.seeds {
-                                    out.push(Scenario {
-                                        id,
-                                        system,
-                                        storage,
-                                        region,
-                                        pue,
-                                        policy,
-                                        upgrade,
-                                        seed,
-                                    });
-                                    id += 1;
+                    for &source in &self.sources {
+                        for &pue in &self.pues {
+                            for &policy in &self.policies {
+                                for &upgrade in &self.upgrades {
+                                    for &seed in &self.seeds {
+                                        out.push(Scenario {
+                                            id,
+                                            system,
+                                            storage,
+                                            region,
+                                            source,
+                                            pue,
+                                            policy,
+                                            upgrade,
+                                            seed,
+                                        });
+                                        id += 1;
+                                    }
                                 }
                             }
                         }
@@ -142,6 +155,7 @@ impl ScenarioGrid {
             .systems(SystemId::ALL)
             .storage(StorageVariant::ALL)
             .regions(OperatorId::ALL)
+            .sources([TraceSource::Paper])
             .pues([
                 PueSpec::Constant(1.2),
                 PueSpec::Seasonal {
@@ -177,6 +191,7 @@ impl ScenarioGrid {
             .systems([SystemId::Frontier, SystemId::Perlmutter])
             .storage([StorageVariant::Baseline])
             .regions([OperatorId::Eso, OperatorId::Ciso])
+            .sources([TraceSource::Paper])
             .pues([PueSpec::Constant(1.2)])
             .policies([Policy::Fifo, Policy::GreenestWindow { horizon_hours: 24 }])
             .upgrades([UpgradePath {
@@ -185,6 +200,31 @@ impl ScenarioGrid {
                 suite: Suite::Nlp,
             }])
             .seeds([2021, 7])
+    }
+
+    /// The carbon-shifting study: both trace sources × the shifting
+    /// policies at several slack levels against the FIFO baseline —
+    /// 2 regions × 2 sources × 5 policies = 20 scenarios per seed.
+    pub fn shifting() -> ScenarioGrid {
+        ScenarioGrid::new()
+            .systems([SystemId::Frontier])
+            .storage([StorageVariant::Baseline])
+            .regions([OperatorId::Eso, OperatorId::Ciso])
+            .sources(TraceSource::ALL)
+            .pues([PueSpec::Constant(1.2)])
+            .policies([
+                Policy::Fifo,
+                Policy::TemporalShift { slack_hours: 6 },
+                Policy::TemporalShift { slack_hours: 24 },
+                Policy::TemporalShift { slack_hours: 48 },
+                Policy::SpatioTemporal { slack_hours: 24 },
+            ])
+            .upgrades([UpgradePath {
+                from: NodeGen::V100Node,
+                to: NodeGen::A100Node,
+                suite: Suite::Nlp,
+            }])
+            .seeds([2021])
     }
 }
 
@@ -201,9 +241,27 @@ mod tests {
     #[test]
     fn len_is_the_dimension_product() {
         let g = ScenarioGrid::paper_default();
-        assert_eq!(g.len(), 3 * 2 * 7 * 2 * 3 * 2);
+        // systems × storage × regions × sources × pues × policies ×
+        // upgrades (× 1 seed).
+        #[allow(clippy::identity_op)]
+        let expected = 3 * 2 * 7 * 1 * 2 * 3 * 2;
+        assert_eq!(g.len(), expected);
         assert_eq!(g.scenarios().len(), g.len());
         assert!(g.len() >= 500, "the default sweep must cover ≥500 points");
+    }
+
+    #[test]
+    fn shifting_grid_covers_both_sources_and_all_slacks() {
+        let g = ScenarioGrid::shifting();
+        #[allow(clippy::identity_op)]
+        let expected = 1 * 1 * 2 * 2 * 1 * 5 * 1 * 1;
+        assert_eq!(g.len(), expected);
+        let s = g.scenarios();
+        assert!(s.iter().any(|x| x.source == TraceSource::Synthetic));
+        assert!(s.iter().any(|x| x.source == TraceSource::Paper));
+        assert!(s
+            .iter()
+            .any(|x| x.policy == hpcarbon_sched::Policy::SpatioTemporal { slack_hours: 24 }));
     }
 
     #[test]

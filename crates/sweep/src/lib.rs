@@ -55,6 +55,6 @@ pub use exec::{SweepConfig, SweepExecutor};
 pub use grid::ScenarioGrid;
 pub use scenario::{
     run_scenario, PueSpec, Scenario, ScenarioError, ScenarioOutcome, StorageVariant, SystemId,
-    UpgradePath,
+    TraceSource, UpgradePath,
 };
 pub use table::{MetricSummary, SweepResults, SweepRow};

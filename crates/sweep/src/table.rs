@@ -36,11 +36,12 @@ pub struct SweepResults {
 
 /// CSV column order; [`SweepResults::to_csv`] and the JSON emitter both
 /// follow it.
-const COLUMNS: [&str; 22] = [
+const COLUMNS: [&str; 25] = [
     "id",
     "system",
     "storage",
     "region",
+    "trace",
     "pue",
     "policy",
     "upgrade",
@@ -55,6 +56,8 @@ const COLUMNS: [&str; 22] = [
     "sched_kwh",
     "mean_wait_h",
     "max_wait_h",
+    "saved_kg",
+    "saved_pct",
     "node_annual_kg",
     "break_even_y",
     "asymptotic_pct",
@@ -121,11 +124,12 @@ impl SweepResults {
     /// rows. Empty when no row succeeded.
     pub fn summary(&self) -> Vec<MetricSummary> {
         type MetricGetter = fn(&ScenarioOutcome) -> Option<f64>;
-        let metrics: [(&'static str, MetricGetter); 6] = [
+        let metrics: [(&'static str, MetricGetter); 7] = [
             ("embodied_t", |o| Some(o.embodied_t)),
             ("median_g_per_kwh", |o| Some(o.median_g_per_kwh)),
             ("sched_kg", |o| Some(o.sched_carbon_kg)),
             ("mean_wait_h", |o| Some(o.mean_wait_hours)),
+            ("saved_kg", |o| Some(o.shift_saved_kg)),
             ("node_annual_kg", |o| Some(o.node_annual_kg)),
             ("break_even_y", |o| o.break_even_years),
         ];
@@ -170,12 +174,13 @@ impl SweepResults {
     }
 
     /// The scenario dimensions of one row as display strings, CSV order.
-    fn dimension_cells(s: &Scenario) -> [String; 8] {
+    fn dimension_cells(s: &Scenario) -> [String; 9] {
         [
             s.id.to_string(),
             s.system.label().to_string(),
             s.storage.label().to_string(),
             s.region.info().short.to_string(),
+            s.source.label().to_string(),
             s.pue.label(),
             s.policy.label().to_string(),
             s.upgrade.label(),
@@ -202,6 +207,8 @@ impl SweepResults {
                         num(o.sched_energy_kwh),
                         num(o.mean_wait_hours),
                         num(o.max_wait_hours),
+                        num(o.shift_saved_kg),
+                        num(o.shift_saved_pct),
                         num(o.node_annual_kg),
                         opt(o.break_even_years),
                         num(o.asymptotic_savings_pct),
@@ -236,7 +243,7 @@ impl SweepResults {
                 obj.push_str(&format!("\"{key}\": {value}"));
             };
             push(&mut obj, "id", r.scenario.id.to_string());
-            for (key, cell) in COLUMNS[1..7].iter().zip(dims[1..7].iter()) {
+            for (key, cell) in COLUMNS[1..8].iter().zip(dims[1..8].iter()) {
                 push(&mut obj, key, json_string(cell));
             }
             push(&mut obj, "seed", r.scenario.seed.to_string());
@@ -289,6 +296,16 @@ impl SweepResults {
                 &mut obj,
                 "max_wait_h",
                 json_num(o.ok().map(|o| o.max_wait_hours)),
+            );
+            push(
+                &mut obj,
+                "saved_kg",
+                json_num(o.ok().map(|o| o.shift_saved_kg)),
+            );
+            push(
+                &mut obj,
+                "saved_pct",
+                json_num(o.ok().map(|o| o.shift_saved_pct)),
             );
             push(
                 &mut obj,
@@ -372,7 +389,7 @@ mod tests {
         let csv = r.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), r.len() + 1);
-        assert!(lines[0].starts_with("id,system,storage,region,pue,policy"));
+        assert!(lines[0].starts_with("id,system,storage,region,trace,pue,policy"));
         // Every row has the full column count.
         for line in &lines {
             assert_eq!(line.split(',').count(), COLUMNS.len(), "{line}");

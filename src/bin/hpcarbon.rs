@@ -6,8 +6,9 @@
 //! hpcarbon systems                               Fig. 5 composition of Table 2 systems
 //! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
 //! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G] [--usage F]
-//! hpcarbon schedule [--jobs N] [--seed N]        policy comparison on GB+CA clusters
-//! hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K] [--quick]
+//! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]
+//! hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]
+//!                   [--quick | --shifting]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no CLI
@@ -46,12 +47,18 @@ fn print_usage() {
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
          USAGE:\n  hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
-         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N]\n  \
-         hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K] [--quick]\n\n\
-         sweep runs the full scenario grid (system x storage x region x PUE x\n\
-         policy x upgrade path; 504 scenarios by default, 16 with --quick) in\n\
+         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
+         hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]\n                    \
+         [--quick | --shifting]\n\n\
+         sweep runs the full scenario grid (system x storage x region x trace\n\
+         source x PUE x policy x upgrade path; 504 scenarios by default, 16\n\
+         with --quick, 20 carbon-shifting scenarios with --shifting) in\n\
          parallel and writes sweep.csv + sweep.json under --out (default\n\
-         out/sweep). Output is byte-identical for every --threads value."
+         out/sweep). Output is byte-identical for every --threads value.\n\n\
+         schedule compares every policy (incl. the indexed temporal and\n\
+         spatio-temporal shifting pair at --slack hours) on GB+CA clusters\n\
+         and reports per-policy carbon savings vs the run-at-arrival\n\
+         baseline; --synthetic swaps in synthetic region-years."
     );
 }
 
@@ -217,6 +224,8 @@ fn cmd_advisor(args: &[String]) -> i32 {
 fn cmd_sweep(args: &[String]) -> i32 {
     let mut grid = if args.iter().any(|a| a == "--quick") {
         ScenarioGrid::quick()
+    } else if args.iter().any(|a| a == "--shifting") {
+        ScenarioGrid::shifting()
     } else {
         ScenarioGrid::paper_default()
     };
@@ -279,13 +288,21 @@ fn cmd_schedule(args: &[String]) -> i32 {
     let seed: u64 = flag(args, "--seed")
         .and_then(|s| s.parse().ok())
         .unwrap_or(7);
-    let gb = Cluster::new("gb", simulate_year(OperatorId::Eso, 2021, seed), 96);
-    let ca = Cluster::new("ca", simulate_year(OperatorId::Ciso, 2021, seed), 96);
+    let slack: u32 = flag(args, "--slack")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let trace = |op| {
+        if args.iter().any(|a| a == "--synthetic") {
+            synthesize_year(op, 2021, seed)
+        } else {
+            simulate_year(op, 2021, seed)
+        }
+    };
+    let gb = Cluster::new("gb", trace(OperatorId::Eso), 96);
+    let ca = Cluster::new("ca", trace(OperatorId::Ciso), 96);
+    let clusters = vec![gb, ca];
     let jobs = JobTraceGenerator::default_rates().generate(jobs_n, seed);
-    println!(
-        "{:<28} {:>10} {:>12} {:>10}",
-        "policy", "kgCO2", "mean wait", "max wait"
-    );
+    let mut rows = Vec::new();
     for policy in [
         Policy::Fifo,
         Policy::ThresholdDefer {
@@ -294,15 +311,29 @@ fn cmd_schedule(args: &[String]) -> i32 {
         Policy::GreenestWindow { horizon_hours: 24 },
         Policy::LowestIntensityRegion,
         Policy::RegionAndTime { horizon_hours: 24 },
+        Policy::TemporalShift { slack_hours: slack },
+        Policy::SpatioTemporal { slack_hours: slack },
     ] {
-        let out = Simulation::multi_region(vec![gb.clone(), ca.clone()], policy, &jobs).run();
-        println!(
-            "{:<28} {:>10.1} {:>10.1} h {:>8.1} h",
-            policy.label(),
-            out.total_carbon.as_kg(),
-            out.mean_wait_hours,
-            out.max_wait_hours
-        );
+        let out = match Simulation::multi_region(clusters.clone(), policy, &jobs).try_run() {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("{}: {e}", policy.label());
+                return 1;
+            }
+        };
+        let savings = summarize_shift_savings(&shift_savings(&out, &jobs, &clusters));
+        rows.push(sustainable_hpc::report::tables::ShiftingRow {
+            policy: policy.label().to_string(),
+            carbon_kg: out.total_carbon.as_kg(),
+            saved_kg: savings.saved_kg,
+            saved_pct: savings.saved_pct,
+            mean_wait_h: out.mean_wait_hours,
+            max_wait_h: out.max_wait_hours,
+        });
     }
+    print!(
+        "{}",
+        sustainable_hpc::report::tables::shifting_comparison(&rows)
+    );
     0
 }

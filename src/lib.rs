@@ -71,9 +71,13 @@ pub mod prelude {
     pub use hpcarbon_core::lifecycle::total_carbon;
     pub use hpcarbon_core::operational::{operational_carbon, Pue};
     pub use hpcarbon_core::systems::HpcSystem;
-    pub use hpcarbon_grid::{simulate_all_regions, simulate_year, IntensityTrace, OperatorId};
-    pub use hpcarbon_sched::{Cluster, Job, JobTraceGenerator, Policy, Simulation};
-    pub use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+    pub use hpcarbon_grid::{
+        simulate_all_regions, simulate_year, synthesize_year, IntensityTrace, OperatorId,
+    };
+    pub use hpcarbon_sched::{
+        shift_savings, summarize_shift_savings, Cluster, Job, JobTraceGenerator, Policy, Simulation,
+    };
+    pub use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor, TraceSource};
     pub use hpcarbon_units::*;
     pub use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor, UpgradeScenario};
     pub use hpcarbon_workloads::{benchmarks::Suite, nodes::NodeGen, GpuModel};

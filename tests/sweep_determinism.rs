@@ -77,6 +77,37 @@ fn rerunning_a_sweep_is_reproducible() {
 }
 
 #[test]
+fn shifting_axes_are_thread_count_invariant() {
+    // The carbon-shifting grid exercises every new axis at once:
+    // TemporalShift at several slacks, SpatioTemporal, and synthetic as
+    // well as paper traces. Output must stay byte-identical for any
+    // worker count, like every other sweep.
+    let grid = ScenarioGrid::shifting();
+    let cfg = SweepConfig::fast();
+    let reference = SweepExecutor::new(cfg).with_threads(1).run(&grid);
+    for threads in [2, 4, 8] {
+        let run = SweepExecutor::new(cfg).with_threads(threads).run(&grid);
+        assert_eq!(reference.to_csv(), run.to_csv(), "{threads} threads");
+        assert_eq!(reference.to_json(), run.to_json(), "{threads} threads");
+    }
+    // Every scenario in the shifting grid is feasible, and the shifting
+    // rows actually report savings columns.
+    assert_eq!(reference.error_count(), 0);
+    let csv = reference.to_csv();
+    assert!(csv.contains("temporal shift"));
+    assert!(csv.contains("spatio-temporal shift"));
+    assert!(csv.contains("synthetic"));
+    // FIFO rows save nothing; at least one shifting row saves something.
+    let saved: Vec<f64> = reference
+        .rows()
+        .iter()
+        .filter_map(|r| r.outcome.as_ref().ok())
+        .map(|o| o.shift_saved_kg)
+        .collect();
+    assert!(saved.iter().any(|s| *s > 0.0), "{saved:?}");
+}
+
+#[test]
 fn facade_prelude_exposes_the_sweep_types() {
     // ScenarioGrid, SweepConfig, SweepExecutor all arrive via the prelude.
     let results = SweepExecutor::new(SweepConfig::fast())
