@@ -1,0 +1,219 @@
+//! The one error type of the front door.
+//!
+//! Before this crate existed every layer failed with its own enum —
+//! `ScenarioError` in the sweep, `SimError` in the scheduler,
+//! `WhatIfError` in the embodied what-ifs, `AnalysisError` in the grid
+//! analyses — and every consumer re-wrapped them differently. [`ApiError`]
+//! unifies them behind one surface: anything an [`crate::Estimator`] can
+//! fail with, plus the parse/validation failures of the request layer.
+//!
+//! Display strings for the wrapped layer errors are kept **byte-for-byte
+//! identical** to the old `ScenarioError` renderings, because the sweep's
+//! CSV/JSON error cells are part of the stable output contract.
+
+use crate::types::PueSpec;
+use hpcarbon_core::whatif::WhatIfError;
+use hpcarbon_grid::analysis::AnalysisError;
+use hpcarbon_sched::SimError;
+
+/// Why a request could not be parsed into an [`crate::EstimateRequest`].
+///
+/// Every variant names the offending field, and [`ParseError::UnknownValue`]
+/// lists the accepted values — the CLI and the JSON decoder share these, so
+/// a typo'd `--from x100` and a typo'd `"system": "fronteer"` produce the
+/// same kind of actionable message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The input is not syntactically valid JSON.
+    Json {
+        /// Byte offset of the failure.
+        at: usize,
+        /// What the parser expected.
+        msg: String,
+    },
+    /// An object carries a field the schema does not define (the
+    /// versioning rule: unknown fields are rejected, never ignored).
+    UnknownField {
+        /// The unrecognized key.
+        field: String,
+    },
+    /// A required field is absent.
+    MissingField {
+        /// The absent key.
+        field: &'static str,
+    },
+    /// A field holds the wrong JSON type.
+    BadType {
+        /// The offending key.
+        field: &'static str,
+        /// The type the schema expects.
+        expected: &'static str,
+    },
+    /// An enumerated field holds a value outside its vocabulary.
+    UnknownValue {
+        /// The offending key.
+        field: &'static str,
+        /// The rejected value.
+        value: String,
+        /// The accepted values.
+        expected: &'static [&'static str],
+    },
+    /// A numeric field is outside its domain (negative count,
+    /// non-integer hour, fraction outside (0, 1], …).
+    BadNumber {
+        /// The offending key.
+        field: &'static str,
+        /// Why the number is rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Json { at, msg } => write!(f, "invalid JSON at byte {at}: {msg}"),
+            ParseError::UnknownField { field } => {
+                write!(f, "unknown field \"{field}\" (unknown fields are rejected)")
+            }
+            ParseError::MissingField { field } => write!(f, "missing required field \"{field}\""),
+            ParseError::BadType { field, expected } => {
+                write!(f, "field \"{field}\" must be {expected}")
+            }
+            ParseError::UnknownValue {
+                field,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "unknown {field} \"{value}\" (valid values: {})",
+                    expected.join(", ")
+                )
+            }
+            ParseError::BadNumber { field, reason } => {
+                write!(f, "field \"{field}\" {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Everything the estimation API can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The PUE model is unphysical.
+    InvalidPue(PueSpec),
+    /// The storage what-if does not apply to this system.
+    WhatIf(WhatIfError),
+    /// The scheduling run is infeasible.
+    Sched(SimError),
+    /// A multi-trace grid analysis is infeasible.
+    Analysis(AnalysisError),
+    /// The request declares a schema version this build does not speak.
+    Schema {
+        /// The version the request declares.
+        found: u64,
+        /// The version this build supports.
+        supported: u32,
+    },
+    /// The request could not be parsed.
+    Parse(ParseError),
+    /// A parsed request fails semantic validation.
+    InvalidRequest {
+        /// The offending field.
+        field: &'static str,
+        /// Why it is rejected.
+        reason: &'static str,
+    },
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // The first three renderings are the sweep's historical
+            // `ScenarioError` strings; CSV/JSON error cells depend on them.
+            ApiError::WhatIf(e) => write!(f, "storage what-if: {e}"),
+            ApiError::Sched(e) => write!(f, "scheduling: {e}"),
+            ApiError::InvalidPue(p) => write!(f, "invalid PUE model {p:?}"),
+            ApiError::Analysis(e) => write!(f, "grid analysis: {e}"),
+            ApiError::Schema { found, supported } => write!(
+                f,
+                "unsupported schema_version {found} (this build supports {supported})"
+            ),
+            ApiError::Parse(e) => write!(f, "{e}"),
+            ApiError::InvalidRequest { field, reason } => {
+                write!(f, "invalid request: field \"{field}\" {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+impl From<WhatIfError> for ApiError {
+    fn from(e: WhatIfError) -> ApiError {
+        ApiError::WhatIf(e)
+    }
+}
+
+impl From<SimError> for ApiError {
+    fn from(e: SimError) -> ApiError {
+        ApiError::Sched(e)
+    }
+}
+
+impl From<AnalysisError> for ApiError {
+    fn from(e: AnalysisError) -> ApiError {
+        ApiError::Analysis(e)
+    }
+}
+
+impl From<ParseError> for ApiError {
+    fn from(e: ParseError) -> ApiError {
+        ApiError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_core::db::PartId;
+
+    #[test]
+    fn legacy_scenario_error_strings_are_preserved() {
+        // These exact strings appear in sweep CSV/JSON error cells.
+        assert_eq!(
+            ApiError::from(WhatIfError::NoSourceUnits(PartId::Hdd16tb)).to_string(),
+            "storage what-if: system holds no Hdd16tb"
+        );
+        assert!(ApiError::InvalidPue(PueSpec::Constant(0.8))
+            .to_string()
+            .starts_with("invalid PUE model Constant"));
+        assert!(ApiError::from(SimError::OversizedJob { job: 3, gpus: 512 })
+            .to_string()
+            .starts_with("scheduling: "));
+    }
+
+    #[test]
+    fn unknown_value_lists_the_vocabulary() {
+        let e = ParseError::UnknownValue {
+            field: "--from",
+            value: "x100".into(),
+            expected: &["p100", "v100", "a100"],
+        };
+        assert_eq!(
+            e.to_string(),
+            "unknown --from \"x100\" (valid values: p100, v100, a100)"
+        );
+    }
+
+    #[test]
+    fn analysis_errors_unify() {
+        let e = ApiError::from(AnalysisError::YearMismatch);
+        assert_eq!(
+            e.to_string(),
+            "grid analysis: all traces must cover the same year"
+        );
+    }
+}

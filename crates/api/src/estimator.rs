@@ -1,0 +1,419 @@
+//! The estimator: one validated request in, one footprint report out.
+//!
+//! [`Estimator::estimate`] runs the paper's full pipeline (Eqs. 1–6)
+//! against the configured providers:
+//!
+//! 1. embodied composition, with the storage what-if applied;
+//! 2. the regional grid year from the [`IntensityProvider`];
+//! 3. a scheduling run on a cluster powered by that grid (multi-region
+//!    policies get a partner site), plus shift savings against the
+//!    run-at-arrival baseline;
+//! 4. PUE-adjusted annual accounting of one reference node;
+//! 5. the upgrade question at the region's median intensity.
+//!
+//! ## Determinism
+//!
+//! Estimation is a **pure function of the request and the providers**.
+//! All randomness forks off the request's seed through fixed substream
+//! labels (`trace`, `jobs`) — never thread-local or shared state — and
+//! [`Estimator::estimate_batch`] fans requests over
+//! [`hpcarbon_sim::par::par_map_workers`], which returns results in input
+//! order. Batch output (and its JSON emission) is therefore
+//! **byte-identical for every thread count**; `tests/api_roundtrip.rs`
+//! and the CI smoke job diff 1-thread against 4-thread runs.
+
+use crate::error::ApiError;
+use crate::providers::{
+    CatalogEmbodied, DispatchIntensity, EmbodiedSource, IntensityProvider, PueProvider, RequestPue,
+};
+use crate::report::{FootprintReport, Verdict};
+use crate::request::{EstimateRequest, ValidRequest};
+use crate::types::{PueSpec, StorageVariant};
+use hpcarbon_core::db::PartId;
+use hpcarbon_core::operational::Pue;
+use hpcarbon_core::whatif::swap_storage_tier;
+use hpcarbon_power::pue_model::{account_with_seasonal_pue, SeasonalPue};
+use hpcarbon_sched::{
+    shift_savings, summarize_shift_savings, Cluster, JobTraceGenerator, Simulation,
+};
+use hpcarbon_sim::par::{par_map_workers, worker_count};
+use hpcarbon_sim::rng::SimRng;
+use hpcarbon_units::{CarbonIntensity, TimeSpan};
+use hpcarbon_upgrade::savings::UpgradeScenario;
+use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor};
+use hpcarbon_workloads::power::node_active_power;
+
+/// Assembles an [`Estimator`] from providers; every axis defaults to the
+/// in-repo models.
+pub struct EstimatorBuilder {
+    intensity: Box<dyn IntensityProvider>,
+    embodied: Box<dyn EmbodiedSource>,
+    pue: Box<dyn PueProvider>,
+    threads: Option<usize>,
+}
+
+impl EstimatorBuilder {
+    /// Swaps the intensity provider.
+    pub fn intensity(mut self, p: impl IntensityProvider + 'static) -> EstimatorBuilder {
+        self.intensity = Box::new(p);
+        self
+    }
+
+    /// Swaps the embodied-inventory source.
+    pub fn embodied(mut self, p: impl EmbodiedSource + 'static) -> EstimatorBuilder {
+        self.embodied = Box::new(p);
+        self
+    }
+
+    /// Swaps the PUE provider.
+    pub fn pue(mut self, p: impl PueProvider + 'static) -> EstimatorBuilder {
+        self.pue = Box::new(p);
+        self
+    }
+
+    /// Forces the batch worker count (1 = serial reference run); the
+    /// default uses the available parallelism.
+    pub fn threads(mut self, n: usize) -> EstimatorBuilder {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Estimator {
+        Estimator {
+            intensity: self.intensity,
+            embodied: self.embodied,
+            pue: self.pue,
+            threads: self.threads,
+        }
+    }
+}
+
+/// The single front door to the estimation stack.
+///
+/// ```
+/// use hpcarbon_api::{Estimator, EstimateRequest, SystemId};
+/// use hpcarbon_grid::regions::OperatorId;
+///
+/// let est = Estimator::builder().build();
+/// let req = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+/// let report = est.estimate(&req).unwrap();
+/// assert!(report.embodied.total_t > 1000.0);
+/// assert!(report.operational.sched_kg > 0.0);
+/// ```
+pub struct Estimator {
+    intensity: Box<dyn IntensityProvider>,
+    embodied: Box<dyn EmbodiedSource>,
+    pue: Box<dyn PueProvider>,
+    threads: Option<usize>,
+}
+
+impl Estimator {
+    /// Starts a builder with the default providers ([`DispatchIntensity`],
+    /// [`CatalogEmbodied`], [`RequestPue`]).
+    pub fn builder() -> EstimatorBuilder {
+        EstimatorBuilder {
+            intensity: Box::new(DispatchIntensity),
+            embodied: Box::new(CatalogEmbodied),
+            pue: Box::new(RequestPue),
+            threads: None,
+        }
+    }
+
+    /// Validates and evaluates one request.
+    ///
+    /// # Errors
+    /// [`ApiError`] when the request is invalid or the combination is
+    /// infeasible (storage what-if without a source tier, oversized
+    /// shifting slack, …). Errors are values — batch callers record the
+    /// error row and keep going.
+    pub fn estimate(&self, req: &EstimateRequest) -> Result<FootprintReport, ApiError> {
+        let valid = req.validate()?;
+        self.evaluate(&valid)
+    }
+
+    /// Evaluates a batch in parallel, one result per request, **in
+    /// request order**. Infeasible requests become error entries; the
+    /// batch always completes. Output is byte-identical for every
+    /// configured thread count.
+    pub fn estimate_batch(
+        &self,
+        reqs: &[EstimateRequest],
+    ) -> Vec<Result<FootprintReport, ApiError>> {
+        let workers = self.threads.unwrap_or_else(|| worker_count(reqs.len()));
+        par_map_workers(reqs, workers, |_, req| self.estimate(req))
+    }
+
+    /// The five-layer pipeline. Mirrors the historical
+    /// `sweep::run_scenario` computation exactly — the sweep now delegates
+    /// here, and its CSV/JSON output is a frozen contract.
+    fn evaluate(&self, v: &ValidRequest) -> Result<FootprintReport, ApiError> {
+        let r = v.request();
+        let pue = self.pue.resolve(r.pue);
+        // Providers cannot smuggle an unphysical model past the gate.
+        pue.validate()?;
+
+        // Layer 1: embodied composition, with the storage what-if applied.
+        let base = self.embodied.build_system(r.system);
+        let (system, storage_delta_pct) = match r.storage {
+            StorageVariant::Baseline => (base, None),
+            StorageVariant::AllFlash => {
+                let w = swap_storage_tier(&base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
+                let delta = w.relative_change() * 100.0;
+                (w.system, Some(delta))
+            }
+        };
+        let embodied_t = system.embodied_total().as_t();
+
+        // Layer 2: the regional grid year, from this request's own stream.
+        let rng = SimRng::seed_from(r.seed);
+        let trace_seed = rng.substream("trace").seed();
+        let trace = self
+            .intensity
+            .year_trace(r.region, r.source, r.year, trace_seed);
+        let boxplot = trace.boxplot();
+        let median = CarbonIntensity::from_g_per_kwh(boxplot.median);
+
+        // Layer 3: the scheduling run on a cluster powered by that grid,
+        // and its carbon savings against the run-at-arrival baseline.
+        let mut cluster = Cluster::new(r.region.info().short, trace.clone(), r.cluster_gpus);
+        cluster.pue = pue.mean_value();
+        let mut clusters = vec![cluster];
+        // By default multi-region policies get a partner site (otherwise
+        // the spatial axis would silently degenerate to the temporal one
+        // in these single-region requests) and single-region policies
+        // don't; `request.partner` forces it either way so a policy
+        // comparison can hold the topology fixed. The partner is the
+        // greenest complement region (GB, or CA when the request already
+        // is GB), built from the same provider, seed stream and PUE — so
+        // the estimate stays a pure function of the request and the
+        // providers.
+        if r.partner.unwrap_or_else(|| r.policy.is_multi_region()) {
+            let partner_op = if r.region == hpcarbon_grid::regions::OperatorId::Eso {
+                hpcarbon_grid::regions::OperatorId::Ciso
+            } else {
+                hpcarbon_grid::regions::OperatorId::Eso
+            };
+            let partner_trace = self
+                .intensity
+                .year_trace(partner_op, r.source, r.year, trace_seed);
+            let mut partner = Cluster::new(partner_op.info().short, partner_trace, r.cluster_gpus);
+            partner.pue = pue.mean_value();
+            clusters.push(partner);
+        }
+        let jobs_seed = rng.substream("jobs").seed();
+        let jobs = JobTraceGenerator::default_rates().generate(r.jobs, jobs_seed);
+        let sim = Simulation::multi_region(clusters.clone(), r.policy, &jobs).try_run()?;
+        let savings = summarize_shift_savings(&shift_savings(&sim, &jobs, &clusters));
+
+        // Layer 4: PUE-adjusted annual accounting of one reference node.
+        let usage = r.usage;
+        let year = TimeSpan::from_years(1.0);
+        let it_energy = node_active_power(r.upgrade.from, r.upgrade.suite) * usage.value() * year;
+        let node_annual_kg = match pue {
+            PueSpec::Constant(v) => (median * Pue::new(v).apply(it_energy)).as_kg(),
+            PueSpec::Seasonal { mean, amplitude } => {
+                // validate() above guarantees SeasonalPue's invariants.
+                let seasonal = SeasonalPue::new(mean, amplitude);
+                account_with_seasonal_pue(&trace, &seasonal, 0, it_energy, year).as_kg()
+            }
+        };
+
+        // Layer 5: the upgrade question at the region's median intensity.
+        let upgrade = UpgradeScenario {
+            old: r.upgrade.from,
+            new: r.upgrade.to,
+            suite: r.upgrade.suite,
+            usage,
+            pue: Pue::new(pue.mean_value()),
+        };
+        let verdict = match UpgradeAdvisor::with_five_year_horizon().recommend(&upgrade, median) {
+            Recommendation::Upgrade { .. } => Verdict::Upgrade,
+            Recommendation::ExtendLifetime { .. } => Verdict::Extend,
+            Recommendation::KeepHardware => Verdict::Keep,
+        };
+
+        Ok(FootprintReport {
+            schema_version: crate::request::SCHEMA_VERSION,
+            request: r.clone(),
+            embodied: crate::report::EmbodiedSection {
+                total_t: embodied_t,
+                storage_delta_pct,
+            },
+            grid: crate::report::GridSection {
+                median_g_per_kwh: boxplot.median,
+                cov_pct: trace.cov_percent(),
+            },
+            operational: crate::report::OperationalSection {
+                sched_kg: sim.total_carbon.as_kg(),
+                sched_kwh: sim.total_energy.as_kwh(),
+                mean_wait_h: sim.mean_wait_hours,
+                max_wait_h: sim.max_wait_hours,
+            },
+            shift: crate::report::ShiftSection {
+                saved_kg: savings.saved_kg,
+                saved_pct: savings.saved_pct,
+            },
+            upgrade: crate::report::UpgradeSection {
+                node_annual_kg,
+                break_even_y: upgrade.break_even(median).map(|t| t.as_years()),
+                asymptotic_pct: upgrade.asymptotic_savings_percent(),
+                verdict,
+            },
+        })
+    }
+}
+
+impl Default for Estimator {
+    fn default() -> Estimator {
+        Estimator::builder().build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::providers::FlatIntensity;
+    use crate::types::{SystemId, TraceSource, UpgradePath};
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_sched::Policy;
+    use hpcarbon_workloads::benchmarks::Suite;
+    use hpcarbon_workloads::nodes::NodeGen;
+
+    fn req() -> EstimateRequest {
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 40;
+        r
+    }
+
+    #[test]
+    fn baseline_estimate_is_physical() {
+        let rep = Estimator::default().estimate(&req()).unwrap();
+        assert!(rep.embodied.total_t > 1000.0);
+        assert!(rep.embodied.storage_delta_pct.is_none());
+        assert!(rep.grid.median_g_per_kwh > 0.0);
+        assert!(rep.operational.sched_kg > 0.0);
+        assert!(rep.upgrade.node_annual_kg > 0.0);
+        assert_eq!(rep.upgrade.verdict, Verdict::Upgrade);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let est = Estimator::default();
+        let a = est.estimate(&req()).unwrap();
+        let b = est.estimate(&req()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_is_thread_count_invariant() {
+        let reqs: Vec<EstimateRequest> = [2021u64, 7, 13]
+            .into_iter()
+            .map(|seed| {
+                let mut r = req();
+                r.seed = seed;
+                r
+            })
+            .collect();
+        let serial = Estimator::builder()
+            .threads(1)
+            .build()
+            .estimate_batch(&reqs);
+        let parallel = Estimator::builder()
+            .threads(8)
+            .build()
+            .estimate_batch(&reqs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn infeasible_requests_fail_soft_in_batches() {
+        let mut bad = req();
+        bad.system = SystemId::Perlmutter;
+        bad.storage = crate::types::StorageVariant::AllFlash;
+        let out = Estimator::default().estimate_batch(&[req(), bad]);
+        assert!(out[0].is_ok());
+        assert!(matches!(out[1], Err(ApiError::WhatIf(_))));
+    }
+
+    #[test]
+    fn oversized_slack_is_a_sched_error() {
+        let mut r = req();
+        r.policy = Policy::TemporalShift { slack_hours: 9000 };
+        assert!(matches!(
+            Estimator::default().estimate(&r).unwrap_err(),
+            ApiError::Sched(hpcarbon_sched::SimError::ShiftSlackExceedsTrace { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_intensity_provider_plugs_in() {
+        let mut r = req();
+        r.upgrade = UpgradePath {
+            from: NodeGen::V100Node,
+            to: NodeGen::A100Node,
+            suite: Suite::Nlp,
+        };
+        let flat = Estimator::builder()
+            .intensity(FlatIntensity::new(250.0))
+            .build()
+            .estimate(&r)
+            .unwrap();
+        assert_eq!(flat.grid.median_g_per_kwh, 250.0);
+        assert_eq!(flat.grid.cov_pct, 0.0);
+        // Synthetic vs paper makes no difference to a flat provider.
+        r.source = TraceSource::Synthetic;
+        let flat2 = Estimator::builder()
+            .intensity(FlatIntensity::new(250.0))
+            .build()
+            .estimate(&r)
+            .unwrap();
+        assert_eq!(flat.operational.sched_kg, flat2.operational.sched_kg);
+    }
+
+    #[test]
+    fn partner_override_fixes_the_topology() {
+        let est = Estimator::default();
+        // Forcing the partner onto a single-region policy changes the
+        // cluster set (jobs spread over two sites), so the default and
+        // forced runs must differ…
+        let default_fifo = est.estimate(&req()).unwrap();
+        let mut forced = req();
+        forced.partner = Some(true);
+        let forced_fifo = est.estimate(&forced).unwrap();
+        assert_ne!(
+            default_fifo.operational.sched_kg,
+            forced_fifo.operational.sched_kg
+        );
+        // …while Some(false) on a single-region policy computes exactly
+        // the default numbers (only the echoed request differs).
+        let mut off = req();
+        off.partner = Some(false);
+        let off_fifo = est.estimate(&off).unwrap();
+        assert_eq!(off_fifo.operational, default_fifo.operational);
+        assert_eq!(off_fifo.shift, default_fifo.shift);
+        assert_eq!(off_fifo.upgrade, default_fifo.upgrade);
+        // A multi-region policy with the partner forced off still runs
+        // (the spatial axis degenerates to a single site).
+        let mut lone = req();
+        lone.policy = Policy::SpatioTemporal { slack_hours: 24 };
+        lone.partner = Some(false);
+        assert!(est.estimate(&lone).is_ok());
+    }
+
+    #[test]
+    fn pue_provider_overrides_are_revalidated() {
+        struct BrokenPue;
+        impl crate::providers::PueProvider for BrokenPue {
+            fn resolve(&self, _req: PueSpec) -> PueSpec {
+                PueSpec::Constant(0.5)
+            }
+        }
+        let e = Estimator::builder()
+            .pue(BrokenPue)
+            .build()
+            .estimate(&req())
+            .unwrap_err();
+        assert!(matches!(e, ApiError::InvalidPue(_)));
+    }
+}

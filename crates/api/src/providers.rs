@@ -1,0 +1,158 @@
+//! Pluggable data sources behind the estimator.
+//!
+//! Every axis a [`crate::FootprintReport`] depends on is a trait with a
+//! default implementation wrapping the in-repo models, so a deployment
+//! can swap in its own data without forking the pipeline:
+//!
+//! - [`IntensityProvider`] — where region-year carbon-intensity traces
+//!   come from ([`DispatchIntensity`] wraps the calibrated dispatch
+//!   simulator and the synthetic harmonic generator; [`FlatIntensity`]
+//!   is the constant-intensity stub behind `hpcarbon advisor`);
+//! - [`EmbodiedSource`] — where system inventories come from
+//!   ([`CatalogEmbodied`] wraps the Table 1/2 part catalog);
+//! - [`PueProvider`] — which PUE model applies ([`RequestPue`] honors
+//!   the request; a site-specific provider can override it).
+//!
+//! Contract for all providers: implementations must be **pure functions
+//! of their arguments** (no ambient randomness, clocks, or mutable
+//! state), because batch determinism — byte-identical output for any
+//! thread count — is promised over them.
+
+use crate::types::{PueSpec, SystemId, TraceSource};
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::sim::simulate_year;
+use hpcarbon_grid::synth::synthesize_year;
+use hpcarbon_grid::trace::IntensityTrace;
+use hpcarbon_timeseries::series::HourlySeries;
+
+/// Supplies the hourly carbon-intensity trace of one region-year.
+pub trait IntensityProvider: Send + Sync {
+    /// Returns the trace for `region` in `year`. `seed` is the trace
+    /// substream seed derived from the request (same request → same
+    /// seed), and `source` is the request's trace-source dimension —
+    /// providers that model a single source may ignore it.
+    fn year_trace(
+        &self,
+        region: OperatorId,
+        source: TraceSource,
+        year: i32,
+        seed: u64,
+    ) -> IntensityTrace;
+}
+
+/// Supplies system inventories for embodied-carbon accounting.
+pub trait EmbodiedSource: Send + Sync {
+    /// Builds the as-built inventory of `system`.
+    fn build_system(&self, system: SystemId) -> HpcSystem;
+}
+
+/// Resolves the PUE model a request runs under.
+pub trait PueProvider: Send + Sync {
+    /// Maps the request's PUE spec to the one actually applied. The
+    /// result is re-validated by the estimator, so a provider cannot
+    /// smuggle an unphysical model past the request gate.
+    fn resolve(&self, requested: PueSpec) -> PueSpec;
+}
+
+/// Default intensity provider: the paper's calibrated dispatch simulator
+/// for [`TraceSource::Paper`], the synthetic harmonic generator for
+/// [`TraceSource::Synthetic`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatchIntensity;
+
+impl IntensityProvider for DispatchIntensity {
+    fn year_trace(
+        &self,
+        region: OperatorId,
+        source: TraceSource,
+        year: i32,
+        seed: u64,
+    ) -> IntensityTrace {
+        match source {
+            TraceSource::Paper => simulate_year(region, year, seed),
+            TraceSource::Synthetic => synthesize_year(region, year, seed),
+        }
+    }
+}
+
+/// A constant-intensity stub: every hour of the year carries the same
+/// gCO₂/kWh. Useful for what-ifs pinned to a single grid number (the
+/// `hpcarbon advisor --intensity` path) and as the simplest example of a
+/// custom provider.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatIntensity {
+    g_per_kwh: f64,
+}
+
+impl FlatIntensity {
+    /// A provider pinning every hour to `g_per_kwh`.
+    pub fn new(g_per_kwh: f64) -> FlatIntensity {
+        FlatIntensity { g_per_kwh }
+    }
+}
+
+impl IntensityProvider for FlatIntensity {
+    fn year_trace(
+        &self,
+        region: OperatorId,
+        _source: TraceSource,
+        year: i32,
+        _seed: u64,
+    ) -> IntensityTrace {
+        IntensityTrace::new(region, HourlySeries::from_fn(year, |_| self.g_per_kwh))
+    }
+}
+
+/// Default embodied source: the Table 1 part catalog composed into the
+/// Table 2 system inventories.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CatalogEmbodied;
+
+impl EmbodiedSource for CatalogEmbodied {
+    fn build_system(&self, system: SystemId) -> HpcSystem {
+        system.build()
+    }
+}
+
+/// Default PUE provider: the request's own PUE spec, unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestPue;
+
+impl PueProvider for RequestPue {
+    fn resolve(&self, requested: PueSpec) -> PueSpec {
+        requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_provider_matches_the_raw_generators() {
+        let a = DispatchIntensity.year_trace(OperatorId::Eso, TraceSource::Paper, 2021, 42);
+        let b = simulate_year(OperatorId::Eso, 2021, 42);
+        assert_eq!(a.series().values(), b.series().values());
+        let a = DispatchIntensity.year_trace(OperatorId::Eso, TraceSource::Synthetic, 2021, 42);
+        let b = synthesize_year(OperatorId::Eso, 2021, 42);
+        assert_eq!(a.series().values(), b.series().values());
+    }
+
+    #[test]
+    fn flat_provider_is_flat() {
+        let t = FlatIntensity::new(200.0).year_trace(OperatorId::Ciso, TraceSource::Paper, 2021, 7);
+        assert_eq!(t.boxplot().median, 200.0);
+        assert_eq!(t.cov_percent(), 0.0);
+        assert_eq!(t.series().len(), 8760);
+    }
+
+    #[test]
+    fn default_pue_provider_is_identity() {
+        let p = PueSpec::Seasonal {
+            mean: 1.2,
+            amplitude: 0.1,
+        };
+        assert_eq!(RequestPue.resolve(p), p);
+    }
+}

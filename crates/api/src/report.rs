@@ -1,0 +1,389 @@
+//! The response: a structured footprint report with a stable JSON form.
+//!
+//! A [`FootprintReport`] carries everything the paper's pipeline produces
+//! for one request — the embodied breakdown, the grid-year statistics,
+//! the scheduled operational carbon, the shift savings, and the upgrade
+//! verdict — plus the request itself, echoed back verbatim for
+//! provenance. JSON emission is hand-rolled in the `sweep::table` idiom
+//! (fixed `{:.4}` metric formatting, deterministic field order), so
+//! parse → re-emit is byte-stable and batch outputs can be `diff`ed
+//! across thread counts.
+
+use crate::error::{ApiError, ParseError};
+use crate::json::{
+    as_num, as_object, as_opt_num, as_u64, esc, fmt_metric, parse as parse_json, reject_unknown,
+    require_str, Json,
+};
+use crate::request::{EstimateRequest, SCHEMA_VERSION};
+
+/// The upgrade advisor's five-year-horizon verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Replace the hardware now; embodied cost amortizes in time.
+    Upgrade,
+    /// Keep running the old hardware past the horizon, then revisit.
+    Extend,
+    /// Keep the hardware; the upgrade never pays off at this grid.
+    Keep,
+}
+
+impl Verdict {
+    /// Stable label (also the JSON value and the sweep's CSV cell).
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Upgrade => "upgrade",
+            Verdict::Extend => "extend",
+            Verdict::Keep => "keep",
+        }
+    }
+
+    fn parse(field: &'static str, s: &str) -> Result<Verdict, ParseError> {
+        match s {
+            "upgrade" => Ok(Verdict::Upgrade),
+            "extend" => Ok(Verdict::Extend),
+            "keep" => Ok(Verdict::Keep),
+            _ => Err(ParseError::UnknownValue {
+                field,
+                value: s.to_string(),
+                expected: &["upgrade", "extend", "keep"],
+            }),
+        }
+    }
+}
+
+/// Embodied carbon of the (possibly transformed) inventory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmbodiedSection {
+    /// Total embodied carbon, tCO₂.
+    pub total_t: f64,
+    /// Relative embodied change of the storage what-if, % (`None` for
+    /// the baseline variant).
+    pub storage_delta_pct: Option<f64>,
+}
+
+/// Statistics of the simulated regional grid year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridSection {
+    /// Median annual carbon intensity, gCO₂/kWh.
+    pub median_g_per_kwh: f64,
+    /// Coefficient of variation of the intensity trace, %.
+    pub cov_pct: f64,
+}
+
+/// Operational results of the scheduled job trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationalSection {
+    /// Total operational carbon, kgCO₂.
+    pub sched_kg: f64,
+    /// Total facility energy, kWh.
+    pub sched_kwh: f64,
+    /// Mean queue wait, hours.
+    pub mean_wait_h: f64,
+    /// Max queue wait, hours.
+    pub max_wait_h: f64,
+}
+
+/// Carbon-aware shifting savings versus running every job at arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShiftSection {
+    /// Carbon saved, kgCO₂ (negative when deferral backfired).
+    pub saved_kg: f64,
+    /// The same savings as a percentage of the baseline.
+    pub saved_pct: f64,
+}
+
+/// The upgrade question at the region's median intensity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradeSection {
+    /// Annual carbon of one reference node under the request's PUE
+    /// model, kgCO₂.
+    pub node_annual_kg: f64,
+    /// Break-even time, years (`None` when the upgrade never pays off).
+    pub break_even_y: Option<f64>,
+    /// Asymptotic energy saving, %.
+    pub asymptotic_pct: f64,
+    /// Advisor verdict at a five-year horizon.
+    pub verdict: Verdict,
+}
+
+/// One estimate's full answer, including the request that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FootprintReport {
+    /// Schema version of this report (matches the request schema).
+    pub schema_version: u32,
+    /// The request, echoed back verbatim.
+    pub request: EstimateRequest,
+    /// Embodied breakdown.
+    pub embodied: EmbodiedSection,
+    /// Grid-year statistics.
+    pub grid: GridSection,
+    /// Scheduled operational results.
+    pub operational: OperationalSection,
+    /// Shift savings.
+    pub shift: ShiftSection,
+    /// Upgrade break-even and verdict.
+    pub upgrade: UpgradeSection,
+}
+
+impl FootprintReport {
+    /// Emits the report as a multi-line JSON object (no trailing
+    /// newline). Field order and number formatting are fixed, so
+    /// emission is deterministic and parse → re-emit is byte-stable.
+    pub fn to_json(&self) -> String {
+        self.to_json_padded("")
+    }
+
+    fn to_json_padded(&self, pad: &str) -> String {
+        let m = fmt_metric;
+        format!(
+            "{pad}{{\n\
+             {pad}  \"schema_version\": {},\n\
+             {pad}  \"request\": {},\n\
+             {pad}  \"embodied\": {{\"total_t\": {}, \"storage_delta_pct\": {}}},\n\
+             {pad}  \"grid\": {{\"median_g_per_kwh\": {}, \"cov_pct\": {}}},\n\
+             {pad}  \"operational\": {{\"sched_kg\": {}, \"sched_kwh\": {}, \"mean_wait_h\": {}, \"max_wait_h\": {}}},\n\
+             {pad}  \"shift\": {{\"saved_kg\": {}, \"saved_pct\": {}}},\n\
+             {pad}  \"upgrade\": {{\"node_annual_kg\": {}, \"break_even_y\": {}, \"asymptotic_pct\": {}, \"verdict\": {}}}\n\
+             {pad}}}",
+            self.schema_version,
+            self.request.to_json(),
+            m(Some(self.embodied.total_t)),
+            m(self.embodied.storage_delta_pct),
+            m(Some(self.grid.median_g_per_kwh)),
+            m(Some(self.grid.cov_pct)),
+            m(Some(self.operational.sched_kg)),
+            m(Some(self.operational.sched_kwh)),
+            m(Some(self.operational.mean_wait_h)),
+            m(Some(self.operational.max_wait_h)),
+            m(Some(self.shift.saved_kg)),
+            m(Some(self.shift.saved_pct)),
+            m(Some(self.upgrade.node_annual_kg)),
+            m(self.upgrade.break_even_y),
+            m(Some(self.upgrade.asymptotic_pct)),
+            esc(self.upgrade.verdict.label()),
+        )
+    }
+
+    /// Parses one report document (strict: unknown fields rejected, the
+    /// embedded request re-decoded through the request schema).
+    pub fn from_json(src: &str) -> Result<FootprintReport, ApiError> {
+        Self::from_json_value(&parse_json(src)?)
+    }
+
+    fn from_json_value(j: &Json) -> Result<FootprintReport, ApiError> {
+        let fields = as_object(j, "report")?;
+        reject_unknown(
+            fields,
+            &[
+                "schema_version",
+                "request",
+                "embodied",
+                "grid",
+                "operational",
+                "shift",
+                "upgrade",
+            ],
+        )?;
+        let section = |key: &'static str| -> Result<&Json, ParseError> {
+            j.get(key).ok_or(ParseError::MissingField { field: key })
+        };
+        let version = as_u64("schema_version", section("schema_version")?)?;
+        if version != u64::from(SCHEMA_VERSION) {
+            return Err(ApiError::Schema {
+                found: version,
+                supported: SCHEMA_VERSION,
+            });
+        }
+        let request = EstimateRequest::from_json_value(section("request")?)?;
+
+        let embodied = section("embodied")?;
+        reject_unknown(
+            as_object(embodied, "embodied")?,
+            &["total_t", "storage_delta_pct"],
+        )?;
+        let embodied = EmbodiedSection {
+            total_t: as_num(
+                "embodied.total_t",
+                embodied.get("total_t").ok_or(ParseError::MissingField {
+                    field: "embodied.total_t",
+                })?,
+            )?,
+            storage_delta_pct: match embodied.get("storage_delta_pct") {
+                Some(v) => as_opt_num("embodied.storage_delta_pct", v)?,
+                None => None,
+            },
+        };
+
+        let grid = section("grid")?;
+        reject_unknown(as_object(grid, "grid")?, &["median_g_per_kwh", "cov_pct"])?;
+        let num = |obj: &Json, field: &'static str, key: &str| -> Result<f64, ParseError> {
+            as_num(
+                field,
+                obj.get(key).ok_or(ParseError::MissingField { field })?,
+            )
+        };
+        let grid = GridSection {
+            median_g_per_kwh: num(grid, "grid.median_g_per_kwh", "median_g_per_kwh")?,
+            cov_pct: num(grid, "grid.cov_pct", "cov_pct")?,
+        };
+
+        let op = section("operational")?;
+        reject_unknown(
+            as_object(op, "operational")?,
+            &["sched_kg", "sched_kwh", "mean_wait_h", "max_wait_h"],
+        )?;
+        let operational = OperationalSection {
+            sched_kg: num(op, "operational.sched_kg", "sched_kg")?,
+            sched_kwh: num(op, "operational.sched_kwh", "sched_kwh")?,
+            mean_wait_h: num(op, "operational.mean_wait_h", "mean_wait_h")?,
+            max_wait_h: num(op, "operational.max_wait_h", "max_wait_h")?,
+        };
+
+        let shift = section("shift")?;
+        reject_unknown(as_object(shift, "shift")?, &["saved_kg", "saved_pct"])?;
+        let shift = ShiftSection {
+            saved_kg: num(shift, "shift.saved_kg", "saved_kg")?,
+            saved_pct: num(shift, "shift.saved_pct", "saved_pct")?,
+        };
+
+        let up = section("upgrade")?;
+        reject_unknown(
+            as_object(up, "upgrade")?,
+            &[
+                "node_annual_kg",
+                "break_even_y",
+                "asymptotic_pct",
+                "verdict",
+            ],
+        )?;
+        let upgrade = UpgradeSection {
+            node_annual_kg: num(up, "upgrade.node_annual_kg", "node_annual_kg")?,
+            break_even_y: match up.get("break_even_y") {
+                Some(v) => as_opt_num("upgrade.break_even_y", v)?,
+                None => None,
+            },
+            asymptotic_pct: num(up, "upgrade.asymptotic_pct", "asymptotic_pct")?,
+            verdict: Verdict::parse("upgrade.verdict", require_str(up, "verdict")?)?,
+        };
+
+        Ok(FootprintReport {
+            schema_version: SCHEMA_VERSION,
+            request,
+            embodied,
+            grid,
+            operational,
+            shift,
+            upgrade,
+        })
+    }
+}
+
+/// Emits a batch result as a JSON array, one entry per request in
+/// request order; infeasible requests become `{"error": "..."}` rows so
+/// the array always aligns with the input batch. Ends with a newline
+/// (the CLI writes it to files that CI `cmp`s).
+pub fn batch_to_json(results: &[Result<FootprintReport, ApiError>]) -> String {
+    if results.is_empty() {
+        return "[]\n".to_string();
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        match r {
+            Ok(rep) => out.push_str(&rep.to_json_padded("  ")),
+            Err(e) => out.push_str(&format!("  {{\"error\": {}}}", esc(&e.to_string()))),
+        }
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Parses a batch emission back; error rows come back as `Err` with the
+/// emitted message (the typed cause is not reconstructable from text).
+pub fn batch_from_json(src: &str) -> Result<Vec<Result<FootprintReport, String>>, ApiError> {
+    let items = match parse_json(src)? {
+        Json::Arr(items) => items,
+        _ => {
+            return Err(ParseError::BadType {
+                field: "report document",
+                expected: "an array of report objects",
+            }
+            .into())
+        }
+    };
+    items
+        .iter()
+        .map(|j| match j.get("error") {
+            Some(Json::Str(msg)) => Ok(Err(msg.clone())),
+            _ => FootprintReport::from_json_value(j).map(Ok),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::Estimator;
+    use crate::types::SystemId;
+    use hpcarbon_grid::regions::OperatorId;
+
+    fn report() -> FootprintReport {
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 40;
+        Estimator::default().estimate(&r).unwrap()
+    }
+
+    #[test]
+    fn report_round_trips_byte_identically() {
+        let rep = report();
+        let json = rep.to_json();
+        let back = FootprintReport::from_json(&json).unwrap();
+        assert_eq!(back.request, rep.request);
+        assert_eq!(back.upgrade.verdict, rep.upgrade.verdict);
+        // Re-emission of the parsed report reproduces the bytes.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn batch_emission_aligns_errors_with_requests() {
+        let ok = report();
+        let results = vec![
+            Ok(ok.clone()),
+            Err(ApiError::InvalidRequest {
+                field: "jobs",
+                reason: "must be at least 1",
+            }),
+            Ok(ok),
+        ];
+        let json = batch_to_json(&results);
+        let back = batch_from_json(&json).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back[0].is_ok());
+        assert!(back[1].as_ref().unwrap_err().contains("jobs"));
+        assert!(back[2].is_ok());
+        assert_eq!(batch_to_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn strict_parsing_rejects_unknown_report_fields() {
+        let rep = report();
+        let tampered = rep
+            .to_json()
+            .replace("\"shift\":", "\"vibes\": 1,\n  \"shift\":");
+        assert!(matches!(
+            FootprintReport::from_json(&tampered).unwrap_err(),
+            ApiError::Parse(ParseError::UnknownField { .. })
+        ));
+    }
+
+    #[test]
+    fn verdict_vocabulary() {
+        for v in [Verdict::Upgrade, Verdict::Extend, Verdict::Keep] {
+            assert_eq!(Verdict::parse("upgrade.verdict", v.label()).unwrap(), v);
+        }
+        assert!(Verdict::parse("upgrade.verdict", "sell").is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The request dimensions: which system, storage variant, PUE model,
+//! trace source, and upgrade path an estimate is asked about.
+//!
+//! These types were born in the sweep engine's scenario grid and moved
+//! here when the API became the single front door; `hpcarbon_sweep`
+//! re-exports them, so grid declarations and estimate requests share one
+//! vocabulary.
+
+use crate::error::ApiError;
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_workloads::benchmarks::Suite;
+use hpcarbon_workloads::nodes::NodeGen;
+
+/// Which Table 2 system the request deploys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemId {
+    /// Frontier (Oak Ridge).
+    Frontier,
+    /// LUMI (Kajaani).
+    Lumi,
+    /// Perlmutter (Berkeley).
+    Perlmutter,
+}
+
+impl SystemId {
+    /// All Table 2 systems, paper order.
+    pub const ALL: [SystemId; 3] = [SystemId::Frontier, SystemId::Lumi, SystemId::Perlmutter];
+
+    /// Builds the system inventory from the Table 1/2 catalog.
+    pub fn build(self) -> HpcSystem {
+        match self {
+            SystemId::Frontier => HpcSystem::frontier(),
+            SystemId::Lumi => HpcSystem::lumi(),
+            SystemId::Perlmutter => HpcSystem::perlmutter(),
+        }
+    }
+
+    /// Display label (also the JSON value).
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemId::Frontier => "frontier",
+            SystemId::Lumi => "lumi",
+            SystemId::Perlmutter => "perlmutter",
+        }
+    }
+}
+
+/// Storage-architecture variant applied to the system before costing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageVariant {
+    /// The as-built inventory.
+    Baseline,
+    /// The Fig. 5 discussion's what-if: replace the HDD capacity tier with
+    /// flash at equal capacity. Fails soft on systems with no HDD tier.
+    AllFlash,
+}
+
+impl StorageVariant {
+    /// Both variants.
+    pub const ALL: [StorageVariant; 2] = [StorageVariant::Baseline, StorageVariant::AllFlash];
+
+    /// Display label (also the JSON value).
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageVariant::Baseline => "baseline",
+            StorageVariant::AllFlash => "all-flash",
+        }
+    }
+}
+
+/// Facility PUE model for the request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PueSpec {
+    /// Constant year-round PUE (the paper's assumption).
+    Constant(f64),
+    /// Seasonal PUE: sinusoidal around `mean` with the given swing
+    /// (summer chiller peak, winter free cooling).
+    Seasonal {
+        /// Annual mean PUE.
+        mean: f64,
+        /// Seasonal half-swing; the winter minimum `mean - amplitude`
+        /// must stay ≥ 1.0.
+        amplitude: f64,
+    },
+}
+
+impl PueSpec {
+    /// The annual-mean PUE value.
+    pub fn mean_value(self) -> f64 {
+        match self {
+            PueSpec::Constant(v) => v,
+            PueSpec::Seasonal { mean, .. } => mean,
+        }
+    }
+
+    /// Checks physical validity (no PUE below 1.0, finite values).
+    pub fn validate(self) -> Result<(), ApiError> {
+        let ok = match self {
+            PueSpec::Constant(v) => v.is_finite() && v >= 1.0,
+            PueSpec::Seasonal { mean, amplitude } => {
+                mean.is_finite()
+                    && amplitude.is_finite()
+                    && amplitude >= 0.0
+                    && mean - amplitude >= 1.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(ApiError::InvalidPue(self))
+        }
+    }
+
+    /// Compact display label (`1.20` or `1.20±0.10`).
+    pub fn label(self) -> String {
+        match self {
+            PueSpec::Constant(v) => format!("{v:.2}"),
+            PueSpec::Seasonal { mean, amplitude } => format!("{mean:.2}±{amplitude:.2}"),
+        }
+    }
+}
+
+/// Where a request's intensity trace comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceSource {
+    /// The calibrated dispatch simulator
+    /// ([`hpcarbon_grid::sim::simulate_year`]) — the paper's trace set.
+    Paper,
+    /// The synthetic harmonic generator
+    /// ([`hpcarbon_grid::synth::synthesize_year`]) — cheap deterministic
+    /// region-years beyond the shipped traces.
+    Synthetic,
+}
+
+impl TraceSource {
+    /// Both sources, paper first.
+    pub const ALL: [TraceSource; 2] = [TraceSource::Paper, TraceSource::Synthetic];
+
+    /// Display label (also the JSON value).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceSource::Paper => "paper",
+            TraceSource::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// One upgrade question evaluated alongside the deployment estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpgradePath {
+    /// Currently deployed node generation.
+    pub from: NodeGen,
+    /// Candidate replacement.
+    pub to: NodeGen,
+    /// Workload mix driving performance/power.
+    pub suite: Suite,
+}
+
+impl UpgradePath {
+    /// Compact display label (`p100->a100/NLP`).
+    pub fn label(self) -> String {
+        format!(
+            "{}->{}/{}",
+            node_label(self.from),
+            node_label(self.to),
+            self.suite.label()
+        )
+    }
+}
+
+/// The short node-generation name used in labels and JSON (`p100`, …).
+pub fn node_label(n: NodeGen) -> &'static str {
+    match n {
+        NodeGen::P100Node => "p100",
+        NodeGen::V100Node => "v100",
+        NodeGen::A100Node => "a100",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_json_values() {
+        assert_eq!(SystemId::Frontier.label(), "frontier");
+        assert_eq!(StorageVariant::AllFlash.label(), "all-flash");
+        assert_eq!(TraceSource::Synthetic.label(), "synthetic");
+        assert_eq!(node_label(NodeGen::V100Node), "v100");
+    }
+
+    #[test]
+    fn pue_validation() {
+        assert!(PueSpec::Constant(1.2).validate().is_ok());
+        assert!(PueSpec::Constant(0.8).validate().is_err());
+        assert!(PueSpec::Seasonal {
+            mean: 1.2,
+            amplitude: 0.1
+        }
+        .validate()
+        .is_ok());
+        assert!(PueSpec::Seasonal {
+            mean: 1.1,
+            amplitude: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(PueSpec::Constant(f64::NAN).validate().is_err());
+    }
+
+    #[test]
+    fn pue_labels() {
+        assert_eq!(PueSpec::Constant(1.2).label(), "1.20");
+        assert_eq!(
+            PueSpec::Seasonal {
+                mean: 1.2,
+                amplitude: 0.1
+            }
+            .label(),
+            "1.20±0.10"
+        );
+    }
+}

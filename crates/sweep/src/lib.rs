@@ -14,7 +14,11 @@
 //!   composition (with optional storage-tier what-ifs), a simulated grid
 //!   year, a scheduling run, PUE-adjusted node accounting, and the upgrade
 //!   advisor — as a *pure function* that fails soft with a
-//!   [`ScenarioError`] ([`scenario`]);
+//!   [`ScenarioError`] ([`scenario`]). Since the front-door API landed,
+//!   this delegates to [`hpcarbon_api::Estimator`]: a scenario is exactly
+//!   one [`hpcarbon_api::EstimateRequest`] plus a grid position, and the
+//!   dimension types ([`SystemId`], [`PueSpec`], …) are re-exports from
+//!   that crate;
 //! - [`SweepExecutor`] fans the grid out over
 //!   [`hpcarbon_sim::par::par_map_workers`] ([`exec`]);
 //! - [`SweepResults`] holds the per-scenario rows plus summary statistics

@@ -1,4 +1,4 @@
-//! One grid point, evaluated end to end as a pure function.
+//! One grid point, evaluated end to end through the estimation API.
 //!
 //! A [`Scenario`] fixes every free variable of the paper's analyses —
 //! which system is deployed (and with what storage architecture), which
@@ -9,188 +9,30 @@
 //! what-if on a system with no HDD tier). It never prints and never
 //! panics on bad combinations, so batched executors can fan thousands of
 //! points out and keep going.
+//!
+//! Since the front-door API landed, a scenario is exactly one
+//! [`EstimateRequest`]: the dimension types live in [`hpcarbon_api`]
+//! (re-exported here unchanged), and `run_scenario` delegates to the
+//! default [`Estimator`] — the sweep is the API's batch-shaped
+//! consumer, not a second implementation of the pipeline.
+//! The produced CSV/JSON output is a frozen contract and stayed
+//! byte-identical across the delegation.
 
-use hpcarbon_core::db::PartId;
-use hpcarbon_core::operational::Pue;
-use hpcarbon_core::systems::HpcSystem;
-use hpcarbon_core::whatif::{swap_storage_tier, WhatIfError};
+use hpcarbon_api::{EstimateRequest, Estimator, FootprintReport};
 use hpcarbon_grid::regions::OperatorId;
-use hpcarbon_grid::sim::simulate_year;
-use hpcarbon_grid::synth::synthesize_year;
-use hpcarbon_power::pue_model::{account_with_seasonal_pue, SeasonalPue};
-use hpcarbon_sched::{
-    shift_savings, summarize_shift_savings, Cluster, JobTraceGenerator, Policy, SimError,
-    Simulation,
-};
+use hpcarbon_sched::Policy;
 use hpcarbon_sim::rng::SimRng;
-use hpcarbon_units::{CarbonIntensity, TimeSpan};
-use hpcarbon_upgrade::savings::{UpgradeScenario, UsageLevel};
-use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor};
-use hpcarbon_workloads::benchmarks::Suite;
-use hpcarbon_workloads::nodes::NodeGen;
-use hpcarbon_workloads::power::node_active_power;
+use hpcarbon_upgrade::savings::UsageLevel;
 
-/// Which Table 2 system the scenario deploys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SystemId {
-    /// Frontier (Oak Ridge).
-    Frontier,
-    /// LUMI (Kajaani).
-    Lumi,
-    /// Perlmutter (Berkeley).
-    Perlmutter,
-}
+pub use hpcarbon_api::{ApiError, PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};
 
-impl SystemId {
-    /// All Table 2 systems, paper order.
-    pub const ALL: [SystemId; 3] = [SystemId::Frontier, SystemId::Lumi, SystemId::Perlmutter];
-
-    /// Builds the system inventory.
-    pub fn build(self) -> HpcSystem {
-        match self {
-            SystemId::Frontier => HpcSystem::frontier(),
-            SystemId::Lumi => HpcSystem::lumi(),
-            SystemId::Perlmutter => HpcSystem::perlmutter(),
-        }
-    }
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            SystemId::Frontier => "frontier",
-            SystemId::Lumi => "lumi",
-            SystemId::Perlmutter => "perlmutter",
-        }
-    }
-}
-
-/// Storage-architecture variant applied to the system before costing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StorageVariant {
-    /// The as-built inventory.
-    Baseline,
-    /// The Fig. 5 discussion's what-if: replace the HDD capacity tier with
-    /// flash at equal capacity. Fails soft on systems with no HDD tier.
-    AllFlash,
-}
-
-impl StorageVariant {
-    /// Both variants.
-    pub const ALL: [StorageVariant; 2] = [StorageVariant::Baseline, StorageVariant::AllFlash];
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            StorageVariant::Baseline => "baseline",
-            StorageVariant::AllFlash => "all-flash",
-        }
-    }
-}
-
-/// Facility PUE model for the scenario.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum PueSpec {
-    /// Constant year-round PUE (the paper's assumption).
-    Constant(f64),
-    /// Seasonal PUE: sinusoidal around `mean` with the given swing
-    /// (summer chiller peak, winter free cooling).
-    Seasonal {
-        /// Annual mean PUE.
-        mean: f64,
-        /// Seasonal half-swing; the winter minimum `mean - amplitude`
-        /// must stay ≥ 1.0.
-        amplitude: f64,
-    },
-}
-
-impl PueSpec {
-    /// The annual-mean PUE value.
-    pub fn mean_value(self) -> f64 {
-        match self {
-            PueSpec::Constant(v) => v,
-            PueSpec::Seasonal { mean, .. } => mean,
-        }
-    }
-
-    /// Checks physical validity (no PUE below 1.0, finite values).
-    pub fn validate(self) -> Result<(), ScenarioError> {
-        let ok = match self {
-            PueSpec::Constant(v) => v.is_finite() && v >= 1.0,
-            PueSpec::Seasonal { mean, amplitude } => {
-                mean.is_finite()
-                    && amplitude.is_finite()
-                    && amplitude >= 0.0
-                    && mean - amplitude >= 1.0
-            }
-        };
-        if ok {
-            Ok(())
-        } else {
-            Err(ScenarioError::InvalidPue(self))
-        }
-    }
-
-    /// Compact display label (`1.20` or `1.20±0.10`).
-    pub fn label(self) -> String {
-        match self {
-            PueSpec::Constant(v) => format!("{v:.2}"),
-            PueSpec::Seasonal { mean, amplitude } => format!("{mean:.2}±{amplitude:.2}"),
-        }
-    }
-}
-
-/// Where a scenario's intensity trace comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceSource {
-    /// The calibrated dispatch simulator
-    /// ([`hpcarbon_grid::sim::simulate_year`]) — the paper's trace set.
-    Paper,
-    /// The synthetic harmonic generator
-    /// ([`hpcarbon_grid::synth::synthesize_year`]) — cheap deterministic
-    /// region-years beyond the shipped traces.
-    Synthetic,
-}
-
-impl TraceSource {
-    /// Both sources, paper first.
-    pub const ALL: [TraceSource; 2] = [TraceSource::Paper, TraceSource::Synthetic];
-
-    /// Display label.
-    pub fn label(self) -> &'static str {
-        match self {
-            TraceSource::Paper => "paper",
-            TraceSource::Synthetic => "synthetic",
-        }
-    }
-}
-
-/// One upgrade question swept alongside the system scenarios.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UpgradePath {
-    /// Currently deployed node generation.
-    pub from: NodeGen,
-    /// Candidate replacement.
-    pub to: NodeGen,
-    /// Workload mix driving performance/power.
-    pub suite: Suite,
-}
-
-impl UpgradePath {
-    /// Compact display label (`p100->a100/NLP`).
-    pub fn label(self) -> String {
-        let short = |n: NodeGen| match n {
-            NodeGen::P100Node => "p100",
-            NodeGen::V100Node => "v100",
-            NodeGen::A100Node => "a100",
-        };
-        format!(
-            "{}->{}/{}",
-            short(self.from),
-            short(self.to),
-            self.suite.label()
-        )
-    }
-}
+/// Why a scenario cannot be evaluated.
+///
+/// Since the API became the single front door this is the unified
+/// [`ApiError`]; the historical variants (`WhatIf`, `Sched`,
+/// `InvalidPue`) and their `Display` strings are unchanged, so error
+/// cells in emitted CSV/JSON are byte-identical to earlier releases.
+pub type ScenarioError = ApiError;
 
 /// One fully specified grid point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -225,40 +67,27 @@ impl Scenario {
     pub fn rng(&self) -> SimRng {
         SimRng::seed_from(self.seed)
     }
-}
 
-/// Why a scenario cannot be evaluated.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum ScenarioError {
-    /// The storage what-if does not apply to this system.
-    WhatIf(WhatIfError),
-    /// The scheduling run is infeasible.
-    Sched(SimError),
-    /// The PUE model is unphysical.
-    InvalidPue(PueSpec),
-}
-
-impl std::fmt::Display for ScenarioError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ScenarioError::WhatIf(e) => write!(f, "storage what-if: {e}"),
-            ScenarioError::Sched(e) => write!(f, "scheduling: {e}"),
-            ScenarioError::InvalidPue(p) => write!(f, "invalid PUE model {p:?}"),
+    /// The scenario as an API request under the sweep's workload knobs.
+    /// This is the whole translation — the sweep adds no estimation
+    /// semantics of its own.
+    pub fn to_request(&self, cfg: &crate::exec::SweepConfig) -> EstimateRequest {
+        EstimateRequest {
+            schema_version: hpcarbon_api::SCHEMA_VERSION,
+            system: self.system,
+            storage: self.storage,
+            region: self.region,
+            source: self.source,
+            pue: self.pue,
+            policy: self.policy,
+            partner: None, // the sweep keeps the policy-decides topology
+            upgrade: self.upgrade,
+            usage: UsageLevel::Medium.fraction(),
+            seed: self.seed,
+            year: cfg.year,
+            jobs: cfg.jobs_per_scenario,
+            cluster_gpus: cfg.cluster_gpus,
         }
-    }
-}
-
-impl std::error::Error for ScenarioError {}
-
-impl From<WhatIfError> for ScenarioError {
-    fn from(e: WhatIfError) -> ScenarioError {
-        ScenarioError::WhatIf(e)
-    }
-}
-
-impl From<SimError> for ScenarioError {
-    fn from(e: SimError) -> ScenarioError {
-        ScenarioError::Sched(e)
     }
 }
 
@@ -300,8 +129,30 @@ pub struct ScenarioOutcome {
     pub verdict: &'static str,
 }
 
-/// Evaluates one scenario. Pure: no printing, no panicking on bad
-/// combinations, and no dependence on global or thread state.
+impl From<FootprintReport> for ScenarioOutcome {
+    fn from(r: FootprintReport) -> ScenarioOutcome {
+        ScenarioOutcome {
+            embodied_t: r.embodied.total_t,
+            storage_delta_pct: r.embodied.storage_delta_pct,
+            median_g_per_kwh: r.grid.median_g_per_kwh,
+            cov_percent: r.grid.cov_pct,
+            sched_carbon_kg: r.operational.sched_kg,
+            sched_energy_kwh: r.operational.sched_kwh,
+            mean_wait_hours: r.operational.mean_wait_h,
+            max_wait_hours: r.operational.max_wait_h,
+            shift_saved_kg: r.shift.saved_kg,
+            shift_saved_pct: r.shift.saved_pct,
+            node_annual_kg: r.upgrade.node_annual_kg,
+            break_even_years: r.upgrade.break_even_y,
+            asymptotic_savings_pct: r.upgrade.asymptotic_pct,
+            verdict: r.upgrade.verdict.label(),
+        }
+    }
+}
+
+/// Evaluates one scenario through the default [`Estimator`]. Pure: no
+/// printing, no panicking on bad combinations, and no dependence on
+/// global or thread state.
 ///
 /// # Errors
 /// [`ScenarioError`] when the combination is infeasible — the caller is
@@ -310,111 +161,20 @@ pub fn run_scenario(
     s: &Scenario,
     cfg: &crate::exec::SweepConfig,
 ) -> Result<ScenarioOutcome, ScenarioError> {
-    s.pue.validate()?;
-
-    // Layer 1: embodied composition, with the storage what-if applied.
-    let base = s.system.build();
-    let (system, storage_delta_pct) = match s.storage {
-        StorageVariant::Baseline => (base, None),
-        StorageVariant::AllFlash => {
-            let w = swap_storage_tier(&base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
-            let delta = w.relative_change() * 100.0;
-            (w.system, Some(delta))
-        }
-    };
-    let embodied_t = system.embodied_total().as_t();
-
-    // Layer 2: the regional grid year, from this scenario's own stream —
-    // full dispatch for the paper trace set, harmonics for synthetic
-    // region-years.
-    let rng = s.rng();
-    let trace_seed = rng.substream("trace").seed();
-    let trace = match s.source {
-        TraceSource::Paper => simulate_year(s.region, cfg.year, trace_seed),
-        TraceSource::Synthetic => synthesize_year(s.region, cfg.year, trace_seed),
-    };
-    let boxplot = trace.boxplot();
-    let median = CarbonIntensity::from_g_per_kwh(boxplot.median);
-
-    // Layer 3: the scheduling run on a cluster powered by that grid, and
-    // its carbon savings against the run-at-arrival baseline.
-    let mut cluster = Cluster::new(s.region.info().short, trace.clone(), cfg.cluster_gpus);
-    cluster.pue = s.pue.mean_value();
-    let mut clusters = vec![cluster];
-    // Multi-region policies get a partner site, otherwise the spatial
-    // axis would silently degenerate to the temporal one in these
-    // single-region scenarios. The partner is the greenest complement
-    // region (GB, or CA when the scenario already is GB), built from the
-    // same trace source, seed stream and PUE — so the scenario stays a
-    // pure function of its own dimensions.
-    if s.policy.is_multi_region() {
-        let partner_op = if s.region == OperatorId::Eso {
-            OperatorId::Ciso
-        } else {
-            OperatorId::Eso
-        };
-        let partner_trace = match s.source {
-            TraceSource::Paper => simulate_year(partner_op, cfg.year, trace_seed),
-            TraceSource::Synthetic => synthesize_year(partner_op, cfg.year, trace_seed),
-        };
-        let mut partner = Cluster::new(partner_op.info().short, partner_trace, cfg.cluster_gpus);
-        partner.pue = s.pue.mean_value();
-        clusters.push(partner);
-    }
-    let jobs_seed = rng.substream("jobs").seed();
-    let jobs = JobTraceGenerator::default_rates().generate(cfg.jobs_per_scenario, jobs_seed);
-    let sim = Simulation::multi_region(clusters.clone(), s.policy, &jobs).try_run()?;
-    let savings = summarize_shift_savings(&shift_savings(&sim, &jobs, &clusters));
-
-    // Layer 4: PUE-adjusted annual accounting of one reference node.
-    let usage = UsageLevel::Medium.fraction();
-    let year = TimeSpan::from_years(1.0);
-    let it_energy = node_active_power(s.upgrade.from, s.upgrade.suite) * usage.value() * year;
-    let node_annual_kg = match s.pue {
-        PueSpec::Constant(v) => (median * Pue::new(v).apply(it_energy)).as_kg(),
-        PueSpec::Seasonal { mean, amplitude } => {
-            // validate() above guarantees SeasonalPue's invariants.
-            let seasonal = SeasonalPue::new(mean, amplitude);
-            account_with_seasonal_pue(&trace, &seasonal, 0, it_energy, year).as_kg()
-        }
-    };
-
-    // Layer 5: the upgrade question at the region's median intensity.
-    let upgrade = UpgradeScenario {
-        old: s.upgrade.from,
-        new: s.upgrade.to,
-        suite: s.upgrade.suite,
-        usage,
-        pue: Pue::new(s.pue.mean_value()),
-    };
-    let verdict = match UpgradeAdvisor::with_five_year_horizon().recommend(&upgrade, median) {
-        Recommendation::Upgrade { .. } => "upgrade",
-        Recommendation::ExtendLifetime { .. } => "extend",
-        Recommendation::KeepHardware => "keep",
-    };
-
-    Ok(ScenarioOutcome {
-        embodied_t,
-        storage_delta_pct,
-        median_g_per_kwh: boxplot.median,
-        cov_percent: trace.cov_percent(),
-        sched_carbon_kg: sim.total_carbon.as_kg(),
-        sched_energy_kwh: sim.total_energy.as_kwh(),
-        mean_wait_hours: sim.mean_wait_hours,
-        max_wait_hours: sim.max_wait_hours,
-        shift_saved_kg: savings.saved_kg,
-        shift_saved_pct: savings.saved_pct,
-        node_annual_kg,
-        break_even_years: upgrade.break_even(median).map(|t| t.as_years()),
-        asymptotic_savings_pct: upgrade.asymptotic_savings_percent(),
-        verdict,
-    })
+    Estimator::builder()
+        .build()
+        .estimate(&s.to_request(cfg))
+        .map(ScenarioOutcome::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::exec::SweepConfig;
+    use hpcarbon_core::whatif::WhatIfError;
+    use hpcarbon_sched::SimError;
+    use hpcarbon_workloads::benchmarks::Suite;
+    use hpcarbon_workloads::nodes::NodeGen;
 
     fn scenario() -> Scenario {
         Scenario {
@@ -617,5 +377,20 @@ mod tests {
             err,
             ScenarioError::Sched(SimError::ShiftSlackExceedsTrace { .. })
         ));
+    }
+
+    #[test]
+    fn delegation_matches_a_direct_api_call() {
+        // The sweep's outcome and the API's report are the same numbers.
+        let cfg = SweepConfig::fast();
+        let s = scenario();
+        let via_sweep = run_scenario(&s, &cfg).unwrap();
+        let via_api = hpcarbon_api::Estimator::builder()
+            .build()
+            .estimate(&s.to_request(&cfg))
+            .unwrap();
+        assert_eq!(via_sweep.sched_carbon_kg, via_api.operational.sched_kg);
+        assert_eq!(via_sweep.embodied_t, via_api.embodied.total_t);
+        assert_eq!(via_sweep.break_even_years, via_api.upgrade.break_even_y);
     }
 }

@@ -342,33 +342,16 @@ impl SweepResults {
     }
 }
 
-/// Minimal JSON string escaping (the emitted strings are controlled
-/// labels, but quotes/backslashes/control bytes are handled anyway).
+/// JSON string escaping: the API's emitter, shared so the sweep's JSON
+/// and `hpcarbon estimate` output can never desynchronize.
 fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    hpcarbon_api::json::esc(s)
 }
 
-/// JSON number with the same fixed formatting as the CSV; `null` when
-/// undefined.
+/// JSON number with the same fixed `{:.4}` formatting as the CSV;
+/// `null` when undefined. Also the API's emitter.
 fn json_num(v: Option<f64>) -> String {
-    match v {
-        Some(v) => num(v),
-        None => "null".to_string(),
-    }
+    hpcarbon_api::json::fmt_metric(v)
 }
 
 #[cfg(test)]

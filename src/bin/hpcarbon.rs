@@ -1,11 +1,12 @@
 //! `hpcarbon` — command-line front end to the sustainable-hpc framework.
 //!
 //! ```text
+//! hpcarbon estimate --request FILE [--threads N] [--out FILE]
 //! hpcarbon figures  [--seed N] [--out DIR]      regenerate all paper artifacts
 //! hpcarbon parts                                 embodied-carbon catalog review
 //! hpcarbon systems                               Fig. 5 composition of Table 2 systems
 //! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
-//! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G] [--usage F]
+//! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G | --region R] [--usage F]
 //! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]
 //! hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]
 //!                   [--quick | --shifting]
@@ -13,8 +14,13 @@
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no CLI
 //! crate); every subcommand prints plain text suitable for terminals and
-//! pipelines.
+//! pipelines. Estimation itself — `estimate`, `advisor`, `schedule`,
+//! `sweep` — routes through the versioned front-door API
+//! ([`sustainable_hpc::api`]): the CLI only translates flags and files
+//! into [`EstimateRequest`]s and renders the returned
+//! [`FootprintReport`]s.
 
+use sustainable_hpc::api::{batch_to_json, parse as api_parse, FlatIntensity, TraceSource};
 use sustainable_hpc::grid::analysis::regional_summary;
 use sustainable_hpc::prelude::*;
 use sustainable_hpc::upgrade::savings::UsageLevel;
@@ -22,6 +28,7 @@ use sustainable_hpc::upgrade::savings::UsageLevel;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
+        Some("estimate") => cmd_estimate(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("parts") => cmd_parts(),
         Some("systems") => cmd_systems(),
@@ -45,20 +52,33 @@ fn main() {
 fn print_usage() {
     println!(
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
-         USAGE:\n  hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
+         USAGE:\n  hpcarbon estimate --request FILE [--threads N] [--out FILE]\n  \
+         hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
-         [--suite nlp|vision|candle] [--intensity G] [--usage F]\n  hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
+         [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
+         hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
          hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]\n                    \
          [--quick | --shifting]\n\n\
+         estimate is the front door: it reads a schema-versioned JSON\n\
+         EstimateRequest (one object or an array) from --request, evaluates\n\
+         the batch in parallel, and emits one FootprintReport per request\n\
+         (to stdout, or to --out). Output is byte-identical for every\n\
+         --threads value; infeasible requests become {{\"error\": ...}} rows.\n\n\
          sweep runs the full scenario grid (system x storage x region x trace\n\
          source x PUE x policy x upgrade path; 504 scenarios by default, 16\n\
-         with --quick, 20 carbon-shifting scenarios with --shifting) in\n\
-         parallel and writes sweep.csv + sweep.json under --out (default\n\
-         out/sweep). Output is byte-identical for every --threads value.\n\n\
+         with --quick, 20 carbon-shifting scenarios with --shifting) through\n\
+         the same API in parallel and writes sweep.csv + sweep.json under\n\
+         --out (default out/sweep). Output is byte-identical for every\n\
+         --threads value.\n\n\
          schedule compares every policy (incl. the indexed temporal and\n\
-         spatio-temporal shifting pair at --slack hours) on GB+CA clusters\n\
-         and reports per-policy carbon savings vs the run-at-arrival\n\
-         baseline; --synthetic swaps in synthetic region-years."
+         spatio-temporal shifting pair at --slack hours) via one API batch\n\
+         on a fixed GB+CA topology (partner site forced for every row, so\n\
+         rows differ only by policy) and reports per-policy carbon savings\n\
+         vs the run-at-arrival baseline; --synthetic swaps in synthetic\n\
+         region-years.\n\n\
+         advisor answers the upgrade question through the API: --intensity\n\
+         pins a flat grid (a FlatIntensity provider), --region evaluates\n\
+         at a simulated region's median intensity instead."
     );
 }
 
@@ -69,22 +89,63 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn parse_node(s: &str) -> Option<NodeGen> {
-    match s.to_ascii_lowercase().as_str() {
-        "p100" => Some(NodeGen::P100Node),
-        "v100" => Some(NodeGen::V100Node),
-        "a100" => Some(NodeGen::A100Node),
-        _ => None,
+fn cmd_estimate(args: &[String]) -> i32 {
+    let Some(path) = flag(args, "--request") else {
+        eprintln!("estimate requires --request FILE (a JSON EstimateRequest or array of them)");
+        return 2;
+    };
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let requests = match EstimateRequest::batch_from_json(&src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return 2;
+        }
+    };
+    let mut builder = Estimator::builder();
+    if let Some(raw) = flag(args, "--threads") {
+        // Silent fallback would break reference runs pinned to one
+        // worker, so (unlike the legacy numeric flags) this one is typed.
+        match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => builder = builder.threads(n),
+            _ => {
+                eprintln!("invalid --threads \"{raw}\" (expected a positive integer)");
+                return 2;
+            }
+        }
     }
-}
-
-fn parse_suite(s: &str) -> Option<Suite> {
-    match s.to_ascii_lowercase().as_str() {
-        "nlp" => Some(Suite::Nlp),
-        "vision" => Some(Suite::Vision),
-        "candle" => Some(Suite::Candle),
-        _ => None,
+    let results = builder.build().estimate_batch(&requests);
+    let json = batch_to_json(&results);
+    let errors = results.iter().filter(|r| r.is_err()).count();
+    match flag(args, "--out") {
+        Some(out) => {
+            if let Some(parent) = std::path::Path::new(&out).parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("cannot create {}: {e}", parent.display());
+                        return 1;
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                return 1;
+            }
+            eprintln!(
+                "estimated {} request(s) ({} ok, {errors} infeasible); wrote {out}",
+                results.len(),
+                results.len() - errors,
+            );
+        }
+        None => print!("{json}"),
     }
+    0
 }
 
 fn cmd_figures(args: &[String]) -> i32 {
@@ -169,26 +230,87 @@ fn cmd_regions(args: &[String]) -> i32 {
 }
 
 fn cmd_advisor(args: &[String]) -> i32 {
-    let (Some(from), Some(to)) = (
-        flag(args, "--from").as_deref().and_then(parse_node),
-        flag(args, "--to").as_deref().and_then(parse_node),
-    ) else {
-        eprintln!("advisor requires --from and --to (p100|v100|a100)");
-        return 2;
+    // The typed parsers are shared with the API's JSON request decoder:
+    // a typo'd value gets an error naming the flag and listing the
+    // accepted vocabulary instead of a silent fallback.
+    let node = |name: &'static str| -> Result<Option<NodeGen>, i32> {
+        match flag(args, name) {
+            None => Ok(None),
+            Some(v) => match api_parse::node_gen(name, &v) {
+                Ok(n) => Ok(Some(n)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    Err(2)
+                }
+            },
+        }
     };
-    let suite = flag(args, "--suite")
-        .as_deref()
-        .and_then(parse_suite)
-        .unwrap_or(Suite::Nlp);
-    let intensity = CarbonIntensity::from_g_per_kwh(
-        flag(args, "--intensity")
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(200.0),
-    );
+    let (from, to) = match (node("--from"), node("--to")) {
+        (Ok(Some(f)), Ok(Some(t))) => (f, t),
+        (Err(c), _) | (_, Err(c)) => return c,
+        _ => {
+            eprintln!("advisor requires --from and --to (p100|v100|a100)");
+            return 2;
+        }
+    };
+    let suite = match flag(args, "--suite") {
+        None => Suite::Nlp,
+        Some(v) => match api_parse::suite("--suite", &v) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        },
+    };
     let usage = flag(args, "--usage")
         .and_then(|s| s.parse::<f64>().ok())
         .and_then(Fraction::new)
         .unwrap_or_else(|| UsageLevel::Medium.fraction());
+
+    // Build the request once; --region routes it at a simulated region's
+    // grid, --intensity (the default, 200 g/kWh) pins a flat grid via a
+    // swapped-in IntensityProvider.
+    let mut req = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+    req.upgrade = UpgradePath { from, to, suite };
+    req.usage = usage;
+    req.jobs = 8; // the advisor reads the upgrade section, not the sched run
+    let (estimator, grid_label) = match flag(args, "--region") {
+        Some(r) => {
+            let op = match api_parse::region("--region", &r) {
+                Ok(op) => op,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            req.region = op;
+            (
+                Estimator::builder().build(),
+                format!("{} median", op.info().short),
+            )
+        }
+        None => {
+            let g = flag(args, "--intensity")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(200.0);
+            (
+                Estimator::builder()
+                    .intensity(FlatIntensity::new(g))
+                    .build(),
+                format!("flat {g:.0} gCO2/kWh"),
+            )
+        }
+    };
+    let report = match estimator.estimate(&req) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("estimate failed: {e}");
+            return 1;
+        }
+    };
+
+    // Catalog facts of the upgrade itself (grid-independent).
     let scenario = UpgradeScenario {
         usage,
         ..UpgradeScenario::paper_default(from, to, suite)
@@ -199,7 +321,7 @@ fn cmd_advisor(args: &[String]) -> i32 {
         to.config().name,
         suite.label(),
         usage,
-        intensity
+        grid_label
     );
     println!("  speedup           : {:.2}x", scenario.speedup());
     println!("  upgrade embodied  : {}", scenario.upgrade_embodied());
@@ -209,15 +331,22 @@ fn cmd_advisor(args: &[String]) -> i32 {
         scenario.new_annual_energy()
     );
     println!(
-        "  asymptotic saving : {:.1}%",
-        scenario.asymptotic_savings_percent()
+        "  median intensity  : {:.1} gCO2/kWh",
+        report.grid.median_g_per_kwh
     );
-    match scenario.break_even(intensity) {
-        Some(t) => println!("  break-even        : {t}"),
+    println!(
+        "  node annual       : {:.1} kgCO2",
+        report.upgrade.node_annual_kg
+    );
+    println!(
+        "  asymptotic saving : {:.1}%",
+        report.upgrade.asymptotic_pct
+    );
+    match report.upgrade.break_even_y {
+        Some(y) => println!("  break-even        : {y:.2} years"),
         None => println!("  break-even        : never (no energy saving at this grid)"),
     }
-    let verdict = UpgradeAdvisor::with_five_year_horizon().recommend(&scenario, intensity);
-    println!("  verdict           : {verdict}");
+    println!("  verdict           : {}", report.upgrade.verdict.label());
     0
 }
 
@@ -291,19 +420,16 @@ fn cmd_schedule(args: &[String]) -> i32 {
     let slack: u32 = flag(args, "--slack")
         .and_then(|s| s.parse().ok())
         .unwrap_or(24);
-    let trace = |op| {
-        if args.iter().any(|a| a == "--synthetic") {
-            synthesize_year(op, 2021, seed)
-        } else {
-            simulate_year(op, 2021, seed)
-        }
+    let source = if args.iter().any(|a| a == "--synthetic") {
+        TraceSource::Synthetic
+    } else {
+        TraceSource::Paper
     };
-    let gb = Cluster::new("gb", trace(OperatorId::Eso), 96);
-    let ca = Cluster::new("ca", trace(OperatorId::Ciso), 96);
-    let clusters = vec![gb, ca];
-    let jobs = JobTraceGenerator::default_rates().generate(jobs_n, seed);
-    let mut rows = Vec::new();
-    for policy in [
+    // One API batch: the same GB-anchored request under every policy,
+    // with the CA partner site forced for ALL rows (`partner: true`) so
+    // the table compares policies on one fixed topology rather than
+    // confounding policy effects with cluster-capacity differences.
+    let policies = [
         Policy::Fifo,
         Policy::ThresholdDefer {
             threshold_g_per_kwh: 150.0,
@@ -313,22 +439,36 @@ fn cmd_schedule(args: &[String]) -> i32 {
         Policy::RegionAndTime { horizon_hours: 24 },
         Policy::TemporalShift { slack_hours: slack },
         Policy::SpatioTemporal { slack_hours: slack },
-    ] {
-        let out = match Simulation::multi_region(clusters.clone(), policy, &jobs).try_run() {
-            Ok(out) => out,
+    ];
+    let requests: Vec<EstimateRequest> = policies
+        .iter()
+        .map(|&policy| {
+            let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+            r.policy = policy;
+            r.partner = Some(true);
+            r.source = source;
+            r.seed = seed;
+            r.jobs = jobs_n;
+            r
+        })
+        .collect();
+    let results = Estimator::builder().build().estimate_batch(&requests);
+    let mut rows = Vec::new();
+    for (policy, result) in policies.iter().zip(results) {
+        let report = match result {
+            Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: {e}", policy.label());
                 return 1;
             }
         };
-        let savings = summarize_shift_savings(&shift_savings(&out, &jobs, &clusters));
         rows.push(sustainable_hpc::report::tables::ShiftingRow {
             policy: policy.label().to_string(),
-            carbon_kg: out.total_carbon.as_kg(),
-            saved_kg: savings.saved_kg,
-            saved_pct: savings.saved_pct,
-            mean_wait_h: out.mean_wait_hours,
-            max_wait_h: out.max_wait_hours,
+            carbon_kg: report.operational.sched_kg,
+            saved_kg: report.shift.saved_kg,
+            saved_pct: report.shift.saved_pct,
+            mean_wait_h: report.operational.mean_wait_h,
+            max_wait_h: report.operational.max_wait_h,
         });
     }
     print!(

@@ -22,14 +22,36 @@
 //! - [`sched`] — carbon-intensity-aware job scheduling with carbon
 //!   budgets (the paper's §4 implications, built)
 //! - [`report`] — regeneration of every paper table and figure
+//! - [`api`] — the **single front door**: a versioned
+//!   `EstimateRequest → FootprintReport` API with pluggable providers
+//!   (`hpcarbon estimate`)
 //! - [`sweep`] — declarative scenario grids and a deterministic parallel
-//!   sweep executor over the whole stack (`hpcarbon sweep`)
+//!   sweep executor, batch-shaped consumer of the API (`hpcarbon sweep`)
 //!
 //! Architecture, calibration methodology (§1) and the process-node
 //! interpolation scheme (§5) are documented in `DESIGN.md` at the
 //! repository root, next to this crate's `Cargo.toml`.
 //!
 //! ## Quickstart
+//!
+//! The front door: build a request, build an estimator, read the report.
+//!
+//! ```
+//! use sustainable_hpc::prelude::*;
+//!
+//! let est = Estimator::builder().build();
+//! let req = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+//! let report = est.estimate(&req).unwrap();
+//! assert!(report.embodied.total_t > 1000.0);       // Eqs. 2-5
+//! assert!(report.operational.sched_kg > 0.0);      // Eq. 6 over a grid year
+//! assert_eq!(report.upgrade.verdict.label(), "upgrade");
+//!
+//! // Every data axis is a trait you can swap (see DESIGN.md §8):
+//! let flat = Estimator::builder().intensity(FlatIntensity::new(100.0)).build();
+//! assert_eq!(flat.estimate(&req).unwrap().grid.median_g_per_kwh, 100.0);
+//! ```
+//!
+//! The layers underneath remain directly addressable:
 //!
 //! ```
 //! use sustainable_hpc::prelude::*;
@@ -52,6 +74,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hpcarbon_api as api;
 pub use hpcarbon_core as core;
 pub use hpcarbon_grid as grid;
 pub use hpcarbon_power as power;
@@ -66,6 +89,11 @@ pub use hpcarbon_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use hpcarbon_api::{
+        ApiError, EmbodiedSource, EstimateRequest, Estimator, EstimatorBuilder, FlatIntensity,
+        FootprintReport, IntensityProvider, PueProvider, PueSpec, StorageVariant, SystemId,
+        UpgradePath,
+    };
     pub use hpcarbon_core::db::{PartId, PartSpec};
     pub use hpcarbon_core::embodied::{ComponentClass, EmbodiedBreakdown};
     pub use hpcarbon_core::lifecycle::total_carbon;
