@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Bench-regression gate.
 #
-# Runs the window-index and sweep bench suites, records each benchmark's
-# median ns/iter as machine-readable JSON (BENCH_window_index.json,
-# BENCH_sweep.json — uploaded as CI artifacts), and compares against the
-# committed baseline:
+# Runs the window-index, sweep, and serve bench suites, records each
+# benchmark's median ns/iter as machine-readable JSON
+# (BENCH_window_index.json, BENCH_sweep.json, BENCH_serve.json — uploaded
+# as CI artifacts), and compares against the committed baseline:
 #
 #   * a benchmark slower than baseline × BENCH_GATE_MAX_RATIO fails the
 #     gate (regression);
@@ -12,7 +12,10 @@
 #     notice suggesting a baseline refresh (never fails);
 #   * window_index/argmin_indexed must beat window_index/argmin_naive by
 #     ≥ BENCH_GATE_MIN_ARGMIN_SPEEDUP — the indexed-query contract, a
-#     pure ratio and therefore machine-independent.
+#     pure ratio and therefore machine-independent;
+#   * serve/estimate_uncached must beat serve/estimate_cached_hit by
+#     ≥ BENCH_GATE_MIN_CACHE_SPEEDUP — the canonical-request cache
+#     contract, likewise a pure ratio.
 #
 # Usage:
 #   ci/bench_gate.sh            run the gate
@@ -20,7 +23,8 @@
 #                               machine's run (commit the result)
 #
 # Knobs (env): BENCH_GATE_MAX_RATIO (default 1.30 = ±30%),
-# BENCH_GATE_MIN_ARGMIN_SPEEDUP (default 10), BENCH_GATE_OUT_DIR
+# BENCH_GATE_MIN_ARGMIN_SPEEDUP (default 10),
+# BENCH_GATE_MIN_CACHE_SPEEDUP (default 5), BENCH_GATE_OUT_DIR
 # (default ci/out), BENCH_GATE_BASELINE (default ci/bench_baseline.json).
 #
 # Wall-clock baselines move with the host; refresh with --update when the
@@ -31,9 +35,10 @@ cd "$(dirname "$0")/.."
 
 MAX_RATIO="${BENCH_GATE_MAX_RATIO:-1.30}"
 MIN_SPEEDUP="${BENCH_GATE_MIN_ARGMIN_SPEEDUP:-10}"
+MIN_CACHE_SPEEDUP="${BENCH_GATE_MIN_CACHE_SPEEDUP:-5}"
 OUT_DIR="${BENCH_GATE_OUT_DIR:-ci/out}"
 BASELINE="${BENCH_GATE_BASELINE:-ci/bench_baseline.json}"
-SUITES=(bench_window_index bench_sweep)
+SUITES=(bench_window_index bench_sweep bench_serve)
 mkdir -p "$OUT_DIR"
 
 # --- run one suite and emit its JSON ---------------------------------------
@@ -108,6 +113,22 @@ else
         fail=1
     else
         echo "OK: indexed argmin beats the naive scan by ${speedup}x (>= ${MIN_SPEEDUP}x)"
+    fi
+fi
+
+# --- gate 1b: the canonical-cache speedup contract -------------------------
+uncached=$(extract "$OUT_DIR/BENCH_serve.json" | awk '$1 == "serve/estimate_uncached" { print $2 }')
+cached=$(extract "$OUT_DIR/BENCH_serve.json" | awk '$1 == "serve/estimate_cached_hit" { print $2 }')
+if [[ -z "$uncached" || -z "$cached" ]]; then
+    echo "FAIL: serve cached/uncached benchmarks missing from BENCH_serve.json"
+    fail=1
+else
+    cache_speedup=$(awk -v u="$uncached" -v c="$cached" 'BEGIN { printf "%.1f", u / c }')
+    if awk -v s="$cache_speedup" -v m="$MIN_CACHE_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+        echo "FAIL: cache-hit speedup ${cache_speedup}x < required ${MIN_CACHE_SPEEDUP}x"
+        fail=1
+    else
+        echo "OK: cached estimates beat uncached by ${cache_speedup}x (>= ${MIN_CACHE_SPEEDUP}x)"
     fi
 fi
 

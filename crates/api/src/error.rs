@@ -128,6 +128,27 @@ pub enum ApiError {
     },
 }
 
+impl ApiError {
+    /// A stable machine-readable label for the error's variant.
+    ///
+    /// The serving layer puts this next to the human-readable message in
+    /// its JSON error payloads (`{"error": {"kind": ..., "message":
+    /// ...}}`), so clients can branch on the failure class without
+    /// parsing prose. The vocabulary is part of the wire contract —
+    /// extend it, never rename it.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ApiError::InvalidPue(_) => "invalid-pue",
+            ApiError::WhatIf(_) => "what-if",
+            ApiError::Sched(_) => "sched",
+            ApiError::Analysis(_) => "analysis",
+            ApiError::Schema { .. } => "schema",
+            ApiError::Parse(_) => "parse",
+            ApiError::InvalidRequest { .. } => "invalid-request",
+        }
+    }
+}
+
 impl std::fmt::Display for ApiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -205,6 +226,40 @@ mod tests {
         assert_eq!(
             e.to_string(),
             "unknown --from \"x100\" (valid values: p100, v100, a100)"
+        );
+    }
+
+    #[test]
+    fn kinds_are_stable_wire_labels() {
+        // The serving layer's error payloads carry these; renaming one is
+        // a wire-contract break.
+        assert_eq!(
+            ApiError::InvalidPue(PueSpec::Constant(0.5)).kind(),
+            "invalid-pue"
+        );
+        assert_eq!(
+            ApiError::from(WhatIfError::NoSourceUnits(PartId::Hdd16tb)).kind(),
+            "what-if"
+        );
+        assert_eq!(
+            ApiError::Schema {
+                found: 2,
+                supported: 1
+            }
+            .kind(),
+            "schema"
+        );
+        assert_eq!(
+            ApiError::from(ParseError::MissingField { field: "region" }).kind(),
+            "parse"
+        );
+        assert_eq!(
+            ApiError::InvalidRequest {
+                field: "jobs",
+                reason: "must be at least 1"
+            }
+            .kind(),
+            "invalid-request"
         );
     }
 

@@ -129,7 +129,20 @@ impl Estimator {
     /// error row and keep going.
     pub fn estimate(&self, req: &EstimateRequest) -> Result<FootprintReport, ApiError> {
         let valid = req.validate()?;
-        self.evaluate(&valid)
+        self.estimate_valid(&valid)
+    }
+
+    /// Evaluates an already-validated request, skipping re-validation —
+    /// the entry point for callers that need the [`ValidRequest`] anyway
+    /// (the serving layer derives its cache key from it). Same pipeline,
+    /// same bytes as [`Estimator::estimate`].
+    ///
+    /// # Errors
+    /// [`ApiError`] when the (valid) combination is infeasible at
+    /// evaluation time — storage what-if without a source tier,
+    /// oversized shifting slack, a provider returning an unphysical PUE.
+    pub fn estimate_valid(&self, valid: &ValidRequest) -> Result<FootprintReport, ApiError> {
+        self.evaluate(valid)
     }
 
     /// Evaluates a batch in parallel, one result per request, **in

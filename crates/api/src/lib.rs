@@ -44,6 +44,20 @@
 //! evaluation returns results in request order. Emitted batch JSON is
 //! **byte-identical for every thread count** — the contract CI enforces
 //! by diffing 1-thread against 4-thread runs.
+//!
+//! ## Serving and caching
+//!
+//! Two properties make this API safe to put behind a caching server
+//! (`hpcarbon-server`):
+//!
+//! - provider traits are `Send + Sync`, so one [`Estimator`] can be
+//!   shared by a pool of worker threads;
+//! - [`request::ValidRequest::canonical_json`] gives every validated
+//!   request a canonical byte form that is injective over request
+//!   semantics — with estimation pure, equal canonical bytes imply
+//!   byte-identical report emissions, so a cache keyed on them can never
+//!   change a response. The determinism-under-caching contract is
+//!   specified in `DESIGN.md` §9.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

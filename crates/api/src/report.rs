@@ -282,14 +282,22 @@ impl FootprintReport {
 /// request order; infeasible requests become `{"error": "..."}` rows so
 /// the array always aligns with the input batch. Ends with a newline
 /// (the CLI writes it to files that CI `cmp`s).
-pub fn batch_to_json(results: &[Result<FootprintReport, ApiError>]) -> String {
+///
+/// Generic over how the reports are held (`FootprintReport` for the
+/// CLI's owned batches, `Arc<FootprintReport>` for the server's cached
+/// rows) — the emitted bytes are identical either way, which is what
+/// lets a caching layer share reports without re-cloning them per
+/// response.
+pub fn batch_to_json<R: std::borrow::Borrow<FootprintReport>>(
+    results: &[Result<R, ApiError>],
+) -> String {
     if results.is_empty() {
         return "[]\n".to_string();
     }
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         match r {
-            Ok(rep) => out.push_str(&rep.to_json_padded("  ")),
+            Ok(rep) => out.push_str(&rep.borrow().to_json_padded("  ")),
             Err(e) => out.push_str(&format!("  {{\"error\": {}}}", esc(&e.to_string()))),
         }
         if i + 1 < results.len() {
@@ -364,7 +372,15 @@ mod tests {
         assert!(back[0].is_ok());
         assert!(back[1].as_ref().unwrap_err().contains("jobs"));
         assert!(back[2].is_ok());
-        assert_eq!(batch_to_json(&[]), "[]\n");
+        assert_eq!(batch_to_json::<FootprintReport>(&[]), "[]\n");
+        // Arc-held reports emit the same bytes as owned ones (the
+        // serving layer's cached rows depend on this).
+        let owned = vec![Ok(report())];
+        let arced: Vec<Result<std::sync::Arc<FootprintReport>, ApiError>> = owned
+            .iter()
+            .map(|r| r.clone().map(std::sync::Arc::new))
+            .collect();
+        assert_eq!(batch_to_json(&owned), batch_to_json(&arced));
     }
 
     #[test]

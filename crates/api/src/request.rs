@@ -307,6 +307,21 @@ impl ValidRequest {
     pub fn request(&self) -> &EstimateRequest {
         &self.req
     }
+
+    /// The canonical byte form of the validated request: its single-line
+    /// JSON emission (fixed field order, shortest-round-trip numbers,
+    /// `partner` omitted when unset).
+    ///
+    /// Canonicalization is **injective over request semantics** — two
+    /// requests share canonical bytes exactly when every field is equal —
+    /// and estimation is a pure function of the request and the
+    /// providers, so equal canonical bytes imply byte-identical
+    /// [`crate::FootprintReport`] emissions. That makes this string the
+    /// cache key of the serving layer: a response answered from cache is
+    /// indistinguishable from a freshly computed one.
+    pub fn canonical_json(&self) -> String {
+        self.req.to_json()
+    }
 }
 
 // ---- PUE ----
@@ -667,6 +682,25 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn canonical_json_is_the_validated_emission() {
+        // The serving layer's cache key: equal canonical bytes <=> equal
+        // requests, and parse -> canonicalize is stable.
+        let r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        let key = r.validate().unwrap().canonical_json();
+        assert_eq!(key, r.to_json());
+        let reparsed = EstimateRequest::from_json(&key).unwrap();
+        assert_eq!(reparsed.validate().unwrap().canonical_json(), key);
+        // Any field difference shows up in the canonical bytes —
+        // including the tri-state partner (None vs Some are distinct).
+        let mut forced = r.clone();
+        forced.partner = Some(true);
+        assert_ne!(forced.validate().unwrap().canonical_json(), key);
+        let mut reseeded = r;
+        reseeded.seed = 7;
+        assert_ne!(reseeded.validate().unwrap().canonical_json(), key);
     }
 
     #[test]

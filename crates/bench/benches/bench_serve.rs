@@ -1,0 +1,92 @@
+//! Benches for the serving layer: the cached vs uncached estimate path
+//! through [`EstimateService::handle`], plus the pure cache and HTTP
+//! parsing costs.
+//!
+//! `serve/estimate_cached_hit` and `serve/estimate_uncached` measure the
+//! same handler on the same request body — the only difference is the
+//! cache capacity (primed 64-entry cache vs capacity 0). Their ratio is
+//! the cache-hit speedup, a **machine-independent contract** the bench
+//! gate holds at ≥ 5x (`ci/bench_gate.sh`, `BENCH_GATE_MIN_CACHE_SPEEDUP`);
+//! in practice a hit skips a multi-millisecond simulation for
+//! microseconds of parse + lookup + emission, so the observed ratio is
+//! orders of magnitude above the gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcarbon_api::{EstimateRequest, Estimator, SystemId};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_server::http::read_request;
+use hpcarbon_server::{EstimateService, HttpRequest, ShardedLru};
+use std::hint::black_box;
+
+/// The benchmark workload: the paper-baseline Frontier/GB request at the
+/// sweep's fast job count (the smoke fixtures' shape).
+fn request_body() -> String {
+    let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+    r.jobs = 40;
+    r.to_json()
+}
+
+fn post(body: &str) -> HttpRequest {
+    HttpRequest {
+        method: "POST".into(),
+        target: "/v1/estimate".into(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+fn estimate_paths(c: &mut Criterion) {
+    let body = request_body();
+    let req = post(&body);
+
+    // Capacity 0 disables the cache: every call runs the estimator.
+    let uncached = EstimateService::new(Estimator::builder().build(), 0);
+    c.bench_function("serve/estimate_uncached", |b| {
+        b.iter(|| black_box(uncached.handle(&req)))
+    });
+
+    // Primed cache: every call is parse + canonical key + hit + emit.
+    let cached = EstimateService::new(Estimator::builder().build(), 64);
+    let primed = cached.handle(&req);
+    assert_eq!(primed.status, 200);
+    c.bench_function("serve/estimate_cached_hit", |b| {
+        b.iter(|| black_box(cached.handle(&req)))
+    });
+}
+
+fn cache_ops(c: &mut Criterion) {
+    // The raw shard cost at serving shape: ~canonical-key-sized string
+    // keys, Arc'd values, a mixed get/insert pattern.
+    let cache: ShardedLru<u64> = ShardedLru::new(1024);
+    let keys: Vec<String> = (0..256)
+        .map(|i| format!("{}-{i}", request_body()))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        cache.insert(k.clone(), i as u64);
+    }
+    let mut i = 0;
+    c.bench_function("serve/cache_get_hit", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(cache.get(&keys[i]))
+        })
+    });
+}
+
+fn http_parse(c: &mut Criterion) {
+    let body = request_body();
+    let wire = format!(
+        "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    c.bench_function("serve/http_parse_request", |b| {
+        b.iter(|| {
+            let mut cursor = std::io::Cursor::new(wire.as_bytes());
+            black_box(read_request(&mut cursor, 1 << 20).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, estimate_paths, cache_ops, http_parse);
+criterion_main!(benches);

@@ -1,0 +1,533 @@
+//! A minimal HTTP/1.1 reader/writer over [`std::io`] streams.
+//!
+//! The offline dependency set has no HTTP crate, so the server speaks the
+//! protocol through this module: request parsing from any [`BufRead`]
+//! (testable on in-memory cursors), response emission to any [`Write`].
+//! Scope is deliberately narrow — the two methods the routes need,
+//! `Content-Length` bodies only — but the narrow slice is implemented
+//! carefully:
+//!
+//! - **keep-alive and pipelining** fall out of parsing from a persistent
+//!   buffered reader: back-to-back requests on one connection are
+//!   consumed one at a time, responses written in order;
+//! - **limits are typed**: an oversized body is [`HttpError::BodyTooLarge`]
+//!   (→ 413), an oversized header block [`HttpError::HeadersTooLarge`]
+//!   (→ 431), a protocol violation [`HttpError::Malformed`] (→ 400) — the
+//!   service maps each to its status code;
+//! - **idle is not an error**: a read timeout before the first byte of a
+//!   request is [`HttpError::Idle`], the worker's cue to poll the
+//!   shutdown flag and keep listening. A timeout *mid-request* means the
+//!   peer stalled and surfaces as [`HttpError::Io`].
+
+use std::io::{BufRead, ErrorKind, Write};
+use std::time::{Duration, Instant};
+
+/// Upper bound on the request line plus all header bytes.
+pub const MAX_HEADER_BYTES: usize = 8 * 1024;
+
+/// Once a request's first byte has arrived, the peer gets this long to
+/// deliver the rest. Socket read timeouts are short (they double as the
+/// shutdown-poll tick), so mid-request timeouts *retry* until this
+/// deadline — a slow writer, or a client like curl waiting out its
+/// `Expect: 100-continue` grace period, is not a stalled peer.
+pub const REQUEST_READ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, uppercase as received (`GET`, `POST`).
+    pub method: String,
+    /// Request target, e.g. `/v1/estimate`.
+    pub target: String,
+    /// Decoded body (empty when the request carries none).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Forces `Connection: close` regardless of the request's preference
+    /// (set on errors after which the stream position is unreliable).
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// A 200 response with the given content type.
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status: 200,
+            content_type,
+            body: body.into(),
+            close: false,
+        }
+    }
+
+    /// A JSON response with an explicit status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> HttpResponse {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            close: false,
+        }
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly between requests — the
+    /// normal end of a keep-alive session, not a failure.
+    Closed,
+    /// A read timed out before the first byte of a request: the
+    /// connection is idle. The worker polls the shutdown flag and retries.
+    Idle,
+    /// The bytes violate the protocol (bad request line, bad
+    /// `Content-Length`, an unsupported transfer coding, …) → 400.
+    Malformed(String),
+    /// The declared body exceeds the configured limit → 413.
+    BodyTooLarge {
+        /// The limit the body exceeded, bytes.
+        limit: usize,
+    },
+    /// The request line + headers exceed [`MAX_HEADER_BYTES`] → 431.
+    HeadersTooLarge,
+    /// The transport failed mid-request (peer reset, stall, …); the
+    /// connection is unusable and is dropped without a response.
+    Io(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::Idle => write!(f, "connection idle"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::BodyTooLarge { limit } => {
+                write!(f, "request body exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadersTooLarge => {
+                write!(f, "request headers exceed {MAX_HEADER_BYTES} bytes")
+            }
+            HttpError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn is_timeout(kind: ErrorKind) -> bool {
+    // Unix read timeouts surface as WouldBlock, Windows as TimedOut.
+    matches!(kind, ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Reads one line (up to `\n`, with an optional `\r` stripped), bounding
+/// the running header total. `budget` is decremented by the bytes
+/// consumed; timeouts retry until `deadline`.
+fn read_line(
+    r: &mut impl BufRead,
+    budget: &mut usize,
+    deadline: Instant,
+) -> Result<Vec<u8>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let buf = match r.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => {
+                if Instant::now() >= deadline {
+                    return Err(HttpError::Io("peer stalled mid-request".into()));
+                }
+                continue;
+            }
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        };
+        if buf.is_empty() {
+            return Err(HttpError::Io("connection closed mid-request".into()));
+        }
+        let (consumed, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                line.extend_from_slice(&buf[..pos]);
+                (pos + 1, true)
+            }
+            None => {
+                line.extend_from_slice(buf);
+                (buf.len(), false)
+            }
+        };
+        r.consume(consumed);
+        *budget = budget.saturating_sub(consumed);
+        if *budget == 0 {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(line);
+        }
+        // Progress does not reset the clock: a slow-drip peer that stays
+        // just under the socket timeout must still hit the deadline, or
+        // it could pin a worker indefinitely.
+        if Instant::now() >= deadline {
+            return Err(HttpError::Io("peer stalled mid-request".into()));
+        }
+    }
+}
+
+/// Reads and parses one request off the stream.
+///
+/// Returns [`HttpError::Idle`] when the read times out before the first
+/// byte (keep-alive connection with nothing pending) and
+/// [`HttpError::Closed`] on a clean EOF between requests; all other
+/// variants are real failures. Pipelined requests are supported by
+/// construction: this consumes exactly one request's bytes, leaving the
+/// next request buffered.
+///
+/// Clients that announce `Expect: 100-continue` (curl does for any
+/// non-trivial POST body) are ignored here — the body is read on the
+/// normal deadline. To answer the interim `100 Continue` and unblock
+/// such clients immediately, use [`read_request_replying`].
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<HttpRequest, HttpError> {
+    read_request_replying(r, max_body, &mut std::io::sink())
+}
+
+/// [`read_request`] with a write-back channel for interim responses:
+/// when the client sent `Expect: 100-continue` and the declared body is
+/// acceptable, `HTTP/1.1 100 Continue` is written to `interim` before
+/// the body is read (an oversized declaration skips the interim and
+/// fails straight to 413). The server's connection loop passes the
+/// response stream here.
+pub fn read_request_replying(
+    r: &mut impl BufRead,
+    max_body: usize,
+    interim: &mut impl Write,
+) -> Result<HttpRequest, HttpError> {
+    // Distinguish idle/closed *before* committing to a request.
+    loop {
+        match r.fill_buf() {
+            Ok([]) => return Err(HttpError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(e.kind()) => return Err(HttpError::Idle),
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+    }
+
+    let deadline = Instant::now() + REQUEST_READ_DEADLINE;
+    let mut budget = MAX_HEADER_BYTES;
+    let line = read_line(r, &mut budget, deadline)?;
+    let line = String::from_utf8(line)
+        .map_err(|_| HttpError::Malformed("request line is not UTF-8".into()))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {line:?} (expected \"METHOD TARGET HTTP/1.x\")"
+            )))
+        }
+    };
+    let keep_alive_default = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+
+    let mut keep_alive = keep_alive_default;
+    let mut content_length: Option<usize> = None;
+    let mut expect_continue = false;
+    loop {
+        let line = read_line(r, &mut budget, deadline)?;
+        if line.is_empty() {
+            break;
+        }
+        let line = String::from_utf8(line)
+            .map_err(|_| HttpError::Malformed("header line is not UTF-8".into()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header line {line:?} has no colon"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+                if content_length.replace(n).is_some() {
+                    return Err(HttpError::Malformed("duplicate content-length".into()));
+                }
+            }
+            "transfer-encoding" => {
+                // Chunked bodies are out of scope; reject rather than
+                // silently misframe the stream.
+                return Err(HttpError::Malformed(
+                    "transfer-encoding is not supported (use content-length)".into(),
+                ));
+            }
+            "connection" => {
+                let tokens: Vec<String> = value
+                    .split(',')
+                    .map(|t| t.trim().to_ascii_lowercase())
+                    .collect();
+                if tokens.iter().any(|t| t == "close") {
+                    keep_alive = false;
+                } else if tokens.iter().any(|t| t == "keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "expect" if value.eq_ignore_ascii_case("100-continue") => {
+                expect_continue = true;
+            }
+            _ => {}
+        }
+    }
+
+    let len = content_length.unwrap_or(0);
+    if len > max_body {
+        // No interim response: the final answer is the 413.
+        return Err(HttpError::BodyTooLarge { limit: max_body });
+    }
+    if expect_continue && len > 0 {
+        // Unblock Expect-aware clients (curl waits up to 1 s otherwise).
+        interim
+            .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+            .and_then(|()| interim.flush())
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(HttpError::Io("connection closed mid-body".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(e.kind()) => {}
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        // Checked on every pass (not just timeouts) so a slow-drip body
+        // cannot outlive the deadline by trickling bytes.
+        if filled < len && Instant::now() >= deadline {
+            return Err(HttpError::Io("peer stalled mid-body".into()));
+        }
+    }
+
+    Ok(HttpRequest {
+        method,
+        target,
+        body,
+        keep_alive,
+    })
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response. `keep_alive` reflects the connection's fate after
+/// this response (the `Connection` header tells the client).
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &HttpResponse,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive && !resp.close {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(&resp.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<HttpRequest, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes().to_vec()), 1024)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert!(req.body.is_empty());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let req = parse("POST /v1/estimate HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_one_at_a_time() {
+        // Two requests written back-to-back: each read consumes exactly
+        // one, leaving the second buffered for the next call.
+        let raw = "POST /v1/estimate HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}\
+                   GET /metrics HTTP/1.1\r\n\r\n";
+        let mut r = Cursor::new(raw.as_bytes().to_vec());
+        let first = read_request(&mut r, 1024).unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.body, b"{}");
+        let second = read_request(&mut r, 1024).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(read_request(&mut r, 1024).unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn oversized_body_is_a_typed_413() {
+        let err = parse("POST /v1/estimate HTTP/1.1\r\ncontent-length: 2048\r\n\r\n").unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge { limit: 1024 });
+    }
+
+    #[test]
+    fn oversized_headers_are_a_typed_431() {
+        let raw = format!(
+            "GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEADER_BYTES)
+        );
+        assert_eq!(parse(&raw).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_400s() {
+        for raw in [
+            "NONSENSE\r\n\r\n",
+            "GET / HTTP/2.0\r\n\r\n",
+            "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: seven\r\n\r\n",
+            "POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 1\r\n\r\nx",
+            "POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(HttpError::Malformed(_))),
+                "{raw:?} must be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn expect_100_continue_gets_an_interim_response() {
+        // curl sends `Expect: 100-continue` for non-trivial POST bodies
+        // and waits for the interim response before sending the body;
+        // the reader must answer it before reading on.
+        let raw =
+            "POST /v1/estimate HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 2\r\n\r\n{}";
+        let mut interim = Vec::new();
+        let req = read_request_replying(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            1024,
+            &mut interim,
+        )
+        .unwrap();
+        assert_eq!(req.body, b"{}");
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // Without the header no interim is written…
+        let raw = "POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}";
+        let mut interim = Vec::new();
+        read_request_replying(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            1024,
+            &mut interim,
+        )
+        .unwrap();
+        assert!(interim.is_empty());
+        // …and an oversized declaration fails straight to 413, no 100.
+        let raw = "POST / HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: 9999\r\n\r\n";
+        let mut interim = Vec::new();
+        let err = read_request_replying(
+            &mut Cursor::new(raw.as_bytes().to_vec()),
+            1024,
+            &mut interim,
+        )
+        .unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge { limit: 1024 });
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let err = parse("POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort").unwrap_err();
+        assert!(matches!(err, HttpError::Io(_)), "{err:?}");
+    }
+
+    #[test]
+    fn clean_eof_between_requests_is_closed() {
+        assert_eq!(parse("").unwrap_err(), HttpError::Closed);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse("GET /healthz HTTP/1.1\nhost: x\n\n").unwrap();
+        assert_eq!(req.target, "/healthz");
+    }
+
+    #[test]
+    fn responses_carry_length_and_connection_fate() {
+        let mut out = Vec::new();
+        write_response(&mut out, &HttpResponse::ok("text/plain", "ok\n"), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+
+        let mut out = Vec::new();
+        let mut resp = HttpResponse::json(400, "{}");
+        resp.close = true;
+        write_response(&mut out, &resp, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: close\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # hpcarbon-server
+//!
+//! An always-on front end for the estimation API: a hand-rolled,
+//! **std-only** HTTP/1.1 server (`hpcarbon serve`) and the matching load
+//! generator (`hpcarbon loadgen`). No async runtime, no HTTP crate — a
+//! [`std::net::TcpListener`], a fixed pool of worker threads, and the
+//! same [`hpcarbon_api`] parser/emitter the CLI uses.
+//!
+//! ## Routes
+//!
+//! - `POST /v1/estimate` — a schema-versioned [`hpcarbon_api::EstimateRequest`]
+//!   (one object or an array) in, a batch report array out. Responses are
+//!   **byte-identical** to `hpcarbon estimate` for the same document.
+//! - `GET /healthz` — liveness (`ok\n`).
+//! - `GET /metrics` — request counts, latency histogram, cache hits in a
+//!   plain-text format (glossary in the README).
+//!
+//! ## The canonical-request cache
+//!
+//! In front of the estimator sits a sharded LRU cache keyed by each
+//! validated request's canonical bytes
+//! ([`hpcarbon_api::request::ValidRequest::canonical_json`]). Estimation
+//! is a pure function of the request and the providers, and the canonical
+//! form is injective over request semantics — so a cache hit returns the
+//! exact bytes the uncached path would have computed. Repeated scenario
+//! queries skip simulation entirely; determinism is never traded away.
+//! The contract is specified in `DESIGN.md` §9.
+//!
+//! ## Graceful shutdown
+//!
+//! `SIGTERM`/`SIGINT` (or a programmatic [`ShutdownHandle`]) stop the
+//! accept loop; queued connections drain, in-flight requests complete and
+//! their responses are written, then workers join and [`Server::run`]
+//! returns a [`ServeSummary`] — the CI smoke job asserts exactly this
+//! sequence.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod signal;
+
+pub use cache::ShardedLru;
+pub use http::{HttpError, HttpRequest, HttpResponse};
+pub use loadgen::{wait_healthz, LoadGenConfig, LoadSummary};
+pub use metrics::Metrics;
+pub use server::{ServeSummary, Server, ServerConfig, ShutdownHandle};
+pub use service::EstimateService;

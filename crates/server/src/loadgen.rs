@@ -1,0 +1,403 @@
+//! The std-`TcpStream` load generator behind `hpcarbon loadgen`.
+//!
+//! Fires a fixed list of request bodies at a running server from a pool
+//! of concurrent client threads (one persistent keep-alive connection
+//! each; requests are claimed from a shared atomic cursor, so the total
+//! count is exact regardless of per-thread pacing) and reports
+//! throughput and latency percentiles. It doubles as CI's smoke client:
+//! [`wait_healthz`] polls readiness after boot, the first response body
+//! can be captured for a golden diff, and any non-2xx or transport error
+//! is counted and turned into a nonzero exit by the CLI.
+//!
+//! The workload itself comes from the caller — typically
+//! `ScenarioGrid::sample_requests` under a fixed seed, which makes a load
+//! run reproducible request-for-request.
+
+use crate::http::HttpError;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One load run's shape.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub concurrency: usize,
+    /// Request bodies; request `i` of a run sends
+    /// `bodies[i % bodies.len()]`, so runs are reproducible and a
+    /// single-document workload needs exactly one entry, however large
+    /// `requests` is.
+    pub bodies: Vec<String>,
+    /// Total requests to fire (cycling over `bodies`).
+    pub requests: usize,
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// Requests fired.
+    pub requests: usize,
+    /// 2xx responses.
+    pub ok: usize,
+    /// Non-2xx responses.
+    pub non_2xx: usize,
+    /// Transport failures (connect/write/read).
+    pub io_errors: usize,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median request latency, µs.
+    pub p50_us: u64,
+    /// 90th-percentile latency, µs.
+    pub p90_us: u64,
+    /// 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Slowest request, µs.
+    pub max_us: u64,
+}
+
+impl LoadSummary {
+    /// True when every request got a 2xx over a healthy transport.
+    pub fn all_ok(&self) -> bool {
+        self.non_2xx == 0 && self.io_errors == 0
+    }
+
+    /// The summary as a single JSON object (the CI artifact format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"requests\": {},\n  \"ok\": {},\n  \"non_2xx\": {},\n  \"io_errors\": {},\n  \
+             \"elapsed_s\": {:.3},\n  \"throughput_rps\": {:.1},\n  \
+             \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}\n}}\n",
+            self.requests,
+            self.ok,
+            self.non_2xx,
+            self.io_errors,
+            self.elapsed_s,
+            self.throughput_rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+
+    /// A human-readable one-screen rendering for the terminal.
+    pub fn render(&self) -> String {
+        format!(
+            "loadgen: {} requests, {} ok, {} non-2xx, {} i/o errors\n\
+             elapsed  : {:.3} s\n\
+             rate     : {:.1} req/s\n\
+             latency  : p50 {} us | p90 {} us | p99 {} us | max {} us\n",
+            self.requests,
+            self.ok,
+            self.non_2xx,
+            self.io_errors,
+            self.elapsed_s,
+            self.throughput_rps,
+            self.p50_us,
+            self.p90_us,
+            self.p99_us,
+            self.max_us,
+        )
+    }
+}
+
+/// Polls `GET /healthz` until the server answers 200 or the timeout
+/// expires. Returns `true` on readiness.
+pub fn wait_healthz(addr: &str, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if probe_healthz(addr) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+fn probe_healthz(addr: &str) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    if stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    matches!(read_response(&mut BufReader::new(stream)), Ok((200, _)))
+}
+
+/// Reads one HTTP response (status + `Content-Length` body) off a
+/// buffered stream. Shared by the load workers, the health probe, and
+/// the server's own shutdown tests.
+pub(crate) fn read_response(r: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpError> {
+    let mut line = String::new();
+    if r.read_line(&mut line)
+        .map_err(|e| HttpError::Io(e.to_string()))?
+        == 0
+    {
+        return Err(HttpError::Closed);
+    }
+    let status: u16 = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line {line:?}")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if r.read_line(&mut header)
+            .map_err(|e| HttpError::Io(e.to_string()))?
+            == 0
+        {
+            return Err(HttpError::Io("connection closed in headers".into()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)
+        .map_err(|e| HttpError::Io(e.to_string()))?;
+    Ok((status, body))
+}
+
+struct WorkerOutcome {
+    latencies_us: Vec<u64>,
+    ok: usize,
+    non_2xx: usize,
+    io_errors: usize,
+}
+
+/// Runs the load. Returns the summary plus the body of request index 0
+/// (the golden-diff probe CI `cmp`s against the committed report).
+///
+/// # Errors
+/// Only configuration errors fail the call (no bodies, zero
+/// concurrency); per-request transport failures are *counted*, never
+/// thrown, so a flaky run still yields a full summary.
+pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>)> {
+    if cfg.bodies.is_empty() || cfg.requests == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "loadgen needs at least one request body and a positive request count",
+        ));
+    }
+    let concurrency = cfg.concurrency.clamp(1, cfg.requests);
+    let cursor = AtomicUsize::new(0);
+    let first_body: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let started = Instant::now();
+
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|_| scope.spawn(|| load_worker(cfg, &cursor, &first_body)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
+    let (mut ok, mut non_2xx, mut io_errors) = (0, 0, 0);
+    for o in outcomes {
+        latencies.extend(o.latencies_us);
+        ok += o.ok;
+        non_2xx += o.non_2xx;
+        io_errors += o.io_errors;
+    }
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((latencies.len() - 1) as f64 * p / 100.0).round() as usize;
+        latencies[idx]
+    };
+    let completed = ok + non_2xx;
+    let summary = LoadSummary {
+        requests: cfg.requests,
+        ok,
+        non_2xx,
+        io_errors,
+        elapsed_s: elapsed,
+        throughput_rps: if elapsed > 0.0 {
+            completed as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: pct(50.0),
+        p90_us: pct(90.0),
+        p99_us: pct(99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+    };
+    let first = first_body.into_inner().expect("first-body lock poisoned");
+    Ok((summary, first))
+}
+
+fn load_worker(
+    cfg: &LoadGenConfig,
+    cursor: &AtomicUsize,
+    first_body: &Mutex<Option<Vec<u8>>>,
+) -> WorkerOutcome {
+    let mut out = WorkerOutcome {
+        latencies_us: Vec::new(),
+        ok: 0,
+        non_2xx: 0,
+        io_errors: 0,
+    };
+    let mut conn: Option<BufReader<TcpStream>> = None;
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= cfg.requests {
+            return out;
+        }
+        // (Re)connect lazily; one failed request costs one reconnect,
+        // not the rest of the worker's share.
+        if conn.is_none() {
+            match TcpStream::connect(&cfg.addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                    conn = Some(BufReader::new(s));
+                }
+                Err(_) => {
+                    out.io_errors += 1;
+                    continue;
+                }
+            }
+        }
+        let reader = conn.as_mut().expect("connection just established");
+        let body = cfg.bodies[i % cfg.bodies.len()].as_bytes();
+        let head = format!(
+            "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        let fired = Instant::now();
+        let wrote = {
+            let stream = reader.get_mut();
+            stream
+                .write_all(head.as_bytes())
+                .and_then(|()| stream.write_all(body))
+        };
+        if wrote.is_err() {
+            out.io_errors += 1;
+            conn = None;
+            continue;
+        }
+        match read_response(reader) {
+            Ok((status, resp_body)) => {
+                let us = u64::try_from(fired.elapsed().as_micros()).unwrap_or(u64::MAX);
+                out.latencies_us.push(us);
+                if (200..300).contains(&status) {
+                    out.ok += 1;
+                } else {
+                    out.non_2xx += 1;
+                }
+                if i == 0 {
+                    *first_body.lock().expect("first-body lock poisoned") = Some(resp_body);
+                }
+            }
+            Err(_) => {
+                out.io_errors += 1;
+                conn = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use hpcarbon_api::{EstimateRequest, SystemId};
+    use hpcarbon_grid::regions::OperatorId;
+
+    fn body() -> String {
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 20;
+        r.to_json()
+    }
+
+    #[test]
+    fn loadgen_roundtrips_against_a_live_server() {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServerConfig {
+                workers: 2,
+                cache_capacity: 64,
+                max_body_bytes: 1 << 20,
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap().to_string();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().unwrap());
+
+        assert!(wait_healthz(&addr, Duration::from_secs(10)));
+        let (summary, first) = run(&LoadGenConfig {
+            addr: addr.clone(),
+            concurrency: 4,
+            bodies: vec![body()],
+            requests: 12,
+        })
+        .unwrap();
+        assert_eq!(summary.requests, 12);
+        assert_eq!(summary.ok, 12, "{summary:?}");
+        assert!(summary.all_ok());
+        assert!(summary.p99_us >= summary.p50_us);
+        assert!(summary.max_us >= summary.p99_us);
+        assert!(summary.throughput_rps > 0.0);
+        // The captured first body is a real report array.
+        let first = String::from_utf8(first.unwrap()).unwrap();
+        assert!(first.starts_with("[\n"), "{first}");
+        assert!(first.contains("\"embodied\""));
+        // Identical bodies mean the cache served 11 of 12 rows.
+        let json = summary.to_json();
+        assert!(json.contains("\"requests\": 12"), "{json}");
+        assert!(json.contains("\"p99\""), "{json}");
+
+        handle.shutdown();
+        let s = join.join().unwrap();
+        assert_eq!(s.estimate_calls, 12);
+        // Concurrent first arrivals may each miss before the first insert
+        // lands, but every row resolves through the cache path and the
+        // steady state hits: misses are bounded by the concurrency.
+        assert_eq!(s.cache_hits + s.cache_misses, 12);
+        assert!((1..=4).contains(&s.cache_misses), "{s:?}");
+        assert!(s.cache_hits >= 8, "{s:?}");
+    }
+
+    #[test]
+    fn empty_workload_is_a_config_error_and_health_probe_times_out() {
+        let err = run(&LoadGenConfig {
+            addr: "127.0.0.1:1".into(),
+            concurrency: 2,
+            bodies: Vec::new(),
+            requests: 4,
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        // Nothing listens on port 1; the probe must give up, not hang.
+        assert!(!wait_healthz("127.0.0.1:1", Duration::from_millis(200)));
+    }
+}

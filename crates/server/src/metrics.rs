@@ -1,0 +1,168 @@
+//! Lock-free serving counters and the `/metrics` plain-text rendering.
+//!
+//! Everything is an [`AtomicU64`] bumped with relaxed ordering — the
+//! counters are statistics, not synchronization, and the render is a
+//! point-in-time snapshot (counters are read independently, so a snapshot
+//! taken mid-request may be off by one between related counters; each
+//! counter is individually monotonic).
+//!
+//! The exposition format is one `name value` pair per line plus a
+//! fixed-bucket latency histogram in the Prometheus text idiom
+//! (`*_bucket{le="…"}` lines are cumulative). The field glossary lives in
+//! the README's "Serve & load-test" section; field names are a wire
+//! contract (CI greps them).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the estimate-latency histogram buckets; a final
+/// `+Inf` bucket catches the rest.
+pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 500, 1_000, 5_000, 20_000, 100_000];
+
+/// All serving counters. One instance per server, shared by the workers.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests parsed off the wire (any route, any outcome).
+    pub http_requests: AtomicU64,
+    /// Responses with a 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with a 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with a 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// `POST /v1/estimate` calls (a batch of any size counts once).
+    pub estimate_calls: AtomicU64,
+    /// Individual requests answered inside estimate batches.
+    pub reports_ok: AtomicU64,
+    /// Individual error rows inside estimate batches.
+    pub report_errors: AtomicU64,
+    /// Batch rows answered from the canonical-request cache.
+    pub cache_hits: AtomicU64,
+    /// Batch rows that had to run the estimator.
+    pub cache_misses: AtomicU64,
+    /// Estimate-call latency histogram (cumulative buckets, µs).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
+    /// Sum of estimate-call latencies, µs.
+    latency_sum_us: AtomicU64,
+    /// Number of estimate calls observed in the histogram.
+    latency_count: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Bumps the status-class counter for one response.
+    pub fn count_response(&self, status: u16) {
+        let c = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one estimate call's wall-clock latency.
+    pub fn observe_latency_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&le| us <= le)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.latency_buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `/metrics` document. `cache_entries` is sampled from
+    /// the cache at render time (it is a gauge, not a counter).
+    pub fn render(&self, cache_entries: usize) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut out = String::with_capacity(1024);
+        out.push_str("# hpcarbon-server metrics; counters are cumulative since boot.\n");
+        out.push_str("# Field glossary: README \"Serve & load-test\".\n");
+        for (name, value) in [
+            ("http_requests_total", g(&self.http_requests)),
+            ("responses_2xx_total", g(&self.responses_2xx)),
+            ("responses_4xx_total", g(&self.responses_4xx)),
+            ("responses_5xx_total", g(&self.responses_5xx)),
+            ("estimate_calls_total", g(&self.estimate_calls)),
+            ("reports_ok_total", g(&self.reports_ok)),
+            ("report_errors_total", g(&self.report_errors)),
+            ("cache_hits_total", g(&self.cache_hits)),
+            ("cache_misses_total", g(&self.cache_misses)),
+            ("cache_entries", cache_entries as u64),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        // Cumulative histogram: each bucket counts everything at or below
+        // its bound, Prometheus-style.
+        let mut cumulative = 0;
+        for (i, &le) in LATENCY_BUCKETS_US.iter().enumerate() {
+            cumulative += self.latency_buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "estimate_latency_us_bucket{{le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.latency_buckets[LATENCY_BUCKETS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "estimate_latency_us_bucket{{le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "estimate_latency_us_sum {}\n",
+            g(&self.latency_sum_us)
+        ));
+        out.push_str(&format!(
+            "estimate_latency_us_count {}\n",
+            g(&self.latency_count)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_classes_route_to_their_counters() {
+        let m = Metrics::new();
+        for s in [200, 200, 404, 413, 500] {
+            m.count_response(s);
+        }
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_the_render() {
+        let m = Metrics::new();
+        m.observe_latency_us(50); // le=100
+        m.observe_latency_us(800); // le=1000
+        m.observe_latency_us(999_999); // +Inf
+        let text = m.render(0);
+        assert!(text.contains("estimate_latency_us_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("estimate_latency_us_bucket{le=\"1000\"} 2\n"));
+        assert!(text.contains("estimate_latency_us_bucket{le=\"100000\"} 2\n"));
+        assert!(text.contains("estimate_latency_us_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("estimate_latency_us_sum 1000849\n"));
+        assert!(text.contains("estimate_latency_us_count 3\n"));
+    }
+
+    #[test]
+    fn render_names_are_the_wire_contract() {
+        // CI greps these names; a rename is a contract break.
+        let text = Metrics::new().render(7);
+        for name in [
+            "http_requests_total 0",
+            "responses_2xx_total 0",
+            "estimate_calls_total 0",
+            "cache_hits_total 0",
+            "cache_misses_total 0",
+            "cache_entries 7",
+        ] {
+            assert!(text.contains(name), "missing {name:?} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Route dispatch and the cached estimation path.
+//!
+//! [`EstimateService`] is the pure core of the server: HTTP request in,
+//! HTTP response out, no sockets anywhere — which is what the worker
+//! pool, the round-trip tests, and the `serve` benchmarks all call.
+//!
+//! ## Determinism under caching
+//!
+//! `POST /v1/estimate` answers must be **byte-identical** to
+//! `hpcarbon estimate` for the same document, cached or not. The chain
+//! that guarantees it:
+//!
+//! 1. each batch row validates to a [`ValidRequest`] whose
+//!    [`canonical_json`](ValidRequest::canonical_json) is injective over
+//!    request semantics;
+//! 2. the cache maps canonical bytes → the computed [`FootprintReport`]
+//!    **struct** (not rendered text), so assembly goes through the same
+//!    [`batch_to_json`] emitter whether rows were computed or recalled;
+//! 3. estimation is a pure function of the request and the (fixed,
+//!    default) providers.
+//!
+//! Only `Ok` reports are cached; error rows are cheap to recompute and
+//! keeping them out makes cache poisoning by malformed traffic
+//! impossible. The mixed case — a batch where some rows hit and some
+//! miss — therefore composes row by row without special cases.
+
+use crate::cache::ShardedLru;
+use crate::http::{HttpError, HttpRequest, HttpResponse};
+use crate::metrics::Metrics;
+use hpcarbon_api::request::ValidRequest;
+use hpcarbon_api::{batch_to_json, ApiError, EstimateRequest, Estimator, FootprintReport};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default request-body limit (1 MiB — thousands of batch rows).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
+
+/// The server's request handler: routes, the estimator, and the
+/// canonical-request cache.
+pub struct EstimateService {
+    estimator: Estimator,
+    cache: ShardedLru<Arc<FootprintReport>>,
+    metrics: Metrics,
+    max_body_bytes: usize,
+}
+
+impl EstimateService {
+    /// A service over `estimator` with a canonical-request cache of
+    /// `cache_capacity` entries (0 disables caching) and the default body
+    /// limit.
+    pub fn new(estimator: Estimator, cache_capacity: usize) -> EstimateService {
+        EstimateService {
+            estimator,
+            cache: ShardedLru::new(cache_capacity),
+            metrics: Metrics::new(),
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+
+    /// Overrides the request-body limit, bytes.
+    pub fn with_max_body_bytes(mut self, bytes: usize) -> EstimateService {
+        self.max_body_bytes = bytes.max(1);
+        self
+    }
+
+    /// The request-body limit the HTTP reader enforces.
+    pub fn max_body_bytes(&self) -> usize {
+        self.max_body_bytes
+    }
+
+    /// The serving counters (shared with `/metrics`).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Current number of cached reports.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Handles one parsed request. Total: every outcome is a response.
+    pub fn handle(&self, req: &HttpRequest) -> HttpResponse {
+        self.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let resp = match (req.method.as_str(), req.target.as_str()) {
+            ("GET", "/healthz") => HttpResponse::ok("text/plain; charset=utf-8", "ok\n"),
+            ("GET", "/metrics") => HttpResponse::ok(
+                "text/plain; charset=utf-8",
+                self.metrics.render(self.cache.len()),
+            ),
+            ("POST", "/v1/estimate") => self.estimate(&req.body),
+            ("GET", "/v1/estimate") | ("POST", "/healthz") | ("POST", "/metrics") => {
+                error_payload(405, "http", "method not allowed for this route")
+            }
+            _ => error_payload(404, "http", "no such route"),
+        };
+        self.metrics.count_response(resp.status);
+        resp
+    }
+
+    /// The response for a request that never parsed ([`HttpError`] from
+    /// the reader). `None` means the connection died without a decodable
+    /// request — nothing useful can be written back.
+    pub fn handle_protocol_error(&self, err: &HttpError) -> Option<HttpResponse> {
+        let mut resp = match err {
+            HttpError::Malformed(msg) => error_payload(400, "http", msg),
+            HttpError::BodyTooLarge { .. } => error_payload(413, "http", &err.to_string()),
+            HttpError::HeadersTooLarge => error_payload(431, "http", &err.to_string()),
+            HttpError::Closed | HttpError::Idle | HttpError::Io(_) => return None,
+        };
+        // The stream position is unreliable after a protocol error (an
+        // unread body may follow); close rather than misparse.
+        resp.close = true;
+        self.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.count_response(resp.status);
+        Some(resp)
+    }
+
+    fn estimate(&self, body: &[u8]) -> HttpResponse {
+        self.metrics.estimate_calls.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let src = match std::str::from_utf8(body) {
+            Ok(s) => s,
+            Err(_) => return error_payload(400, "http", "request body is not UTF-8"),
+        };
+        // Document-level failures (syntax, schema gate, unknown fields)
+        // are a typed 400; row-level failures below stay 200 with error
+        // rows, exactly like the CLI's batch semantics.
+        let requests = match EstimateRequest::batch_from_json(src) {
+            Ok(r) => r,
+            Err(e) => return error_payload(400, e.kind(), &e.to_string()),
+        };
+        let results: Vec<Result<Arc<FootprintReport>, ApiError>> = requests
+            .iter()
+            .map(|r| self.estimate_one_cached(r))
+            .collect();
+        for r in &results {
+            let c = match r {
+                Ok(_) => &self.metrics.reports_ok,
+                Err(_) => &self.metrics.report_errors,
+            };
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        let json = batch_to_json(&results);
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.observe_latency_us(us);
+        HttpResponse::json(200, json)
+    }
+
+    /// One batch row through the cache: canonical key, recall or compute.
+    /// Reports stay behind `Arc` end to end — a hit is a refcount bump,
+    /// never a deep copy — and the request is validated exactly once
+    /// (the same `ValidRequest` yields the key and feeds the estimator).
+    fn estimate_one_cached(&self, req: &EstimateRequest) -> Result<Arc<FootprintReport>, ApiError> {
+        let valid: ValidRequest = req.validate()?;
+        let key = valid.canonical_json();
+        if let Some(hit) = self.cache.get(&key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let report = Arc::new(self.estimator.estimate_valid(&valid)?);
+        self.cache.insert(key, Arc::clone(&report));
+        Ok(report)
+    }
+}
+
+impl Default for EstimateService {
+    /// The production default: the paper's estimator, a 1024-entry cache.
+    fn default() -> EstimateService {
+        EstimateService::new(Estimator::builder().build(), 1024)
+    }
+}
+
+/// The typed JSON error payload: `{"error": {"kind": ..., "message":
+/// ...}}`, the wire form of [`ApiError::kind`] plus its `Display`.
+fn error_payload(status: u16, kind: &str, message: &str) -> HttpResponse {
+    HttpResponse::json(
+        status,
+        format!(
+            "{{\"error\": {{\"kind\": {}, \"message\": {}}}}}\n",
+            hpcarbon_api::json::esc(kind),
+            hpcarbon_api::json::esc(message),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcarbon_api::{SystemId, TraceSource};
+    use hpcarbon_grid::regions::OperatorId;
+
+    fn post(body: &str) -> HttpRequest {
+        HttpRequest {
+            method: "POST".into(),
+            target: "/v1/estimate".into(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn get(target: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            target: target.into(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    fn request_json() -> String {
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 30;
+        r.to_json()
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let svc = EstimateService::default();
+        let ok = svc.handle(&get("/healthz"));
+        assert_eq!(ok.status, 200);
+        assert_eq!(ok.body, b"ok\n");
+        assert_eq!(svc.handle(&get("/nope")).status, 404);
+        assert_eq!(svc.handle(&get("/v1/estimate")).status, 405);
+        // The /metrics request itself is counted before rendering, so the
+        // healthz + 404 + 405 probes plus this one make four.
+        let m = svc.handle(&get("/metrics"));
+        assert_eq!(m.status, 200);
+        assert!(String::from_utf8(m.body)
+            .unwrap()
+            .contains("http_requests_total 4\n"));
+    }
+
+    #[test]
+    fn cached_and_uncached_responses_are_byte_identical() {
+        let svc = EstimateService::default();
+        let body = request_json();
+        let first = svc.handle(&post(&body));
+        assert_eq!(first.status, 200);
+        assert_eq!(svc.metrics().cache_misses.load(Ordering::Relaxed), 1);
+        let second = svc.handle(&post(&body));
+        assert_eq!(svc.metrics().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(first.body, second.body, "cache must not change bytes");
+        // And both equal the CLI path: a direct estimate_batch emission.
+        let reqs = EstimateRequest::batch_from_json(&body).unwrap();
+        let direct = batch_to_json(
+            &Estimator::builder()
+                .threads(1)
+                .build()
+                .estimate_batch(&reqs),
+        );
+        assert_eq!(first.body, direct.as_bytes());
+    }
+
+    #[test]
+    fn cache_distinguishes_every_request_field() {
+        let svc = EstimateService::default();
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 30;
+        let a = svc.handle(&post(&r.to_json()));
+        r.source = TraceSource::Synthetic;
+        let b = svc.handle(&post(&r.to_json()));
+        assert_ne!(a.body, b.body);
+        assert_eq!(svc.metrics().cache_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(svc.cache_entries(), 2);
+    }
+
+    #[test]
+    fn bad_json_is_a_typed_400_payload() {
+        let svc = EstimateService::default();
+        let resp = svc.handle(&post("{not json"));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"kind\": \"parse\""), "{text}");
+        assert!(text.contains("invalid JSON"), "{text}");
+        // Schema-gate failures carry their own kind.
+        let resp = svc.handle(&post(
+            r#"{"schema_version": 9, "system": "frontier", "region": "eso"}"#,
+        ));
+        assert_eq!(resp.status, 400);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"kind\": \"schema\""), "{text}");
+    }
+
+    #[test]
+    fn row_level_failures_stay_batch_rows_and_are_not_cached() {
+        let svc = EstimateService::default();
+        // Row 2 is infeasible (all-flash Perlmutter); the batch is still
+        // a 200 with an aligned error row — CLI semantics.
+        let body = format!(
+            r#"[{}, {{"schema_version": 1, "system": "perlmutter", "region": "eso", "storage": "all-flash", "jobs": 30}}]"#,
+            request_json()
+        );
+        let resp = svc.handle(&post(&body));
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"error\": \"storage what-if"), "{text}");
+        assert_eq!(svc.metrics().report_errors.load(Ordering::Relaxed), 1);
+        assert_eq!(svc.metrics().reports_ok.load(Ordering::Relaxed), 1);
+        // Only the feasible row was cached.
+        assert_eq!(svc.cache_entries(), 1);
+    }
+
+    #[test]
+    fn protocol_errors_map_to_their_status_codes() {
+        let svc = EstimateService::default();
+        let r413 = svc
+            .handle_protocol_error(&HttpError::BodyTooLarge { limit: 10 })
+            .unwrap();
+        assert_eq!(r413.status, 413);
+        assert!(r413.close);
+        let r400 = svc
+            .handle_protocol_error(&HttpError::Malformed("x".into()))
+            .unwrap();
+        assert_eq!(r400.status, 400);
+        let r431 = svc
+            .handle_protocol_error(&HttpError::HeadersTooLarge)
+            .unwrap();
+        assert_eq!(r431.status, 431);
+        assert!(svc.handle_protocol_error(&HttpError::Closed).is_none());
+        assert!(svc.handle_protocol_error(&HttpError::Idle).is_none());
+        assert!(svc
+            .handle_protocol_error(&HttpError::Io("reset".into()))
+            .is_none());
+    }
+}

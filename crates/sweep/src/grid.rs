@@ -147,6 +147,31 @@ impl ScenarioGrid {
         out
     }
 
+    /// Samples `n` estimate requests uniformly (with replacement) from
+    /// the expanded grid under the sweep's workload knobs — the serving
+    /// load generator's workload, and a grid-shaped way to build request
+    /// batches in general.
+    ///
+    /// Sampling is deterministic: indices come from the `loadgen`
+    /// substream of `seed`, never from thread or wall-clock state, so a
+    /// fixed seed reproduces the exact request sequence (CI's smoke load
+    /// relies on this). An empty grid samples to an empty batch.
+    pub fn sample_requests(
+        &self,
+        n: usize,
+        cfg: &crate::exec::SweepConfig,
+        seed: u64,
+    ) -> Vec<hpcarbon_api::EstimateRequest> {
+        let scenarios = self.scenarios();
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = hpcarbon_sim::rng::SimRng::seed_from(seed).substream("loadgen");
+        (0..n)
+            .map(|_| scenarios[rng.index(scenarios.len())].to_request(cfg))
+            .collect()
+    }
+
     /// The default full sweep: every Table 2 system × both storage
     /// variants × all seven Table 3 regions × constant and seasonal PUE ×
     /// three policies × two upgrade paths — 504 scenarios per seed.
@@ -270,6 +295,26 @@ mod tests {
         for (i, sc) in s.iter().enumerate() {
             assert_eq!(sc.id, i);
         }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic_and_grid_bound() {
+        let g = ScenarioGrid::quick();
+        let cfg = crate::exec::SweepConfig::fast();
+        let a = g.sample_requests(32, &cfg, 2021);
+        let b = g.sample_requests(32, &cfg, 2021);
+        assert_eq!(a, b, "fixed seed reproduces the exact sequence");
+        assert_eq!(a.len(), 32);
+        // Every sample is a point of the grid (same translation as the
+        // sweep executor's rows).
+        let points: Vec<_> = g.scenarios().iter().map(|s| s.to_request(&cfg)).collect();
+        assert!(a.iter().all(|r| points.contains(r)));
+        // A different seed draws a different sequence.
+        assert_ne!(a, g.sample_requests(32, &cfg, 7));
+        // Degenerate cases stay total.
+        assert!(g.sample_requests(0, &cfg, 2021).is_empty());
+        let empty = ScenarioGrid::new();
+        assert!(empty.sample_requests(8, &cfg, 2021).is_empty());
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //!
 //! ```text
 //! hpcarbon estimate --request FILE [--threads N] [--out FILE]
+//! hpcarbon serve    [--addr A] [--workers N] [--cache N] [--max-body BYTES]
+//! hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]
+//!                   [--grid quick|shifting|default] [--jobs N] [--request FILE]
+//!                   [--wait S] [--out FILE] [--save-response FILE]
 //! hpcarbon figures  [--seed N] [--out DIR]      regenerate all paper artifacts
 //! hpcarbon parts                                 embodied-carbon catalog review
 //! hpcarbon systems                               Fig. 5 composition of Table 2 systems
@@ -29,6 +33,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("estimate") => cmd_estimate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
         Some("parts") => cmd_parts(),
         Some("systems") => cmd_systems(),
@@ -53,12 +59,28 @@ fn print_usage() {
     println!(
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
          USAGE:\n  hpcarbon estimate --request FILE [--threads N] [--out FILE]\n  \
+         hpcarbon serve    [--addr A] [--workers N] [--cache N] [--max-body BYTES]\n  \
+         hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]\n                    \
+         [--grid quick|shifting|default] [--jobs N] [--request FILE]\n                    \
+         [--wait S] [--out FILE] [--save-response FILE]\n  \
          hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
          [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
          hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
          hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]\n                    \
          [--quick | --shifting]\n\n\
+         serve puts the same front door behind a std-only threaded HTTP\n\
+         server: POST /v1/estimate takes the estimate subcommand's exact\n\
+         request documents and answers with byte-identical reports; a\n\
+         sharded LRU cache keyed on canonical request bytes skips\n\
+         simulation for repeated queries without changing a byte. GET\n\
+         /healthz and GET /metrics expose liveness and counters; SIGTERM\n\
+         drains in-flight requests and exits 0.\n\n\
+         loadgen fires N concurrent requests (sampled from a scenario\n\
+         grid under a fixed seed, or one --request file repeated) at a\n\
+         running server and reports throughput and latency percentiles;\n\
+         it exits nonzero on any non-2xx or transport error, which makes\n\
+         it CI's smoke client.\n\n\
          estimate is the front door: it reads a schema-versioned JSON\n\
          EstimateRequest (one object or an array) from --request, evaluates\n\
          the batch in parallel, and emits one FootprintReport per request\n\
@@ -146,6 +168,214 @@ fn cmd_estimate(args: &[String]) -> i32 {
         None => print!("{json}"),
     }
     0
+}
+
+/// Parses a typed positive-integer flag; `Ok(None)` when absent.
+fn positive_flag(args: &[String], name: &str) -> Result<Option<usize>, i32> {
+    match flag(args, name) {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => {
+                eprintln!("invalid {name} \"{raw}\" (expected a positive integer)");
+                Err(2)
+            }
+        },
+    }
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let mut config = sustainable_hpc::server::ServerConfig::default();
+    match positive_flag(args, "--workers") {
+        Ok(Some(n)) => config.workers = n,
+        Ok(None) => {}
+        Err(c) => return c,
+    }
+    if let Some(raw) = flag(args, "--cache") {
+        // 0 is meaningful here: it disables the cache.
+        match raw.parse::<usize>() {
+            Ok(n) => config.cache_capacity = n,
+            Err(_) => {
+                eprintln!("invalid --cache \"{raw}\" (expected a non-negative integer)");
+                return 2;
+            }
+        }
+    }
+    match positive_flag(args, "--max-body") {
+        Ok(Some(n)) => config.max_body_bytes = n,
+        Ok(None) => {}
+        Err(c) => return c,
+    }
+
+    let server = match Server::bind(&addr, config.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot resolve the bound address: {e}");
+            return 1;
+        }
+    };
+
+    // SIGTERM/SIGINT → the shutdown handle, polled by a watcher thread
+    // (the handler itself only sets an atomic flag).
+    sustainable_hpc::server::signal::install_handlers();
+    let handle = server.shutdown_handle();
+    let watcher = handle.clone();
+    std::thread::spawn(move || loop {
+        if sustainable_hpc::server::signal::termination_requested() {
+            watcher.shutdown();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+
+    println!(
+        "hpcarbon-server listening on http://{bound} ({} workers, cache {} entries, body limit {} bytes)",
+        config.workers, config.cache_capacity, config.max_body_bytes
+    );
+    println!(
+        "routes: POST /v1/estimate | GET /healthz | GET /metrics — SIGTERM drains and exits 0"
+    );
+    match server.run() {
+        Ok(s) => {
+            println!(
+                "graceful shutdown: drained; served {} http requests ({} estimate calls, {} cache hits / {} misses)",
+                s.http_requests, s.estimate_calls, s.cache_hits, s.cache_misses
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_loadgen(args: &[String]) -> i32 {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let requests = match positive_flag(args, "--requests") {
+        Ok(n) => n.unwrap_or(64),
+        Err(c) => return c,
+    };
+    let concurrency = match positive_flag(args, "--concurrency") {
+        Ok(n) => n.unwrap_or(8),
+        Err(c) => return c,
+    };
+    let wait_s = match positive_flag(args, "--wait") {
+        Ok(n) => n.unwrap_or(10),
+        Err(c) => return c,
+    };
+    // A typo'd seed must not silently run the default workload — the
+    // whole point of --seed is a reproducible request sequence.
+    let seed: u64 = match flag(args, "--seed") {
+        None => 2021,
+        Some(raw) => match raw.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("invalid --seed \"{raw}\" (expected a non-negative integer)");
+                return 2;
+            }
+        },
+    };
+
+    // The workload: one file repeated (a single entry, cycled by the
+    // workers), or requests sampled from a grid under the fixed seed
+    // (reproducible request-for-request).
+    let bodies: Vec<String> = match flag(args, "--request") {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(src) => vec![src],
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return 1;
+            }
+        },
+        None => {
+            let grid_name = flag(args, "--grid").unwrap_or_else(|| "quick".into());
+            let grid = match grid_name.as_str() {
+                "quick" => ScenarioGrid::quick(),
+                "shifting" => ScenarioGrid::shifting(),
+                "default" => ScenarioGrid::paper_default(),
+                other => {
+                    eprintln!(
+                        "unknown --grid \"{other}\" (valid values: quick, shifting, default)"
+                    );
+                    return 2;
+                }
+            };
+            let mut cfg = SweepConfig::fast();
+            match positive_flag(args, "--jobs") {
+                Ok(Some(n)) => cfg.jobs_per_scenario = n,
+                Ok(None) => {}
+                Err(c) => return c,
+            }
+            grid.sample_requests(requests, &cfg, seed)
+                .iter()
+                .map(|r| r.to_json())
+                .collect()
+        }
+    };
+
+    if !sustainable_hpc::server::wait_healthz(&addr, std::time::Duration::from_secs(wait_s as u64))
+    {
+        eprintln!("server at {addr} did not answer /healthz within {wait_s}s");
+        return 1;
+    }
+    let (summary, first_body) = match sustainable_hpc::server::loadgen::run(&LoadGenConfig {
+        addr: addr.clone(),
+        concurrency,
+        bodies,
+        requests,
+    }) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("loadgen failed: {e}");
+            return 1;
+        }
+    };
+
+    print!("{}", summary.render());
+    if let Some(path) = flag(args, "--save-response") {
+        let Some(body) = first_body else {
+            eprintln!("no response captured to save to {path}");
+            return 1;
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("saved the first response body to {path}");
+    }
+    if let Some(path) = flag(args, "--out") {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {e}", parent.display());
+                    return 1;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+        eprintln!("wrote the latency summary to {path}");
+    }
+    if summary.all_ok() {
+        0
+    } else {
+        eprintln!(
+            "loadgen observed failures: {} non-2xx, {} i/o errors",
+            summary.non_2xx, summary.io_errors
+        );
+        1
+    }
 }
 
 fn cmd_figures(args: &[String]) -> i32 {

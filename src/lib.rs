@@ -27,6 +27,9 @@
 //!   (`hpcarbon estimate`)
 //! - [`sweep`] — declarative scenario grids and a deterministic parallel
 //!   sweep executor, batch-shaped consumer of the API (`hpcarbon sweep`)
+//! - [`server`] — a std-only threaded HTTP server over the API with a
+//!   canonical-request cache, plus the matching load generator
+//!   (`hpcarbon serve` / `hpcarbon loadgen`)
 //!
 //! Architecture, calibration methodology (§1) and the process-node
 //! interpolation scheme (§5) are documented in `DESIGN.md` at the
@@ -80,6 +83,7 @@ pub use hpcarbon_grid as grid;
 pub use hpcarbon_power as power;
 pub use hpcarbon_report as report;
 pub use hpcarbon_sched as sched;
+pub use hpcarbon_server as server;
 pub use hpcarbon_sim as sim;
 pub use hpcarbon_sweep as sweep;
 pub use hpcarbon_timeseries as timeseries;
@@ -104,6 +108,9 @@ pub mod prelude {
     };
     pub use hpcarbon_sched::{
         shift_savings, summarize_shift_savings, Cluster, Job, JobTraceGenerator, Policy, Simulation,
+    };
+    pub use hpcarbon_server::{
+        EstimateService, LoadGenConfig, LoadSummary, Server, ServerConfig, ShutdownHandle,
     };
     pub use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor, TraceSource};
     pub use hpcarbon_units::*;
