@@ -14,9 +14,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpcarbon_api::{EstimateRequest, Estimator, SystemId};
 use hpcarbon_grid::regions::OperatorId;
-use hpcarbon_server::http::read_request;
-use hpcarbon_server::{EstimateService, HttpRequest, ShardedLru};
+use hpcarbon_server::http::{read_request, RequestParser};
+use hpcarbon_server::{EstimateService, HttpRequest, Server, ServerConfig, ShardedLru};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 
 /// The benchmark workload: the paper-baseline Frontier/GB request at the
 /// sweep's fast job count (the smoke fixtures' shape).
@@ -86,7 +88,114 @@ fn http_parse(c: &mut Criterion) {
             black_box(read_request(&mut cursor, 1 << 20).unwrap())
         })
     });
+
+    // The event loop's path: the same wire bytes arriving as the 16 KiB
+    // read chunks the kernel hands a readiness loop, fed incrementally.
+    c.bench_function("serve/http_parse_incremental", |b| {
+        b.iter(|| {
+            let mut parser = RequestParser::new(1 << 20);
+            let mut out = None;
+            for chunk in wire.as_bytes().chunks(1024) {
+                parser.feed(chunk);
+                if let Ok(Some(req)) = parser.poll() {
+                    out = Some(req);
+                }
+            }
+            black_box(out.unwrap())
+        })
+    });
 }
 
-criterion_group!(benches, estimate_paths, cache_ops, http_parse);
+/// The on-loop fast path: a hot rendered-response lookup — exactly what a
+/// shard pays per cache-hit request before copying the Arc'd bytes out.
+fn hot_response(c: &mut Criterion) {
+    let body = request_body();
+    let service = EstimateService::new(Estimator::builder().build(), 64);
+    let primed = service.handle(&post(&body));
+    assert_eq!(primed.status, 200);
+    assert!(
+        service.try_hot(body.as_bytes()).is_some(),
+        "the handled request must prime the hot rendered-response cache"
+    );
+    c.bench_function("serve/hot_response_hit", |b| {
+        b.iter(|| black_box(service.try_hot(body.as_bytes()).unwrap()))
+    });
+}
+
+/// Reads one HTTP/1.1 response off a keep-alive connection; returns the
+/// body length as a liveness token for `black_box`.
+fn read_keep_alive_response(r: &mut BufReader<TcpStream>) -> usize {
+    let mut status = String::new();
+    r.read_line(&mut status).unwrap();
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    let mut len = 0usize;
+    loop {
+        let mut header = String::new();
+        r.read_line(&mut header).unwrap();
+        if header == "\r\n" {
+            break;
+        }
+        if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+            len = v.trim().parse().unwrap();
+        }
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body).unwrap();
+    len
+}
+
+/// Full socket roundtrip through the epoll event loop on a keep-alive
+/// connection with a primed cache: write + readiness wakeup + incremental
+/// parse + hot-response hit + flush + read. This is the serve-path p50 a
+/// loadgen client observes once the cache is warm.
+fn event_loop_roundtrip(c: &mut Criterion) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            shards: 1,
+            workers: 1,
+            cache_capacity: 64,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind an ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let body = request_body();
+    let wire = format!(
+        "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Prime: the first roundtrip computes and caches; iterations then
+    // measure the steady-state hot path.
+    stream.write_all(wire.as_bytes()).unwrap();
+    read_keep_alive_response(&mut reader);
+
+    c.bench_function("serve/event_loop_roundtrip", |b| {
+        b.iter(|| {
+            stream.write_all(wire.as_bytes()).unwrap();
+            black_box(read_keep_alive_response(&mut reader))
+        })
+    });
+
+    drop(stream);
+    drop(reader);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+criterion_group!(
+    benches,
+    estimate_paths,
+    cache_ops,
+    http_parse,
+    hot_response,
+    event_loop_roundtrip
+);
 criterion_main!(benches);

@@ -282,6 +282,116 @@ mod tests {
         assert!(cache.len() >= SHARDS, "implausibly skewed distribution");
     }
 
+    /// The naive reference: a `Vec` ordered most-recently-used first.
+    /// Every operation is O(n) and obviously correct — the property tests
+    /// below hold the intrusive-list shard to this model's behaviour.
+    struct ModelLru {
+        cap: usize,
+        /// Front = most recently used.
+        entries: Vec<(String, u32)>,
+    }
+
+    impl ModelLru {
+        fn new(cap: usize) -> ModelLru {
+            ModelLru {
+                cap,
+                entries: Vec::new(),
+            }
+        }
+
+        fn get(&mut self, key: &str) -> Option<u32> {
+            let pos = self.entries.iter().position(|(k, _)| k == key)?;
+            let entry = self.entries.remove(pos);
+            let value = entry.1;
+            self.entries.insert(0, entry);
+            Some(value)
+        }
+
+        fn insert(&mut self, key: String, value: u32) {
+            if self.cap == 0 {
+                return;
+            }
+            if let Some(pos) = self.entries.iter().position(|(k, _)| k == &key) {
+                self.entries.remove(pos);
+            } else if self.entries.len() == self.cap {
+                self.entries.pop();
+            }
+            self.entries.insert(0, (key, value));
+        }
+    }
+
+    /// The shard's recency list, MRU first, read off the intrusive links.
+    fn recency_order(s: &Shard<u32>) -> Vec<(String, u32)> {
+        let mut out = Vec::new();
+        let mut i = s.head;
+        while i != NIL {
+            out.push((s.slots[i].key.clone(), s.slots[i].value));
+            i = s.slots[i].next;
+        }
+        out
+    }
+
+    mod model_props {
+        use super::*;
+        use proptest::collection;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(160))]
+
+            // Random get/insert sequences over a small key space (so
+            // hits, refreshes, and evictions all happen): after EVERY
+            // operation the shard agrees with the naive model on hit/miss
+            // verdicts, returned values, full recency order (which pins
+            // the eviction order), and the capacity invariant.
+            #[test]
+            fn shard_matches_the_naive_lru_model(
+                cap in 0usize..6,
+                ops in collection::vec((0u8..2, 0usize..10, 0u32..1000), 1..120),
+            ) {
+                let mut real = Shard::new(cap);
+                let mut model = ModelLru::new(cap);
+                for (kind, k, v) in ops {
+                    let key = format!("k{k}");
+                    if kind == 0 {
+                        prop_assert_eq!(real.get(&key), model.get(&key));
+                    } else {
+                        real.insert(key.clone(), v);
+                        model.insert(key, v);
+                    }
+                    prop_assert!(real.map.len() <= cap, "over capacity");
+                    prop_assert!(real.slots.len() <= cap, "slab grew past cap");
+                    prop_assert_eq!(recency_order(&real), model.entries.clone());
+                }
+            }
+
+            // The sharded front: routing by the stable key hash must make
+            // the whole cache behave as SHARDS independent models.
+            #[test]
+            fn sharded_cache_matches_per_shard_models(
+                cap in 0usize..20,
+                ops in collection::vec((0u8..2, 0usize..24, 0u32..1000), 1..150),
+            ) {
+                let real: ShardedLru<u32> = ShardedLru::new(cap);
+                let per = if cap == 0 { 0 } else { cap.div_ceil(SHARDS) };
+                let mut models: Vec<ModelLru> =
+                    (0..SHARDS).map(|_| ModelLru::new(per)).collect();
+                for (kind, k, v) in ops {
+                    let key = format!("k{k}");
+                    let model = &mut models[(fnv1a(&key) as usize) % SHARDS];
+                    if kind == 0 {
+                        prop_assert_eq!(real.get(&key), model.get(&key));
+                    } else {
+                        real.insert(key.clone(), v);
+                        model.insert(key, v);
+                    }
+                }
+                let model_len: usize = models.iter().map(|m| m.entries.len()).sum();
+                prop_assert_eq!(real.len(), model_len);
+            }
+        }
+    }
+
     #[test]
     fn concurrent_hammering_stays_consistent() {
         let cache = std::sync::Arc::new(ShardedLru::<u64>::new(64));

@@ -1,0 +1,256 @@
+//! Per-connection state for the event-loop shards.
+//!
+//! A [`Conn`] is one slab slot: the nonblocking stream, the incremental
+//! [`RequestParser`], the outgoing [`WriteBuf`], and the bookkeeping the
+//! readiness state machine needs (in-flight flag, generation stamp, read
+//! deadline). The event loop owns all transitions; this module only
+//! holds the data and the one self-contained algorithm — partial-write
+//! resume over a queue of owned or `Arc`-shared byte segments.
+//!
+//! The shared segments are the zero-copy half of the hot-response path:
+//! a cache hit pushes the `Arc`'d rendered body straight into the write
+//! queue, so a 100k-connection fan-out of the same popular response
+//! shares one allocation.
+
+use crate::http::RequestParser;
+use crate::poll::Interest;
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One queued chunk of outgoing bytes.
+#[derive(Debug)]
+pub enum Segment {
+    /// Bytes owned by this connection (response heads, error payloads,
+    /// uncached bodies).
+    Owned(Vec<u8>),
+    /// Bytes shared with the hot-response cache; written without copying.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Segment {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Segment::Owned(v) => v,
+            Segment::Shared(v) => v,
+        }
+    }
+}
+
+/// The outgoing byte queue with partial-write resume.
+///
+/// Responses are pushed as segments (head, body, head, body, …);
+/// [`write_to`](WriteBuf::write_to) flushes as much as the socket
+/// accepts and remembers the offset into the front segment, so a short
+/// write resumes exactly where the kernel stopped — the mechanism behind
+/// write-interest-driven flushing.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    segments: VecDeque<Segment>,
+    /// Bytes of the front segment already written.
+    offset: usize,
+}
+
+impl WriteBuf {
+    /// An empty queue.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Queues connection-owned bytes (empty chunks are dropped).
+    pub fn push_owned(&mut self, bytes: Vec<u8>) {
+        if !bytes.is_empty() {
+            self.segments.push_back(Segment::Owned(bytes));
+        }
+    }
+
+    /// Queues cache-shared bytes without copying them.
+    pub fn push_shared(&mut self, bytes: Arc<Vec<u8>>) {
+        if !bytes.is_empty() {
+            self.segments.push_back(Segment::Shared(bytes));
+        }
+    }
+
+    /// True when everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Bytes still waiting to go out.
+    pub fn pending_bytes(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.as_bytes().len())
+            .sum::<usize>()
+            - self.offset
+    }
+
+    /// Writes as much as the sink accepts. Returns `Ok(true)` when the
+    /// queue drained, `Ok(false)` when the sink would block (the caller
+    /// arms write interest), and `Err` on transport failure.
+    pub fn write_to(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while let Some(front) = self.segments.front() {
+            let chunk = &front.as_bytes()[self.offset..];
+            match w.write(chunk) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ))
+                }
+                Ok(n) if n == chunk.len() => {
+                    self.segments.pop_front();
+                    self.offset = 0;
+                }
+                Ok(n) => {
+                    self.offset += n;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// One live connection on an event-loop shard.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking stream (kept for its fd and I/O calls; the slab
+    /// index, not the fd, is the epoll token).
+    pub stream: TcpStream,
+    /// Incremental request parser fed by readiness-driven reads.
+    pub parser: RequestParser,
+    /// Outgoing bytes with partial-write resume.
+    pub out: WriteBuf,
+    /// Stamp checked against worker completions: a completion whose
+    /// generation does not match the slot's current value belongs to a
+    /// previous occupant and is dropped.
+    pub generation: u64,
+    /// A request is at the worker pool; reads are paused (one outstanding
+    /// request per connection keeps pipelined responses ordered).
+    pub busy: bool,
+    /// The connection ends once the write queue drains (protocol errors,
+    /// `Connection: close`, shutdown drain).
+    pub close_after_flush: bool,
+    /// The interest currently armed in epoll (tracked so the loop only
+    /// issues `epoll_ctl` when the desired interest actually changes).
+    pub armed: Interest,
+    /// The last flush hit `EWOULDBLOCK`; write interest should be armed
+    /// until the queue drains.
+    pub write_blocked: bool,
+    /// When the current write stall began (deadline bookkeeping for
+    /// peers that stop reading mid-response). Cleared on any progress.
+    pub write_blocked_since: Option<Instant>,
+    /// Deadline for the bytes of the request in flight: armed at the
+    /// first byte, cleared when the request completes. A slow-loris peer
+    /// trips it and is dropped; idle keep-alive connections have none.
+    pub read_deadline: Option<Instant>,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted stream (already set nonblocking).
+    pub fn new(stream: TcpStream, max_body: usize, generation: u64) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(max_body),
+            out: WriteBuf::new(),
+            generation,
+            busy: false,
+            close_after_flush: false,
+            armed: Interest::READ,
+            write_blocked: false,
+            write_blocked_since: None,
+            read_deadline: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that accepts at most `cap` bytes per write, then blocks.
+    struct Throttled {
+        accepted: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.cap).min(self.budget);
+            self.accepted.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_resume_across_segments() {
+        let mut buf = WriteBuf::new();
+        buf.push_owned(b"HEAD".to_vec());
+        buf.push_shared(Arc::new(b"shared-body".to_vec()));
+        buf.push_owned(b"tail".to_vec());
+        assert_eq!(buf.pending_bytes(), 19);
+
+        // Drip 3 bytes at a time with a budget that stops mid-segment.
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 3,
+            budget: 7,
+        };
+        assert!(!buf.write_to(&mut sink).unwrap(), "blocked mid-way");
+        assert_eq!(sink.accepted, b"HEADsha");
+        assert_eq!(buf.pending_bytes(), 12);
+
+        // More budget: the queue resumes at the exact offset and drains.
+        sink.budget = usize::MAX;
+        assert!(buf.write_to(&mut sink).unwrap());
+        assert_eq!(sink.accepted, b"HEADshared-bodytail");
+        assert!(buf.is_empty());
+        assert_eq!(buf.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn shared_segments_do_not_copy() {
+        let body = Arc::new(vec![7u8; 64]);
+        let mut buf = WriteBuf::new();
+        buf.push_shared(Arc::clone(&body));
+        // The queue holds a refcount, not a copy.
+        assert_eq!(Arc::strong_count(&body), 2);
+        let mut sink = Vec::new();
+        assert!(buf.write_to(&mut sink).unwrap());
+        assert_eq!(sink.len(), 64);
+        assert_eq!(Arc::strong_count(&body), 1, "dropped after the write");
+    }
+
+    #[test]
+    fn empty_segments_are_dropped_and_zero_write_is_an_error() {
+        let mut buf = WriteBuf::new();
+        buf.push_owned(Vec::new());
+        buf.push_shared(Arc::new(Vec::new()));
+        assert!(buf.is_empty());
+
+        struct Zero;
+        impl Write for Zero {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        buf.push_owned(b"x".to_vec());
+        assert!(buf.write_to(&mut Zero).is_err());
+    }
+}

@@ -2,9 +2,16 @@
 //!
 //! An always-on front end for the estimation API: a hand-rolled,
 //! **std-only** HTTP/1.1 server (`hpcarbon serve`) and the matching load
-//! generator (`hpcarbon loadgen`). No async runtime, no HTTP crate — a
-//! [`std::net::TcpListener`], a fixed pool of worker threads, and the
-//! same [`hpcarbon_api`] parser/emitter the CLI uses.
+//! generator (`hpcarbon loadgen`). No async runtime, no HTTP crate — on
+//! Linux a readiness-based epoll event loop (raw syscalls declared by
+//! hand, same idiom as the `signal(2)` shim): one acceptor feeds N
+//! event-loop shards, each owning a connection [`slab::Slab`], driving
+//! the incremental [`http::RequestParser`] off non-blocking reads. Cache
+//! hits are answered directly on the event loop with zero body copies
+//! (`Arc`'d rendered responses); only uncached estimation is handed to
+//! the retained worker pool, which signals completion back through an
+//! `eventfd`. Elsewhere, a blocking thread-per-connection fallback with
+//! identical observable behavior.
 //!
 //! ## Routes
 //!
@@ -38,12 +45,19 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+#[cfg(target_os = "linux")]
+pub mod conn;
+#[cfg(target_os = "linux")]
+pub mod event_loop;
 pub mod http;
 pub mod loadgen;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod server;
 pub mod service;
 pub mod signal;
+pub mod slab;
 
 pub use cache::ShardedLru;
 pub use http::{HttpError, HttpRequest, HttpResponse};

@@ -34,6 +34,12 @@ pub struct LoadGenConfig {
     pub bodies: Vec<String>,
     /// Total requests to fire (cycling over `bodies`).
     pub requests: usize,
+    /// Extra connect attempts (with exponential backoff) before a
+    /// request is written off as a connect error. During a 10k-connection
+    /// ramp the kernel can transiently refuse connects faster than the
+    /// acceptor drains the backlog; a couple of retries absorbs that
+    /// without hiding a server that is actually down.
+    pub connect_retries: u32,
 }
 
 /// What a load run measured.
@@ -45,7 +51,12 @@ pub struct LoadSummary {
     pub ok: usize,
     /// Non-2xx responses.
     pub non_2xx: usize,
-    /// Transport failures (connect/write/read).
+    /// Requests never fired because the connect (after retries) was
+    /// refused or timed out — typically a server that is down or a
+    /// ramp-up the backlog could not absorb. Reported separately from
+    /// `io_errors` so a refused ramp-up cannot hide as a silent zero.
+    pub connect_errors: usize,
+    /// Transport failures on an established connection (write/read).
     pub io_errors: usize,
     /// Wall-clock of the whole run, seconds.
     pub elapsed_s: f64,
@@ -64,18 +75,20 @@ pub struct LoadSummary {
 impl LoadSummary {
     /// True when every request got a 2xx over a healthy transport.
     pub fn all_ok(&self) -> bool {
-        self.non_2xx == 0 && self.io_errors == 0
+        self.non_2xx == 0 && self.connect_errors == 0 && self.io_errors == 0
     }
 
     /// The summary as a single JSON object (the CI artifact format).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\n  \"requests\": {},\n  \"ok\": {},\n  \"non_2xx\": {},\n  \"io_errors\": {},\n  \
+            "{{\n  \"requests\": {},\n  \"ok\": {},\n  \"non_2xx\": {},\n  \
+             \"connect_errors\": {},\n  \"io_errors\": {},\n  \
              \"elapsed_s\": {:.3},\n  \"throughput_rps\": {:.1},\n  \
              \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}\n}}\n",
             self.requests,
             self.ok,
             self.non_2xx,
+            self.connect_errors,
             self.io_errors,
             self.elapsed_s,
             self.throughput_rps,
@@ -89,13 +102,14 @@ impl LoadSummary {
     /// A human-readable one-screen rendering for the terminal.
     pub fn render(&self) -> String {
         format!(
-            "loadgen: {} requests, {} ok, {} non-2xx, {} i/o errors\n\
+            "loadgen: {} requests, {} ok, {} non-2xx, {} connect errors, {} i/o errors\n\
              elapsed  : {:.3} s\n\
              rate     : {:.1} req/s\n\
              latency  : p50 {} us | p90 {} us | p99 {} us | max {} us\n",
             self.requests,
             self.ok,
             self.non_2xx,
+            self.connect_errors,
             self.io_errors,
             self.elapsed_s,
             self.throughput_rps,
@@ -184,8 +198,14 @@ struct WorkerOutcome {
     latencies_us: Vec<u64>,
     ok: usize,
     non_2xx: usize,
+    connect_errors: usize,
     io_errors: usize,
 }
+
+/// Client threads carry a tiny stack (a `BufReader`, a head string, a
+/// latency vec — all heap); the default 2 MiB would put a 10k-connection
+/// soak at 20 GiB of reservation for no reason.
+const WORKER_STACK: usize = 128 * 1024;
 
 /// Runs the load. Returns the summary plus the body of request index 0
 /// (the golden-diff probe CI `cmp`s against the committed report).
@@ -208,7 +228,12 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
 
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..concurrency)
-            .map(|_| scope.spawn(|| load_worker(cfg, &cursor, &first_body)))
+            .map(|_| {
+                std::thread::Builder::new()
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(scope, || load_worker(cfg, &cursor, &first_body))
+                    .expect("spawn load worker")
+            })
             .collect();
         handles
             .into_iter()
@@ -218,11 +243,12 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
 
     let elapsed = started.elapsed().as_secs_f64();
     let mut latencies: Vec<u64> = Vec::with_capacity(cfg.requests);
-    let (mut ok, mut non_2xx, mut io_errors) = (0, 0, 0);
+    let (mut ok, mut non_2xx, mut connect_errors, mut io_errors) = (0, 0, 0, 0);
     for o in outcomes {
         latencies.extend(o.latencies_us);
         ok += o.ok;
         non_2xx += o.non_2xx;
+        connect_errors += o.connect_errors;
         io_errors += o.io_errors;
     }
     latencies.sort_unstable();
@@ -238,6 +264,7 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
         requests: cfg.requests,
         ok,
         non_2xx,
+        connect_errors,
         io_errors,
         elapsed_s: elapsed,
         throughput_rps: if elapsed > 0.0 {
@@ -254,6 +281,27 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
     Ok((summary, first))
 }
 
+/// Connects to the target, retrying with exponential backoff up to
+/// `cfg.connect_retries` extra attempts. `None` means every attempt
+/// failed and the caller should count a connect error.
+fn connect_with_retries(cfg: &LoadGenConfig) -> Option<BufReader<TcpStream>> {
+    for attempt in 0..=cfg.connect_retries {
+        match TcpStream::connect(&cfg.addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                return Some(BufReader::new(s));
+            }
+            Err(_) if attempt < cfg.connect_retries => {
+                // 5ms, 10ms, 20ms, … capped at 160ms per wait.
+                std::thread::sleep(Duration::from_millis(5u64 << attempt.min(5)));
+            }
+            Err(_) => {}
+        }
+    }
+    None
+}
+
 fn load_worker(
     cfg: &LoadGenConfig,
     cursor: &AtomicUsize,
@@ -263,6 +311,7 @@ fn load_worker(
         latencies_us: Vec::new(),
         ok: 0,
         non_2xx: 0,
+        connect_errors: 0,
         io_errors: 0,
     };
     let mut conn: Option<BufReader<TcpStream>> = None;
@@ -274,14 +323,10 @@ fn load_worker(
         // (Re)connect lazily; one failed request costs one reconnect,
         // not the rest of the worker's share.
         if conn.is_none() {
-            match TcpStream::connect(&cfg.addr) {
-                Ok(s) => {
-                    let _ = s.set_nodelay(true);
-                    let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
-                    conn = Some(BufReader::new(s));
-                }
-                Err(_) => {
-                    out.io_errors += 1;
+            match connect_with_retries(cfg) {
+                Some(c) => conn = Some(c),
+                None => {
+                    out.connect_errors += 1;
                     continue;
                 }
             }
@@ -346,6 +391,7 @@ mod tests {
                 workers: 2,
                 cache_capacity: 64,
                 max_body_bytes: 1 << 20,
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -359,6 +405,7 @@ mod tests {
             concurrency: 4,
             bodies: vec![body()],
             requests: 12,
+            connect_retries: 2,
         })
         .unwrap();
         assert_eq!(summary.requests, 12);
@@ -374,6 +421,7 @@ mod tests {
         // Identical bodies mean the cache served 11 of 12 rows.
         let json = summary.to_json();
         assert!(json.contains("\"requests\": 12"), "{json}");
+        assert!(json.contains("\"connect_errors\": 0"), "{json}");
         assert!(json.contains("\"p99\""), "{json}");
 
         handle.shutdown();
@@ -394,10 +442,32 @@ mod tests {
             concurrency: 2,
             bodies: Vec::new(),
             requests: 4,
+            connect_retries: 0,
         })
         .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
         // Nothing listens on port 1; the probe must give up, not hang.
         assert!(!wait_healthz("127.0.0.1:1", Duration::from_millis(200)));
+    }
+
+    #[test]
+    fn refused_connects_surface_as_connect_errors_not_silent_zeros() {
+        // Nothing listens on port 1: every request's connect is refused.
+        let (summary, first) = run(&LoadGenConfig {
+            addr: "127.0.0.1:1".into(),
+            concurrency: 2,
+            bodies: vec![body()],
+            requests: 6,
+            connect_retries: 0,
+        })
+        .unwrap();
+        assert_eq!(summary.connect_errors, 6, "{summary:?}");
+        assert_eq!(summary.ok, 0);
+        assert_eq!(summary.io_errors, 0, "refused connect is not an i/o error");
+        assert!(!summary.all_ok(), "a refused ramp-up must fail the run");
+        assert!(first.is_none(), "no golden body without a connection");
+        let json = summary.to_json();
+        assert!(json.contains("\"connect_errors\": 6"), "{json}");
+        assert!(summary.render().contains("6 connect errors"));
     }
 }

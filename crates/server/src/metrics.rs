@@ -13,10 +13,25 @@
 //! contract (CI greps them).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Upper bounds (µs) of the estimate-latency histogram buckets; a final
 /// `+Inf` bucket catches the rest.
 pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 500, 1_000, 5_000, 20_000, 100_000];
+
+/// Per-shard event-loop statistics, rendered as labeled `/metrics` lines
+/// (`shard_open_connections{shard="0"} …`). Only the event-loop server
+/// initializes these; the blocking fallback renders none.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Connections currently open on this shard (gauge).
+    pub open_connections: AtomicU64,
+    /// Readiness events this shard's `epoll_wait` has delivered.
+    pub readiness_events: AtomicU64,
+    /// `eventfd` doorbell wakeups (new connections handed over by the
+    /// acceptor plus finished estimations returned by workers).
+    pub wakeups: AtomicU64,
+}
 
 /// All serving counters. One instance per server, shared by the workers.
 #[derive(Debug, Default)]
@@ -39,6 +54,15 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Batch rows that had to run the estimator.
     pub cache_misses: AtomicU64,
+    /// Whole responses served from the hot rendered-response cache
+    /// (answered on the event loop, zero body copies). Each also counts
+    /// its rows into `cache_hits`, so row-level invariants hold.
+    pub hot_responses: AtomicU64,
+    /// Connections dropped by peer reset/disconnect mid-request or
+    /// mid-response (never counts clean keep-alive closes).
+    pub conn_resets: AtomicU64,
+    /// Per-shard event-loop stats; set once at event-loop boot.
+    shards: OnceLock<Vec<ShardStats>>,
     /// Estimate-call latency histogram (cumulative buckets, µs).
     latency_buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
     /// Sum of estimate-call latencies, µs.
@@ -61,6 +85,34 @@ impl Metrics {
             _ => &self.responses_5xx,
         };
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Installs the per-shard stat blocks (idempotent; the first caller
+    /// wins, which is fine because exactly one event loop boots per
+    /// server).
+    pub fn init_shards(&self, n: usize) {
+        let _ = self
+            .shards
+            .set((0..n).map(|_| ShardStats::default()).collect());
+    }
+
+    /// Shard `i`'s stat block. Panics if the event loop never called
+    /// [`init_shards`](Self::init_shards) — a programming error, not a
+    /// runtime condition.
+    pub fn shard(&self, i: usize) -> &ShardStats {
+        &self.shards.get().expect("init_shards not called")[i]
+    }
+
+    /// Sum of per-shard open-connection gauges (0 when no event loop).
+    pub fn open_connections(&self) -> u64 {
+        self.shards
+            .get()
+            .map(|s| {
+                s.iter()
+                    .map(|st| st.open_connections.load(Ordering::Relaxed))
+                    .sum()
+            })
+            .unwrap_or(0)
     }
 
     /// Records one estimate call's wall-clock latency.
@@ -92,8 +144,26 @@ impl Metrics {
             ("cache_hits_total", g(&self.cache_hits)),
             ("cache_misses_total", g(&self.cache_misses)),
             ("cache_entries", cache_entries as u64),
+            ("hot_responses_total", g(&self.hot_responses)),
+            ("conn_resets_total", g(&self.conn_resets)),
         ] {
             out.push_str(&format!("{name} {value}\n"));
+        }
+        if let Some(shards) = self.shards.get() {
+            for (i, s) in shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "shard_open_connections{{shard=\"{i}\"}} {}\n",
+                    s.open_connections.load(Ordering::Relaxed)
+                ));
+                out.push_str(&format!(
+                    "shard_readiness_events_total{{shard=\"{i}\"}} {}\n",
+                    s.readiness_events.load(Ordering::Relaxed)
+                ));
+                out.push_str(&format!(
+                    "shard_wakeups_total{{shard=\"{i}\"}} {}\n",
+                    s.wakeups.load(Ordering::Relaxed)
+                ));
+            }
         }
         // Cumulative histogram: each bucket counts everything at or below
         // its bound, Prometheus-style.
@@ -161,8 +231,36 @@ mod tests {
             "cache_hits_total 0",
             "cache_misses_total 0",
             "cache_entries 7",
+            "hot_responses_total 0",
+            "conn_resets_total 0",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn shard_stats_render_labeled_lines() {
+        let m = Metrics::new();
+        assert_eq!(m.open_connections(), 0, "no shards yet");
+        assert!(!m.render(0).contains("shard_"), "no shard lines yet");
+        m.init_shards(2);
+        m.shard(0).open_connections.store(3, Ordering::Relaxed);
+        m.shard(1).open_connections.store(4, Ordering::Relaxed);
+        m.shard(1).readiness_events.fetch_add(9, Ordering::Relaxed);
+        m.shard(0).wakeups.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(m.open_connections(), 7);
+        let text = m.render(0);
+        for line in [
+            "shard_open_connections{shard=\"0\"} 3",
+            "shard_open_connections{shard=\"1\"} 4",
+            "shard_readiness_events_total{shard=\"1\"} 9",
+            "shard_wakeups_total{shard=\"0\"} 2",
+            "shard_wakeups_total{shard=\"1\"} 0",
+        ] {
+            assert!(text.contains(line), "missing {line:?} in:\n{text}");
+        }
+        // Re-initialization is a no-op (first caller wins).
+        m.init_shards(5);
+        assert_eq!(m.open_connections(), 7);
     }
 }

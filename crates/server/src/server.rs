@@ -1,67 +1,86 @@
-//! The listener, the fixed worker pool, and graceful shutdown.
+//! The listener, the serving cores, and graceful shutdown.
 //!
 //! ## Architecture
 //!
-//! One accept loop (the thread that called [`Server::run`]) pushes
-//! accepted connections onto an [`std::sync::mpsc`] channel; a fixed pool
-//! of worker threads pops connections and serves them to completion
-//! (keep-alive: a worker owns a connection for its whole life, looping
-//! over pipelined requests). No async runtime, no epoll — for an
-//! estimation service whose unit of work is milliseconds of simulation,
-//! thread-per-connection-in-flight is the simplest model that saturates
-//! the cores, and the worker count bounds memory and CPU exactly.
+//! On Linux, [`Server::run`] boots the readiness-based epoll core in
+//! [`crate::event_loop`]: the calling thread becomes the acceptor,
+//! feeding `--shards` event-loop threads (nonblocking reads, incremental
+//! parsing, zero-copy hot-cache answers) backed by a retained pool of
+//! estimation workers. Elsewhere, a blocking thread-per-connection
+//! fallback with the same observable behavior: one accept loop pushing
+//! connections onto an [`std::sync::mpsc`] channel drained by the worker
+//! pool.
 //!
 //! ## Shutdown
 //!
 //! [`ShutdownHandle::shutdown`] (wired to SIGTERM/SIGINT by `hpcarbon
 //! serve`) flips one flag. The accept loop notices within one poll tick
-//! and stops accepting; dropping the channel sender lets workers drain
-//! every already-queued connection, finish the request they are mid-way
-//! through (its response is written, announcing `Connection: close` so
-//! even a never-idle client releases its worker), close idle keep-alive
-//! connections at their next idle tick, and exit. [`Server::run`] joins all workers
-//! and returns a [`ServeSummary`] — so a clean `SIGTERM → exit 0` is
-//! observable end to end, which is exactly what CI's smoke job asserts.
+//! and stops accepting; already-accepted connections drain — in-flight
+//! requests complete and their responses are written announcing
+//! `Connection: close` (so even a never-idle client releases its slot),
+//! idle keep-alive connections close at the next tick — then all threads
+//! join and [`Server::run`] returns a [`ServeSummary`]. A clean
+//! `SIGTERM → exit 0` is observable end to end, which is exactly what
+//! CI's smoke job asserts.
 
-use crate::http;
 use crate::service::EstimateService;
-use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
+#[cfg(not(target_os = "linux"))]
+use crate::http;
+#[cfg(not(target_os = "linux"))]
+use std::io::{BufReader, Write};
+#[cfg(not(target_os = "linux"))]
+use std::net::TcpStream;
+#[cfg(not(target_os = "linux"))]
+use std::sync::{mpsc, Mutex};
+
 /// How often blocked loops re-check the shutdown flag.
+#[cfg(not(target_os = "linux"))]
 const POLL_TICK: Duration = Duration::from_millis(25);
 
 /// Read timeout on idle keep-alive connections (also the worker's
 /// shutdown-poll cadence while parked on a connection).
+#[cfg(not(target_os = "linux"))]
 const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(150);
 
 /// Serving knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads (each owns one connection at a time).
+    /// Estimation worker threads.
     pub workers: usize,
+    /// Event-loop shards (Linux epoll core only; the blocking fallback
+    /// ignores this).
+    pub shards: usize,
     /// Canonical-request cache capacity, entries (0 disables).
     pub cache_capacity: usize,
     /// Request-body limit, bytes.
     pub max_body_bytes: usize,
+    /// How long a peer may take to deliver a request once its first byte
+    /// arrived (and how long a write may stall with the peer accepting
+    /// nothing). Slow-loris protection; tests shrink it.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServerConfig {
     /// Workers default to the available parallelism (capped at 16 — the
     /// estimator is CPU-bound, so more threads than cores just thrash),
-    /// a 1024-entry cache, and the 1 MiB body limit.
+    /// shards to the parallelism capped at 4 (the event loop is I/O
+    /// bound; a few shards saturate the NIC long before the CPUs), a
+    /// 1024-entry cache, the 1 MiB body limit, and the 10 s deadline.
     fn default() -> ServerConfig {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2);
         ServerConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(2)
-                .min(16),
+            workers: cores.min(16),
+            shards: cores.min(4),
             cache_capacity: 1024,
             max_body_bytes: crate::service::DEFAULT_MAX_BODY_BYTES,
+            read_deadline: crate::http::REQUEST_READ_DEADLINE,
         }
     }
 }
@@ -100,7 +119,7 @@ pub struct Server {
     listener: TcpListener,
     service: Arc<EstimateService>,
     shutdown: Arc<AtomicBool>,
-    workers: usize,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -118,7 +137,7 @@ impl Server {
             listener,
             service: Arc::new(service),
             shutdown: Arc::new(AtomicBool::new(false)),
-            workers: config.workers.max(1),
+            config,
         })
     }
 
@@ -141,10 +160,40 @@ impl Server {
     /// Serves until shutdown is requested, then drains and returns the
     /// lifetime summary. Blocks the calling thread.
     pub fn run(self) -> std::io::Result<ServeSummary> {
+        #[cfg(target_os = "linux")]
+        crate::event_loop::run(
+            self.listener,
+            Arc::clone(&self.service),
+            Arc::clone(&self.shutdown),
+            crate::event_loop::LoopConfig {
+                shards: self.config.shards.max(1),
+                workers: self.config.workers.max(1),
+                max_body: self.config.max_body_bytes,
+                deadline: self.config.read_deadline,
+            },
+        )?;
+        #[cfg(not(target_os = "linux"))]
+        self.run_threaded()?;
+
+        let m = self.service.metrics();
+        let g = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
+        Ok(ServeSummary {
+            http_requests: g(&m.http_requests),
+            estimate_calls: g(&m.estimate_calls),
+            cache_hits: g(&m.cache_hits),
+            cache_misses: g(&m.cache_misses),
+        })
+    }
+
+    /// The blocking fallback: accept loop + thread-per-connection worker
+    /// pool. Observably equivalent to the event loop (same service, same
+    /// drain semantics), minus per-shard metrics.
+    #[cfg(not(target_os = "linux"))]
+    fn run_threaded(&self) -> std::io::Result<()> {
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
-        let handles: Vec<_> = (0..self.workers)
+        let handles: Vec<_> = (0..self.config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&self.service);
@@ -182,18 +231,11 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-
-        let m = self.service.metrics();
-        let g = |c: &std::sync::atomic::AtomicU64| c.load(Ordering::Relaxed);
-        Ok(ServeSummary {
-            http_requests: g(&m.http_requests),
-            estimate_calls: g(&m.estimate_calls),
-            cache_hits: g(&m.cache_hits),
-            cache_misses: g(&m.cache_misses),
-        })
+        Ok(())
     }
 }
 
+#[cfg(not(target_os = "linux"))]
 fn worker_loop(
     rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
     service: &Arc<EstimateService>,
@@ -217,6 +259,7 @@ fn worker_loop(
 /// (possibly pipelined) requests. On shutdown the current request still
 /// completes — drain semantics — and the connection closes at the next
 /// idle tick.
+#[cfg(not(target_os = "linux"))]
 fn serve_connection(stream: TcpStream, service: &EstimateService, shutdown: &AtomicBool) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(IDLE_READ_TIMEOUT)).is_err() {
@@ -261,6 +304,7 @@ fn serve_connection(stream: TcpStream, service: &EstimateService, shutdown: &Ato
 mod tests {
     use super::*;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn start(
         config: ServerConfig,
@@ -350,7 +394,7 @@ mod tests {
         let (addr, handle, join) = start(ServerConfig {
             workers: 1,
             cache_capacity: 0,
-            max_body_bytes: 1 << 20,
+            ..ServerConfig::default()
         });
         let mut first = TcpStream::connect(addr).unwrap();
         first.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();

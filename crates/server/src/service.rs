@@ -36,11 +36,33 @@ use std::time::Instant;
 /// Default request-body limit (1 MiB — thousands of batch rows).
 pub const DEFAULT_MAX_BODY_BYTES: usize = 1 << 20;
 
+/// A fully rendered, cache-hot response: the exact bytes of an all-`Ok`
+/// 200 estimate answer, shared (`Arc`) with every connection writing it,
+/// plus the row count for metric accounting.
+///
+/// This is the event loop's zero-copy fast path: a repeated request body
+/// is answered on the loop thread by queueing the shared bytes — no
+/// parse, no estimation, no body copy. Keyed on the **raw** body, it only
+/// ever hits for byte-identical requests, whose responses are identical
+/// by the determinism contract (same bytes → same parse → same canonical
+/// rows → same rendered answer), so it can never change served bytes.
+#[derive(Debug, Clone)]
+pub struct HotResponse {
+    /// Rendered JSON response body.
+    pub body: Arc<Vec<u8>>,
+    /// Batch rows inside; a hot hit counts each as a cache hit so the
+    /// row-level invariants (`cache_hits + cache_misses == rows seen`)
+    /// survive the short-circuit.
+    pub rows: u64,
+}
+
 /// The server's request handler: routes, the estimator, and the
 /// canonical-request cache.
 pub struct EstimateService {
     estimator: Estimator,
     cache: ShardedLru<Arc<FootprintReport>>,
+    /// Raw body → rendered all-`Ok` response (see [`HotResponse`]).
+    hot: ShardedLru<HotResponse>,
     metrics: Metrics,
     max_body_bytes: usize,
 }
@@ -53,6 +75,7 @@ impl EstimateService {
         EstimateService {
             estimator,
             cache: ShardedLru::new(cache_capacity),
+            hot: ShardedLru::new(cache_capacity),
             metrics: Metrics::new(),
             max_body_bytes: DEFAULT_MAX_BODY_BYTES,
         }
@@ -77,6 +100,33 @@ impl EstimateService {
     /// Current number of cached reports.
     pub fn cache_entries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Current number of hot rendered responses.
+    pub fn hot_entries(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// The event loop's fast path: answers a `POST /v1/estimate` body
+    /// straight from the hot-response cache, doing **all** the metric
+    /// accounting the slow path would ([`handle`](Self::handle) must NOT
+    /// also run for this request). Returns `None` on a miss — the caller
+    /// hands the request to the worker pool, whose
+    /// [`handle`](Self::handle) call populates the cache.
+    pub fn try_hot(&self, body: &[u8]) -> Option<HotResponse> {
+        let src = std::str::from_utf8(body).ok()?;
+        let started = Instant::now();
+        let hit = self.hot.get(src)?;
+        let m = &self.metrics;
+        m.http_requests.fetch_add(1, Ordering::Relaxed);
+        m.estimate_calls.fetch_add(1, Ordering::Relaxed);
+        m.reports_ok.fetch_add(hit.rows, Ordering::Relaxed);
+        m.cache_hits.fetch_add(hit.rows, Ordering::Relaxed);
+        m.hot_responses.fetch_add(1, Ordering::Relaxed);
+        m.count_response(200);
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        m.observe_latency_us(us);
+        Some(hit)
     }
 
     /// Handles one parsed request. Total: every outcome is a response.
@@ -142,6 +192,19 @@ impl EstimateService {
             c.fetch_add(1, Ordering::Relaxed);
         }
         let json = batch_to_json(&results);
+        if results.iter().all(|r| r.is_ok()) {
+            // Memoize the whole rendered answer for the event loop's
+            // zero-copy path. Only all-Ok batches: error rows are cheap
+            // to recompute and keeping them out makes cache poisoning by
+            // malformed traffic impossible (same rule as the row cache).
+            self.hot.insert(
+                src.to_string(),
+                HotResponse {
+                    body: Arc::new(json.clone().into_bytes()),
+                    rows: results.len() as u64,
+                },
+            );
+        }
         let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.observe_latency_us(us);
         HttpResponse::json(200, json)
@@ -300,6 +363,47 @@ mod tests {
         assert_eq!(svc.metrics().reports_ok.load(Ordering::Relaxed), 1);
         // Only the feasible row was cached.
         assert_eq!(svc.cache_entries(), 1);
+    }
+
+    #[test]
+    fn hot_responses_short_circuit_with_full_accounting() {
+        let svc = EstimateService::default();
+        let body = request_json();
+        assert!(svc.try_hot(body.as_bytes()).is_none(), "cold cache");
+        assert!(svc.try_hot(&[0xff, 0xfe]).is_none(), "non-UTF-8 body");
+        let first = svc.handle(&post(&body));
+        assert_eq!(svc.hot_entries(), 1);
+        let hot = svc.try_hot(body.as_bytes()).expect("now hot");
+        assert_eq!(*hot.body, first.body, "hot bytes identical");
+        assert_eq!(hot.rows, 1);
+        // The short-circuit does every metric bump the slow path would,
+        // so hot and slow hits are indistinguishable in /metrics except
+        // for hot_responses_total itself.
+        let m = svc.metrics();
+        assert_eq!(m.http_requests.load(Ordering::Relaxed), 2);
+        assert_eq!(m.estimate_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_misses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.reports_ok.load(Ordering::Relaxed), 2);
+        assert_eq!(m.hot_responses.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn error_responses_are_never_hot_cached() {
+        let svc = EstimateService::default();
+        // Document-level 400: nothing cached.
+        svc.handle(&post("{not json"));
+        assert_eq!(svc.hot_entries(), 0);
+        // A batch with an error row stays uncached too (error rows are
+        // kept out of both caches).
+        let body = format!(
+            r#"[{}, {{"schema_version": 1, "system": "perlmutter", "region": "eso", "storage": "all-flash", "jobs": 30}}]"#,
+            request_json()
+        );
+        assert_eq!(svc.handle(&post(&body)).status, 200);
+        assert_eq!(svc.hot_entries(), 0);
+        assert!(svc.try_hot(body.as_bytes()).is_none());
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property battery for the incremental HTTP parser.
+//!
+//! The epoll event loop feeds [`RequestParser`] whatever fragments the
+//! kernel delivers, so the parser's one safety contract is *chunk
+//! independence*: for any byte stream — valid requests, pipelined
+//! back-to-back requests, every typed-error shape, truncated tails — the
+//! sequence of parsed requests and the final error verdict must be
+//! identical to the blocking one-shot reader's, no matter where the
+//! stream is split. These properties are the load-bearing evidence that
+//! moving from blocking reads to readiness-driven reads changed no
+//! observable behaviour.
+
+use hpcarbon_server::http::{read_request, HttpError, HttpRequest, RequestParser};
+use proptest::collection;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const MAX_BODY: usize = 256;
+
+/// One-shot reference: parse requests until the stream ends or errors.
+/// A truncated tail (EOF mid-request) is "no verdict yet" — the
+/// incremental parser would just keep waiting for bytes.
+fn oneshot_all(raw: &[u8]) -> (Vec<HttpRequest>, Option<HttpError>) {
+    let mut r = Cursor::new(raw.to_vec());
+    let mut out = Vec::new();
+    loop {
+        match read_request(&mut r, MAX_BODY) {
+            Ok(req) => out.push(req),
+            Err(HttpError::Closed) => return (out, None),
+            Err(HttpError::Io(_)) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+/// Incremental counterpart: feed the chunks one by one, polling after
+/// each feed (exactly the event loop's read-then-pump rhythm).
+fn incremental_all(chunks: &[Vec<u8>]) -> (Vec<HttpRequest>, Option<HttpError>) {
+    let mut parser = RequestParser::new(MAX_BODY);
+    let mut out = Vec::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        loop {
+            match parser.poll() {
+                Ok(Some(req)) => out.push(req),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+    (out, None)
+}
+
+/// Splits `raw` into chunks whose lengths cycle through `sizes` (the
+/// remainder rides in the final chunk). With sizes drawn from `1..9`
+/// this produces splits inside request lines, header names, CRLFs, and
+/// bodies alike.
+fn chunk(raw: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < raw.len() {
+        let take = sizes[i % sizes.len()].min(raw.len() - pos);
+        out.push(raw[pos..pos + take].to_vec());
+        pos += take;
+        i += 1;
+    }
+    out
+}
+
+/// One request's bytes: valid shapes (with and without bodies, both
+/// line-ending styles, keep-alive overrides, `Expect: 100-continue`)
+/// and every typed-error shape the parser distinguishes.
+fn request_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n".to_string()),
+        Just("GET /metrics HTTP/1.1\r\n\r\n".to_string()),
+        Just("GET / HTTP/1.0\r\n\r\n".to_string()),
+        Just("GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n".to_string()),
+        Just("GET /healthz HTTP/1.1\nhost: x\n\n".to_string()),
+        (0usize..48).prop_map(|n| {
+            format!(
+                "POST /v1/estimate HTTP/1.1\r\ncontent-length: {n}\r\n\r\n{}",
+                "b".repeat(n)
+            )
+        }),
+        (0usize..48).prop_map(|n| {
+            format!(
+                "POST /v1/estimate HTTP/1.1\r\nconnection: close\r\ncontent-length: {n}\r\n\r\n{}",
+                "b".repeat(n)
+            )
+        }),
+        (1usize..32).prop_map(|n| {
+            format!(
+                "POST /big HTTP/1.1\r\nexpect: 100-continue\r\ncontent-length: {n}\r\n\r\n{}",
+                "x".repeat(n)
+            )
+        }),
+        // Typed-error shapes: 400s, 413, 431, unsupported transfer coding.
+        Just("NONSENSE\r\n\r\n".to_string()),
+        Just("GET / HTTP/2.0\r\n\r\n".to_string()),
+        Just("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n".to_string()),
+        Just("POST / HTTP/1.1\r\ncontent-length: seven\r\n\r\n".to_string()),
+        Just("POST / HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 1\r\n\r\nx".to_string()),
+        Just("POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_string()),
+        (300usize..5000).prop_map(|n| format!("POST / HTTP/1.1\r\ncontent-length: {n}\r\n\r\n")),
+        (1000usize..9000)
+            .prop_map(|n| format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "y".repeat(n))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    // Interleaved pipelined requests under arbitrary chunkings: the
+    // incremental parser yields the one-shot reader's exact requests and
+    // error verdict wherever the kernel happens to split the stream.
+    #[test]
+    fn arbitrary_chunkings_match_oneshot_parsing(
+        reqs in collection::vec(request_strategy(), 1..5),
+        sizes in collection::vec(1usize..9, 1..12),
+    ) {
+        let raw = reqs.concat().into_bytes();
+        let expected = oneshot_all(&raw);
+        let got = incremental_all(&chunk(&raw, &sizes));
+        prop_assert_eq!(got, expected);
+    }
+
+    // A stream cut mid-request (client vanished, bytes in flight) must
+    // never manufacture a request or an error the one-shot reader would
+    // not produce.
+    #[test]
+    fn truncated_tails_never_desync(
+        reqs in collection::vec(request_strategy(), 1..4),
+        drop_tail in 0usize..40,
+        sizes in collection::vec(1usize..7, 1..10),
+    ) {
+        let mut raw = reqs.concat().into_bytes();
+        let keep = raw.len().saturating_sub(drop_tail);
+        raw.truncate(keep);
+        let expected = oneshot_all(&raw);
+        let got = incremental_all(&chunk(&raw, &sizes));
+        prop_assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn every_single_split_boundary_of_a_pipelined_stream_matches() {
+    // Exhaustive two-chunk coverage of one representative pipelined
+    // stream (cheap enough to sweep every boundary deterministically;
+    // the proptest above covers multi-chunk splits of many streams).
+    let raw: &[u8] = b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}\
+                       GET /metrics HTTP/1.1\r\n\r\n\
+                       POST /v1/estimate HTTP/1.1\r\nconnection: close\r\ncontent-length: 4\r\n\r\nabcd";
+    let expected = oneshot_all(raw);
+    assert_eq!(expected.0.len(), 3, "sanity: the stream holds 3 requests");
+    for split in 0..=raw.len() {
+        let chunks = vec![raw[..split].to_vec(), raw[split..].to_vec()];
+        assert_eq!(incremental_all(&chunks), expected, "split at {split}");
+    }
+}

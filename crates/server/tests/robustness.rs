@@ -1,0 +1,167 @@
+//! Hostile-peer robustness battery for the epoll event loop.
+//!
+//! The scenarios the readiness rewrite must survive that a blocking
+//! server never sees: a slow-loris peer dripping one byte per write, and
+//! a client that vanishes while its request is still estimating. In both
+//! cases the contract is the same — the bad connection is torn down
+//! (counted in `conn_resets_total`), its slab slot is reclaimed (the
+//! `open_connections` gauge returns to zero), and *other* connections on
+//! the same shard keep being served throughout. Linux-only: the blocking
+//! fallback has neither shards nor the reset counter.
+#![cfg(target_os = "linux")]
+
+use hpcarbon_server::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn start(
+    config: ServerConfig,
+) -> (
+    String,
+    std::sync::Arc<hpcarbon_server::EstimateService>,
+    hpcarbon_server::ShutdownHandle,
+    std::thread::JoinHandle<hpcarbon_server::ServeSummary>,
+) {
+    let server = Server::bind("127.0.0.1:0", config).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let service = server.service();
+    let handle = server.shutdown_handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, service, handle, join)
+}
+
+/// One healthz round trip on a fresh connection; panics on any failure.
+fn healthz_ok(addr: &str) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200 OK\r\n"), "{out}");
+}
+
+/// Spins until `cond` holds or the timeout expires.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn slow_loris_is_dropped_without_stalling_shard_peers() {
+    // One shard, so the loris and the healthy client share an event loop;
+    // a short deadline keeps the test fast.
+    let (addr, service, handle, join) = start(ServerConfig {
+        shards: 1,
+        workers: 1,
+        cache_capacity: 0,
+        max_body_bytes: 1 << 20,
+        read_deadline: Duration::from_millis(300),
+    });
+
+    // The loris: one byte per write, far slower than the deadline allows.
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let request = b"GET /healthz HTTP/1.1\r\n\r\n";
+    let started = Instant::now();
+    let mut dropped = false;
+    for byte in request {
+        if loris.write_all(std::slice::from_ref(byte)).is_err() {
+            dropped = true;
+            break;
+        }
+        // While the loris drips, the shard keeps serving everyone else.
+        healthz_ok(&addr);
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    if !dropped {
+        // The writes may all have landed in socket buffers; the drop is
+        // then observed as EOF (or a reset) on the read side.
+        let mut buf = [0u8; 64];
+        dropped = matches!(loris.read(&mut buf), Ok(0) | Err(_));
+    }
+    assert!(dropped, "the slow-loris connection was never dropped");
+    assert!(
+        started.elapsed() >= Duration::from_millis(250),
+        "dropped before the deadline could have expired"
+    );
+
+    // The drop was counted, the slot reclaimed, and the shard is healthy.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            service.metrics().conn_resets.load(Ordering::Relaxed) >= 1
+        }),
+        "the reset was never counted"
+    );
+    healthz_ok(&addr);
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            service.metrics().open_connections() == 0
+        }),
+        "the loris slot was not reclaimed"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn client_disconnect_mid_estimate_reclaims_the_slot() {
+    let (addr, service, handle, join) = start(ServerConfig {
+        shards: 1,
+        workers: 1,
+        cache_capacity: 0, // force every estimate through the workers
+        max_body_bytes: 1 << 20,
+        read_deadline: Duration::from_secs(10),
+    });
+
+    // A real, uncached estimate: enough simulated jobs that the client's
+    // disconnect is observed while the request is still at the workers.
+    let mut req = hpcarbon_api::EstimateRequest::paper_baseline(
+        hpcarbon_api::SystemId::Frontier,
+        hpcarbon_grid::regions::OperatorId::Eso,
+    );
+    req.jobs = 200;
+    let body = req.to_json();
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.write_all(
+        format!(
+            "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    // Vanish without reading a byte of the response.
+    drop(s);
+
+    // No panic, the reset is counted, the slot is reclaimed — and the
+    // orphaned completion is discarded instead of answering anyone else.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            service.metrics().conn_resets.load(Ordering::Relaxed) >= 1
+                && service.metrics().open_connections() == 0
+        }),
+        "disconnect mid-estimate was not cleaned up: resets={}, open={}",
+        service.metrics().conn_resets.load(Ordering::Relaxed),
+        service.metrics().open_connections(),
+    );
+    healthz_ok(&addr);
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    // The estimate itself still ran to completion at the worker.
+    assert!(summary.estimate_calls <= 1, "{summary:?}");
+}

@@ -2,10 +2,10 @@
 //!
 //! ```text
 //! hpcarbon estimate --request FILE [--threads N] [--out FILE]
-//! hpcarbon serve    [--addr A] [--workers N] [--cache N] [--max-body BYTES]
+//! hpcarbon serve    [--addr A] [--shards N] [--workers N] [--cache N] [--max-body BYTES]
 //! hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]
 //!                   [--grid quick|shifting|default] [--jobs N] [--request FILE]
-//!                   [--wait S] [--out FILE] [--save-response FILE]
+//!                   [--wait S] [--connect-retries N] [--out FILE] [--save-response FILE]
 //! hpcarbon figures  [--seed N] [--out DIR]      regenerate all paper artifacts
 //! hpcarbon parts                                 embodied-carbon catalog review
 //! hpcarbon systems                               Fig. 5 composition of Table 2 systems
@@ -59,28 +59,30 @@ fn print_usage() {
     println!(
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
          USAGE:\n  hpcarbon estimate --request FILE [--threads N] [--out FILE]\n  \
-         hpcarbon serve    [--addr A] [--workers N] [--cache N] [--max-body BYTES]\n  \
+         hpcarbon serve    [--addr A] [--shards N] [--workers N] [--cache N] [--max-body BYTES]\n  \
          hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]\n                    \
          [--grid quick|shifting|default] [--jobs N] [--request FILE]\n                    \
-         [--wait S] [--out FILE] [--save-response FILE]\n  \
+         [--wait S] [--connect-retries N] [--out FILE] [--save-response FILE]\n  \
          hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
          [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
          hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
          hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]\n                    \
          [--quick | --shifting]\n\n\
-         serve puts the same front door behind a std-only threaded HTTP\n\
-         server: POST /v1/estimate takes the estimate subcommand's exact\n\
-         request documents and answers with byte-identical reports; a\n\
-         sharded LRU cache keyed on canonical request bytes skips\n\
-         simulation for repeated queries without changing a byte. GET\n\
-         /healthz and GET /metrics expose liveness and counters; SIGTERM\n\
+         serve puts the same front door behind a std-only epoll event\n\
+         loop (--shards readiness loops, cache hits answered in place;\n\
+         uncached estimation on --workers threads): POST /v1/estimate\n\
+         takes the estimate subcommand's exact request documents and\n\
+         answers with byte-identical reports; a sharded LRU cache keyed\n\
+         on canonical request bytes skips simulation for repeated\n\
+         queries without changing a byte. GET /healthz and GET /metrics\n\
+         expose liveness and counters (incl. per-shard gauges); SIGTERM\n\
          drains in-flight requests and exits 0.\n\n\
          loadgen fires N concurrent requests (sampled from a scenario\n\
          grid under a fixed seed, or one --request file repeated) at a\n\
          running server and reports throughput and latency percentiles;\n\
-         it exits nonzero on any non-2xx or transport error, which makes\n\
-         it CI's smoke client.\n\n\
+         it exits nonzero on any non-2xx, refused connect, or transport\n\
+         error, which makes it CI's smoke client.\n\n\
          estimate is the front door: it reads a schema-versioned JSON\n\
          EstimateRequest (one object or an array) from --request, evaluates\n\
          the batch in parallel, and emits one FootprintReport per request\n\
@@ -187,6 +189,11 @@ fn positive_flag(args: &[String], name: &str) -> Result<Option<usize>, i32> {
 fn cmd_serve(args: &[String]) -> i32 {
     let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
     let mut config = sustainable_hpc::server::ServerConfig::default();
+    match positive_flag(args, "--shards") {
+        Ok(Some(n)) => config.shards = n,
+        Ok(None) => {}
+        Err(c) => return c,
+    }
     match positive_flag(args, "--workers") {
         Ok(Some(n)) => config.workers = n,
         Ok(None) => {}
@@ -237,8 +244,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     });
 
     println!(
-        "hpcarbon-server listening on http://{bound} ({} workers, cache {} entries, body limit {} bytes)",
-        config.workers, config.cache_capacity, config.max_body_bytes
+        "hpcarbon-server listening on http://{bound} ({} shards, {} workers, cache {} entries, body limit {} bytes)",
+        config.shards, config.workers, config.cache_capacity, config.max_body_bytes
     );
     println!(
         "routes: POST /v1/estimate | GET /healthz | GET /metrics — SIGTERM drains and exits 0"
@@ -271,6 +278,18 @@ fn cmd_loadgen(args: &[String]) -> i32 {
     let wait_s = match positive_flag(args, "--wait") {
         Ok(n) => n.unwrap_or(10),
         Err(c) => return c,
+    };
+    // 0 is meaningful (fail fast on the first refused connect), so this
+    // is not a positive_flag.
+    let connect_retries: u32 = match flag(args, "--connect-retries") {
+        None => 2,
+        Some(raw) => match raw.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("invalid --connect-retries \"{raw}\" (expected a non-negative integer)");
+                return 2;
+            }
+        },
     };
     // A typo'd seed must not silently run the default workload — the
     // whole point of --seed is a reproducible request sequence.
@@ -332,6 +351,7 @@ fn cmd_loadgen(args: &[String]) -> i32 {
         concurrency,
         bodies,
         requests,
+        connect_retries,
     }) {
         Ok(out) => out,
         Err(e) => {
@@ -371,8 +391,8 @@ fn cmd_loadgen(args: &[String]) -> i32 {
         0
     } else {
         eprintln!(
-            "loadgen observed failures: {} non-2xx, {} i/o errors",
-            summary.non_2xx, summary.io_errors
+            "loadgen observed failures: {} non-2xx, {} connect errors, {} i/o errors",
+            summary.non_2xx, summary.connect_errors, summary.io_errors
         );
         1
     }

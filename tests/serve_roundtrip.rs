@@ -23,12 +23,26 @@ fn start_server(
     sustainable_hpc::server::ShutdownHandle,
     std::thread::JoinHandle<sustainable_hpc::server::ServeSummary>,
 ) {
+    start_sharded(1, workers, cache)
+}
+
+fn start_sharded(
+    shards: usize,
+    workers: usize,
+    cache: usize,
+) -> (
+    String,
+    sustainable_hpc::server::ShutdownHandle,
+    std::thread::JoinHandle<sustainable_hpc::server::ServeSummary>,
+) {
     let server = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
+            shards,
             workers,
             cache_capacity: cache,
             max_body_bytes: 64 * 1024,
+            ..ServerConfig::default()
         },
     )
     .expect("bind an ephemeral port");
@@ -117,6 +131,42 @@ fn eight_concurrent_clients_get_the_serial_bytes() {
     // steady state hit (first arrivals may race to compute).
     assert_eq!(summary.cache_hits + summary.cache_misses, 24);
     assert!(summary.cache_hits >= 12, "{summary:?}");
+}
+
+#[test]
+fn four_shards_serve_the_same_bytes_as_one() {
+    // Determinism-under-async: the shard count is a topology knob, never
+    // a semantic one. The same batch through a 4-shard loop must produce
+    // the golden bytes, hot-cached or computed.
+    let batch = std::fs::read_to_string(FIXTURE).unwrap();
+    let golden = std::fs::read_to_string(GOLDEN).unwrap();
+    let (addr, handle, join) = start_sharded(4, 2, 256);
+
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.clone();
+                let batch = batch.clone();
+                scope.spawn(move || post_estimate(&addr, &batch))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                let (status, body) = h.join().unwrap();
+                assert_eq!(status, 200);
+                body
+            })
+            .collect()
+    });
+    for body in &bodies {
+        assert_eq!(body, &golden, "a sharded response diverged");
+    }
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(summary.estimate_calls, 6);
+    assert_eq!(summary.cache_hits + summary.cache_misses, 18);
 }
 
 #[test]
