@@ -149,6 +149,11 @@ pub struct Conn {
     /// first byte, cleared when the request completes. A slow-loris peer
     /// trips it and is dropped; idle keep-alive connections have none.
     pub read_deadline: Option<Instant>,
+    /// The peer's write side is closed (EOF or `EPOLLRDHUP`): no more
+    /// request bytes will ever arrive. A response still owed (busy at
+    /// the workers, unflushed output) is delivered first; the slot is
+    /// torn down once the write queue drains.
+    pub read_closed: bool,
 }
 
 impl Conn {
@@ -165,6 +170,7 @@ impl Conn {
             write_blocked: false,
             write_blocked_since: None,
             read_deadline: None,
+            read_closed: false,
         }
     }
 }

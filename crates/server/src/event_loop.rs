@@ -182,17 +182,25 @@ pub(crate) fn run(
             std::thread::Builder::new()
                 .name(format!("shard-{i}"))
                 .spawn(move || {
-                    let mut shard = Shard::new(
+                    let result = Shard::new(
                         i,
                         mailbox,
                         service,
                         jobs,
-                        shutdown,
+                        Arc::clone(&shutdown),
                         accept_done,
                         deadline,
                         max_body,
-                    )?;
-                    shard.run()
+                    )
+                    .and_then(|mut shard| shard.run());
+                    if result.is_err() {
+                        // A shard that dies (epoll failure) must not keep
+                        // receiving round-robin handoffs nobody will ever
+                        // adopt: take the whole server into shutdown so
+                        // the acceptor stops and the peers drain.
+                        shutdown.store(true, Ordering::Relaxed);
+                    }
+                    result
                 })
                 .expect("spawn shard")
         })
@@ -261,8 +269,11 @@ fn accept_loop(
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => {
                     // Transient failures (EMFILE during load spikes) must
-                    // not kill the server; back off one tick.
+                    // not kill the server — but the listener stays level-
+                    // triggered readable, so going straight back to
+                    // `epoll_wait` would busy-spin. Back off one tick.
                     eprintln!("accept error: {e}");
+                    std::thread::sleep(TICK);
                     break;
                 }
             }
@@ -471,10 +482,12 @@ impl Shard {
         }
         if ev.closed {
             if let Some(conn) = self.slab.get_mut(token) {
-                // The peer hung up. Anything still pending — parsed-but-
-                // unanswered bytes, a busy estimate, unflushed response
-                // bytes — makes this a reset; a quiet keep-alive
-                // connection closing is the normal end of its life.
+                // `EPOLLERR`/`EPOLLHUP`: the socket is dead in both
+                // directions, so nothing queued can be delivered anymore.
+                // Anything still pending — parsed-but-unanswered bytes, a
+                // busy estimate, unflushed response bytes — makes this a
+                // reset; a quiet keep-alive connection closing is the
+                // normal end of its life.
                 let kind = if conn.busy || conn.parser.is_mid_request() || !conn.out.is_empty() {
                     CloseKind::Reset
                 } else {
@@ -482,6 +495,32 @@ impl Shard {
                 };
                 self.close(token, kind);
             }
+        } else if ev.rdhup {
+            // `EPOLLRDHUP`: the peer half-closed (shutdown(SHUT_WR)) but
+            // can still read; a response it is owed must still reach it.
+            self.on_read_closed(token);
+        }
+    }
+
+    /// EOF or `EPOLLRDHUP`: the peer will never send another byte. Close
+    /// now unless a response is still owed (busy at the workers or
+    /// unflushed output) — then the write path finishes the exchange
+    /// first and the teardown is deferred until the queue drains (a peer
+    /// that stops draining is still cut by the write-stall deadline).
+    fn on_read_closed(&mut self, token: usize) {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        conn.read_closed = true;
+        if conn.busy || !conn.out.is_empty() {
+            // Defer; drop read-side interest (level-triggered RDHUP
+            // would re-fire on every wait until the slot is gone).
+            self.sync_interest(token);
+        } else if conn.parser.is_mid_request() {
+            // A trailing partial request can never complete now.
+            self.close(token, CloseKind::Reset);
+        } else {
+            self.close(token, CloseKind::Clean);
         }
     }
 
@@ -498,14 +537,8 @@ impl Shard {
             }
             match conn.stream.read(&mut scratch) {
                 Ok(0) => {
-                    // EOF. Clean only if the connection owed us nothing.
-                    let kind = if conn.parser.is_mid_request() || conn.busy || !conn.out.is_empty()
-                    {
-                        CloseKind::Reset
-                    } else {
-                        CloseKind::Clean
-                    };
-                    self.close(token, kind);
+                    // EOF: same contract as `EPOLLRDHUP`.
+                    self.on_read_closed(token);
                     return;
                 }
                 Ok(n) => {
@@ -583,6 +616,23 @@ impl Shard {
                         conn.out.push_owned(interim.to_vec());
                         self.flush(token);
                     }
+                    let Some(conn) = self.slab.get_mut(token) else {
+                        return; // the interim flush may have closed it
+                    };
+                    if conn.read_closed {
+                        // EOF/RDHUP already seen: no further bytes can
+                        // complete another request. Deliver whatever is
+                        // queued, then tear the slot down.
+                        conn.close_after_flush = true;
+                        self.flush(token);
+                        return;
+                    }
+                    if conn.parser.is_mid_request() && conn.read_deadline.is_none() {
+                        // Buffered partial-request bytes must always sit
+                        // under a deadline, whichever path got us here —
+                        // an unarmed clock here is a slow-loris hole.
+                        conn.read_deadline = Some(Instant::now() + self.deadline);
+                    }
                     self.sync_interest(token);
                     return;
                 }
@@ -624,7 +674,15 @@ impl Shard {
                 return;
             };
             conn.busy = true;
-            conn.read_deadline = None;
+            if !conn.parser.is_mid_request() {
+                // Only an idle connection sheds its deadline. Buffered
+                // bytes of a pipelined next request keep the clock
+                // `pump_parser` just armed: clearing it here would leave
+                // the connection mid-request with no deadline once the
+                // completion returns — unexpirable by any sweep, held
+                // forever by a stalled peer, and a drain blocker.
+                conn.read_deadline = None;
+            }
             let job = Job {
                 shard: self.id,
                 token,
@@ -692,7 +750,15 @@ impl Shard {
                 conn.write_blocked = false;
                 conn.write_blocked_since = None;
                 if conn.close_after_flush {
-                    self.close(token, CloseKind::Clean);
+                    // A peer that hung up its write side mid-exchange was
+                    // served best-effort, but still counts as a reset —
+                    // same contract as EOF with output pending.
+                    let kind = if conn.read_closed {
+                        CloseKind::Reset
+                    } else {
+                        CloseKind::Clean
+                    };
+                    self.close(token, kind);
                     return;
                 }
                 self.sync_interest(token);
@@ -726,8 +792,13 @@ impl Shard {
         let desired = Interest {
             readable: !conn.busy
                 && !conn.close_after_flush
+                && !conn.read_closed
                 && conn.out.pending_bytes() < WRITE_HIGH_WATER,
             writable: conn.write_blocked,
+            // Once the half-close is observed there is nothing left to
+            // learn from RDHUP; leaving it armed would busy-spin the
+            // shard (level-triggered) while a deferred response flushes.
+            rdhup: !conn.read_closed,
         };
         if desired != conn.armed {
             let fd = conn.stream.as_raw_fd();

@@ -94,9 +94,12 @@ pub struct Event {
     pub readable: bool,
     /// The fd can accept more written bytes.
     pub writable: bool,
-    /// The peer closed or the socket errored (`EPOLLERR`/`EPOLLHUP`/
-    /// `EPOLLRDHUP`); the connection is done for.
+    /// The socket errored or hung up in both directions (`EPOLLERR`/
+    /// `EPOLLHUP`); nothing queued can be delivered anymore.
     pub closed: bool,
+    /// The peer shut down its write side (`EPOLLRDHUP`): no more bytes
+    /// will ever arrive, but the socket can still accept responses.
+    pub rdhup: bool,
 }
 
 /// Which readiness notifications a registered fd should deliver.
@@ -106,6 +109,11 @@ pub struct Interest {
     pub readable: bool,
     /// Deliver writable events.
     pub writable: bool,
+    /// Deliver `EPOLLRDHUP` (peer half-close). Armed by default so a
+    /// hang-up surfaces even while `EPOLLIN` is masked; the event loop
+    /// disarms it once observed — level-triggered, it would otherwise
+    /// re-fire on every wait for as long as the connection lingers.
+    pub rdhup: bool,
 }
 
 impl Interest {
@@ -113,17 +121,19 @@ impl Interest {
     pub const READ: Interest = Interest {
         readable: true,
         writable: false,
+        rdhup: true,
     };
 
     fn mask(self) -> u32 {
-        // RDHUP is always armed so half-closed peers surface as events
-        // instead of silent EOF on the next opportunistic read.
-        let mut m = EPOLLRDHUP;
+        let mut m = 0;
         if self.readable {
             m |= EPOLLIN;
         }
         if self.writable {
             m |= EPOLLOUT;
+        }
+        if self.rdhup {
+            m |= EPOLLRDHUP;
         }
         m
     }
@@ -200,7 +210,8 @@ impl Poller {
                 token: ev.data,
                 readable: bits & EPOLLIN != 0,
                 writable: bits & EPOLLOUT != 0,
-                closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                closed: bits & (EPOLLERR | EPOLLHUP) != 0,
+                rdhup: bits & EPOLLRDHUP != 0,
             });
         }
         Ok(())
@@ -316,6 +327,7 @@ mod tests {
                 Interest {
                     readable: true,
                     writable: true,
+                    rdhup: true,
                 },
             )
             .unwrap();
@@ -330,6 +342,7 @@ mod tests {
         assert!(events[0].writable);
         assert!(events[0].readable);
         assert!(!events[0].closed);
+        assert!(!events[0].rdhup);
 
         // Interest can be narrowed to read-only…
         poller
@@ -340,12 +353,14 @@ mod tests {
             .unwrap();
         assert!(events.iter().all(|e| !e.writable));
 
-        // …and a peer disconnect surfaces as a closed event.
+        // …and a peer disconnect surfaces as a half-close (`EPOLLRDHUP`):
+        // the peer's FIN arrived, but our write side is still usable, so
+        // the fatal `closed` (ERR/HUP) bits stay clear.
         drop(client);
         poller
             .wait(&mut events, Some(Duration::from_millis(500)))
             .unwrap();
-        assert!(events.iter().any(|e| e.closed), "{events:?}");
+        assert!(events.iter().any(|e| e.rdhup), "{events:?}");
 
         poller.remove(server_side.as_raw_fd()).unwrap();
     }

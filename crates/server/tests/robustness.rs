@@ -12,7 +12,7 @@
 
 use hpcarbon_server::{Server, ServerConfig};
 use std::io::{Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -110,6 +110,122 @@ fn slow_loris_is_dropped_without_stalling_shard_peers() {
         }),
         "the loris slot was not reclaimed"
     );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn stalled_pipelined_tail_does_not_outlive_the_deadline() {
+    // A complete uncached estimate plus one stray byte of a pipelined
+    // next request, then silence. The stray byte's read deadline must
+    // survive the worker dispatch: if dispatching clears it, the
+    // connection sits mid-request with no deadline after the completion
+    // returns — unexpirable by any sweep, holding its slot forever and
+    // wedging graceful drain.
+    let (addr, service, handle, join) = start(ServerConfig {
+        shards: 1,
+        workers: 1,
+        cache_capacity: 0, // force the estimate through the workers
+        max_body_bytes: 1 << 20,
+        read_deadline: Duration::from_millis(400),
+    });
+
+    let req = hpcarbon_api::EstimateRequest::paper_baseline(
+        hpcarbon_api::SystemId::Frontier,
+        hpcarbon_grid::regions::OperatorId::Eso,
+    );
+    let body = req.to_json();
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(
+        format!(
+            "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}G",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+
+    // The completed request is answered; then the *server* must close
+    // the connection once the stalled tail hits the deadline (a read
+    // timeout here means the slot was held forever — the bug).
+    let mut out = Vec::new();
+    s.read_to_end(&mut out)
+        .expect("server never dropped the stalled mid-request connection");
+    let text = String::from_utf8_lossy(&out);
+    assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            service.metrics().conn_resets.load(Ordering::Relaxed) >= 1
+                && service.metrics().open_connections() == 0
+        }),
+        "stalled tail was not counted as a reset / slot not reclaimed: resets={}, open={}",
+        service.metrics().conn_resets.load(Ordering::Relaxed),
+        service.metrics().open_connections(),
+    );
+    healthz_ok(&addr);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn half_closed_client_still_receives_its_response() {
+    // A client may legally shutdown(SHUT_WR) after its request and keep
+    // reading. The resulting EPOLLRDHUP lands while the estimate is at
+    // the workers; teardown must be deferred until the response flushes
+    // instead of resetting the connection unanswered.
+    let (addr, service, handle, join) = start(ServerConfig {
+        shards: 1,
+        workers: 1,
+        cache_capacity: 0, // force the estimate through the workers
+        max_body_bytes: 1 << 20,
+        read_deadline: Duration::from_secs(10),
+    });
+
+    // Enough simulated jobs that the half-close is observed mid-estimate.
+    let mut req = hpcarbon_api::EstimateRequest::paper_baseline(
+        hpcarbon_api::SystemId::Frontier,
+        hpcarbon_grid::regions::OperatorId::Eso,
+    );
+    req.jobs = 200;
+    let body = req.to_json();
+
+    let mut s = TcpStream::connect(&addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(
+        format!(
+            "POST /v1/estimate HTTP/1.1\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let text = String::from_utf8_lossy(&out);
+    assert!(
+        text.starts_with("HTTP/1.1 200 OK\r\n"),
+        "half-closed client was torn down unanswered: {text:?}"
+    );
+    assert!(
+        text.contains("\r\n\r\n["),
+        "response body missing after half-close: {text:?}"
+    );
+
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            service.metrics().open_connections() == 0
+        }),
+        "half-closed slot was not reclaimed"
+    );
+    healthz_ok(&addr);
 
     handle.shutdown();
     join.join().unwrap();
