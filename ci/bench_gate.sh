@@ -15,7 +15,12 @@
 #     pure ratio and therefore machine-independent;
 #   * serve/estimate_uncached must beat serve/estimate_cached_hit by
 #     ≥ BENCH_GATE_MIN_CACHE_SPEEDUP — the canonical-request cache
-#     contract, likewise a pure ratio.
+#     contract, likewise a pure ratio;
+#   * sweep/context/scenario_uncontexted must beat
+#     sweep/context/scenario_contexted by ≥ BENCH_GATE_MIN_SWEEP_SPEEDUP
+#     — the hoisted-SweepContext contract (trace simulation, job traces
+#     and catalogs built once per sweep, not once per row), a pure
+#     ratio as well.
 #
 # Usage:
 #   ci/bench_gate.sh            run the gate
@@ -24,7 +29,8 @@
 #
 # Knobs (env): BENCH_GATE_MAX_RATIO (default 1.30 = ±30%),
 # BENCH_GATE_MIN_ARGMIN_SPEEDUP (default 10),
-# BENCH_GATE_MIN_CACHE_SPEEDUP (default 5), BENCH_GATE_OUT_DIR
+# BENCH_GATE_MIN_CACHE_SPEEDUP (default 5),
+# BENCH_GATE_MIN_SWEEP_SPEEDUP (default 2), BENCH_GATE_OUT_DIR
 # (default ci/out), BENCH_GATE_BASELINE (default ci/bench_baseline.json).
 #
 # Wall-clock baselines move with the host; refresh with --update when the
@@ -36,6 +42,7 @@ cd "$(dirname "$0")/.."
 MAX_RATIO="${BENCH_GATE_MAX_RATIO:-1.30}"
 MIN_SPEEDUP="${BENCH_GATE_MIN_ARGMIN_SPEEDUP:-10}"
 MIN_CACHE_SPEEDUP="${BENCH_GATE_MIN_CACHE_SPEEDUP:-5}"
+MIN_SWEEP_SPEEDUP="${BENCH_GATE_MIN_SWEEP_SPEEDUP:-2}"
 OUT_DIR="${BENCH_GATE_OUT_DIR:-ci/out}"
 BASELINE="${BENCH_GATE_BASELINE:-ci/bench_baseline.json}"
 SUITES=(bench_window_index bench_sweep bench_serve)
@@ -87,11 +94,11 @@ if [[ "${1:-}" == "--update" ]]; then
         echo "  \"schema\": \"hpcarbon-bench-baseline-v1\","
         echo "  \"unit\": \"ns_per_iter_median\","
         echo "  \"benchmarks\": {"
-        # Executor-parallel timing scales with the host's core count, so it
-        # stays out of the committed baseline.
+        # Parallel-streaming timing scales with the host's core count,
+        # so it stays out of the committed baseline.
         for suite in "${SUITES[@]}"; do
             extract "$OUT_DIR/BENCH_${suite#bench_}.json"
-        done | grep -v "executor/parallel" | awk '{ printf "    \"%s\": %s,\n", $1, $2 }' | sed '$ s/,$//'
+        done | grep -v "streaming/parallel" | awk '{ printf "    \"%s\": %s,\n", $1, $2 }' | sed '$ s/,$//'
         echo "  }"
         echo "}"
     } >"$BASELINE"
@@ -129,6 +136,22 @@ else
         fail=1
     else
         echo "OK: cached estimates beat uncached by ${cache_speedup}x (>= ${MIN_CACHE_SPEEDUP}x)"
+    fi
+fi
+
+# --- gate 1c: the hoisted-SweepContext speedup contract --------------------
+uncontexted=$(extract "$OUT_DIR/BENCH_sweep.json" | awk '$1 == "sweep/context/scenario_uncontexted" { print $2 }')
+contexted=$(extract "$OUT_DIR/BENCH_sweep.json" | awk '$1 == "sweep/context/scenario_contexted" { print $2 }')
+if [[ -z "$uncontexted" || -z "$contexted" ]]; then
+    echo "FAIL: sweep context benchmarks missing from BENCH_sweep.json"
+    fail=1
+else
+    sweep_speedup=$(awk -v u="$uncontexted" -v c="$contexted" 'BEGIN { printf "%.1f", u / c }')
+    if awk -v s="$sweep_speedup" -v m="$MIN_SWEEP_SPEEDUP" 'BEGIN { exit !(s < m) }'; then
+        echo "FAIL: hoisted-context speedup ${sweep_speedup}x < required ${MIN_SWEEP_SPEEDUP}x"
+        fail=1
+    else
+        echo "OK: contexted scenarios beat uncontexted by ${sweep_speedup}x (>= ${MIN_SWEEP_SPEEDUP}x)"
     fi
 fi
 

@@ -22,26 +22,27 @@
 //! **byte-identical for every thread count**; `tests/api_roundtrip.rs`
 //! and the CI smoke job diff 1-thread against 4-thread runs.
 
+use crate::context::{EstimateContext, RequestKeys, TraceStats};
 use crate::error::ApiError;
 use crate::providers::{
-    CatalogEmbodied, DispatchIntensity, EmbodiedSource, IntensityProvider, PueProvider, RequestPue,
+    CatalogEmbodied, DispatchIntensity, EmbodiedSource, GeneratedJobs, IntensityProvider,
+    JobSource, PueProvider, RequestPue,
 };
 use crate::report::{FootprintReport, Verdict};
 use crate::request::{EstimateRequest, ValidRequest};
 use crate::types::{PueSpec, StorageVariant};
 use hpcarbon_core::db::PartId;
 use hpcarbon_core::operational::Pue;
+use hpcarbon_core::systems::HpcSystem;
 use hpcarbon_core::whatif::swap_storage_tier;
 use hpcarbon_power::pue_model::{account_with_seasonal_pue, SeasonalPue};
-use hpcarbon_sched::{
-    shift_savings, summarize_shift_savings, Cluster, JobTraceGenerator, Simulation,
-};
+use hpcarbon_sched::{shift_savings, summarize_shift_savings, Cluster, Simulation};
 use hpcarbon_sim::par::{par_map_workers, worker_count};
-use hpcarbon_sim::rng::SimRng;
 use hpcarbon_units::{CarbonIntensity, TimeSpan};
 use hpcarbon_upgrade::savings::UpgradeScenario;
 use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor};
 use hpcarbon_workloads::power::node_active_power;
+use std::sync::Arc;
 
 /// Assembles an [`Estimator`] from providers; every axis defaults to the
 /// in-repo models.
@@ -49,6 +50,8 @@ pub struct EstimatorBuilder {
     intensity: Box<dyn IntensityProvider>,
     embodied: Box<dyn EmbodiedSource>,
     pue: Box<dyn PueProvider>,
+    jobs: Box<dyn JobSource>,
+    context: Option<Arc<EstimateContext>>,
     threads: Option<usize>,
 }
 
@@ -71,6 +74,21 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Swaps the job source.
+    pub fn jobs(mut self, p: impl JobSource + 'static) -> EstimatorBuilder {
+        self.jobs = Box::new(p);
+        self
+    }
+
+    /// Attaches a prebuilt [`EstimateContext`]. Every evaluation consults
+    /// it before falling back to the providers; because the context is
+    /// built *from* the providers (see [`Estimator::context_for`]),
+    /// attaching one can never change reported bytes — only latency.
+    pub fn context(mut self, ctx: Arc<EstimateContext>) -> EstimatorBuilder {
+        self.context = Some(ctx);
+        self
+    }
+
     /// Forces the batch worker count (1 = serial reference run); the
     /// default uses the available parallelism.
     pub fn threads(mut self, n: usize) -> EstimatorBuilder {
@@ -84,6 +102,8 @@ impl EstimatorBuilder {
             intensity: self.intensity,
             embodied: self.embodied,
             pue: self.pue,
+            jobs: self.jobs,
+            context: self.context,
             threads: self.threads,
         }
     }
@@ -105,19 +125,37 @@ pub struct Estimator {
     intensity: Box<dyn IntensityProvider>,
     embodied: Box<dyn EmbodiedSource>,
     pue: Box<dyn PueProvider>,
+    jobs: Box<dyn JobSource>,
+    context: Option<Arc<EstimateContext>>,
     threads: Option<usize>,
 }
 
 impl Estimator {
     /// Starts a builder with the default providers ([`DispatchIntensity`],
-    /// [`CatalogEmbodied`], [`RequestPue`]).
+    /// [`CatalogEmbodied`], [`RequestPue`], [`GeneratedJobs`]).
     pub fn builder() -> EstimatorBuilder {
         EstimatorBuilder {
             intensity: Box::new(DispatchIntensity),
             embodied: Box::new(CatalogEmbodied),
             pue: Box::new(RequestPue),
+            jobs: Box::new(GeneratedJobs),
+            context: None,
             threads: None,
         }
+    }
+
+    /// Builds an [`EstimateContext`] covering every key `reqs` will look
+    /// up, derived from **this estimator's own providers** — the
+    /// property that makes attaching it transparent. Distinct traces
+    /// build in parallel over the estimator's configured thread count.
+    pub fn context_for(&self, reqs: &[EstimateRequest]) -> EstimateContext {
+        EstimateContext::build(
+            reqs,
+            self.intensity.as_ref(),
+            self.embodied.as_ref(),
+            self.jobs.as_ref(),
+            self.threads,
+        )
     }
 
     /// Validates and evaluates one request.
@@ -132,6 +170,11 @@ impl Estimator {
         self.estimate_valid(&valid)
     }
 
+    /// The attached context, if any.
+    fn attached(&self) -> Option<&EstimateContext> {
+        self.context.as_deref()
+    }
+
     /// Evaluates an already-validated request, skipping re-validation —
     /// the entry point for callers that need the [`ValidRequest`] anyway
     /// (the serving layer derives its cache key from it). Same pipeline,
@@ -142,50 +185,85 @@ impl Estimator {
     /// evaluation time — storage what-if without a source tier,
     /// oversized shifting slack, a provider returning an unphysical PUE.
     pub fn estimate_valid(&self, valid: &ValidRequest) -> Result<FootprintReport, ApiError> {
-        self.evaluate(valid)
+        self.evaluate(valid, self.attached())
     }
 
     /// Evaluates a batch in parallel, one result per request, **in
     /// request order**. Infeasible requests become error entries; the
     /// batch always completes. Output is byte-identical for every
     /// configured thread count.
+    ///
+    /// Unless a context is already attached, multi-request batches
+    /// hoist their shared setup (traces, inventories, job traces) into
+    /// a per-call [`EstimateContext`] first — a pure cache, so batch
+    /// bytes are unchanged by it.
     pub fn estimate_batch(
         &self,
         reqs: &[EstimateRequest],
     ) -> Vec<Result<FootprintReport, ApiError>> {
         let workers = self.threads.unwrap_or_else(|| worker_count(reqs.len()));
-        par_map_workers(reqs, workers, |_, req| self.estimate(req))
+        let built = if self.context.is_none() && reqs.len() > 1 {
+            Some(self.context_for(reqs))
+        } else {
+            None
+        };
+        let ctx = self.attached().or(built.as_ref());
+        par_map_workers(reqs, workers, |_, req| match req.validate() {
+            Ok(valid) => self.evaluate(&valid, ctx),
+            Err(e) => Err(e),
+        })
+    }
+
+    /// The trace for `key`: a context hit, or the intensity provider.
+    fn trace_for(
+        &self,
+        ctx: Option<&EstimateContext>,
+        key: &crate::context::TraceKey,
+    ) -> Arc<hpcarbon_grid::trace::IntensityTrace> {
+        ctx.and_then(|c| c.trace(key))
+            .unwrap_or_else(|| self.intensity.year_trace(key.0, key.1, key.2, key.3))
     }
 
     /// The five-layer pipeline. Mirrors the historical
     /// `sweep::run_scenario` computation exactly — the sweep now delegates
-    /// here, and its CSV/JSON output is a frozen contract.
-    fn evaluate(&self, v: &ValidRequest) -> Result<FootprintReport, ApiError> {
+    /// here, and its CSV/JSON output is a frozen contract. Every `ctx`
+    /// lookup falls back to the provider computing the identical value,
+    /// so a context changes latency, never bytes.
+    fn evaluate(
+        &self,
+        v: &ValidRequest,
+        ctx: Option<&EstimateContext>,
+    ) -> Result<FootprintReport, ApiError> {
         let r = v.request();
         let pue = self.pue.resolve(r.pue);
         // Providers cannot smuggle an unphysical model past the gate.
         pue.validate()?;
+        let keys = RequestKeys::of(r);
 
         // Layer 1: embodied composition, with the storage what-if applied.
-        let base = self.embodied.build_system(r.system);
-        let (system, storage_delta_pct) = match r.storage {
-            StorageVariant::Baseline => (base, None),
-            StorageVariant::AllFlash => {
-                let w = swap_storage_tier(&base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
-                let delta = w.relative_change() * 100.0;
-                (w.system, Some(delta))
+        let built_system;
+        let base: &HpcSystem = match ctx.and_then(|c| c.system(r.system)) {
+            Some(s) => s,
+            None => {
+                built_system = self.embodied.build_system(r.system);
+                &built_system
             }
         };
-        let embodied_t = system.embodied_total().as_t();
+        let (embodied_t, storage_delta_pct) = match r.storage {
+            StorageVariant::Baseline => (base.embodied_total().as_t(), None),
+            StorageVariant::AllFlash => {
+                let w = swap_storage_tier(base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
+                let delta = w.relative_change() * 100.0;
+                (w.system.embodied_total().as_t(), Some(delta))
+            }
+        };
 
         // Layer 2: the regional grid year, from this request's own stream.
-        let rng = SimRng::seed_from(r.seed);
-        let trace_seed = rng.substream("trace").seed();
-        let trace = self
-            .intensity
-            .year_trace(r.region, r.source, r.year, trace_seed);
-        let boxplot = trace.boxplot();
-        let median = CarbonIntensity::from_g_per_kwh(boxplot.median);
+        let trace = self.trace_for(ctx, &keys.trace);
+        let stats = ctx
+            .and_then(|c| c.trace_stats(&keys.trace))
+            .unwrap_or_else(|| TraceStats::of(&trace));
+        let median = CarbonIntensity::from_g_per_kwh(stats.median_g_per_kwh);
 
         // Layer 3: the scheduling run on a cluster powered by that grid,
         // and its carbon savings against the run-at-arrival baseline.
@@ -200,22 +278,16 @@ impl Estimator {
         // greenest complement region (GB, or CA when the request already
         // is GB), built from the same provider, seed stream and PUE — so
         // the estimate stays a pure function of the request and the
-        // providers.
-        if r.partner.unwrap_or_else(|| r.policy.is_multi_region()) {
-            let partner_op = if r.region == hpcarbon_grid::regions::OperatorId::Eso {
-                hpcarbon_grid::regions::OperatorId::Ciso
-            } else {
-                hpcarbon_grid::regions::OperatorId::Eso
-            };
-            let partner_trace = self
-                .intensity
-                .year_trace(partner_op, r.source, r.year, trace_seed);
-            let mut partner = Cluster::new(partner_op.info().short, partner_trace, r.cluster_gpus);
+        // providers. `RequestKeys::of` encodes both rules.
+        if let Some(pk) = keys.partner_trace {
+            let partner_trace = self.trace_for(ctx, &pk);
+            let mut partner = Cluster::new(pk.0.info().short, partner_trace, r.cluster_gpus);
             partner.pue = pue.mean_value();
             clusters.push(partner);
         }
-        let jobs_seed = rng.substream("jobs").seed();
-        let jobs = JobTraceGenerator::default_rates().generate(r.jobs, jobs_seed);
+        let jobs = ctx
+            .and_then(|c| c.job_trace(&keys.jobs))
+            .unwrap_or_else(|| self.jobs.job_trace(keys.jobs.0, keys.jobs.1));
         let sim = Simulation::multi_region(clusters.clone(), r.policy, &jobs).try_run()?;
         let savings = summarize_shift_savings(&shift_savings(&sim, &jobs, &clusters));
 
@@ -254,8 +326,8 @@ impl Estimator {
                 storage_delta_pct,
             },
             grid: crate::report::GridSection {
-                median_g_per_kwh: boxplot.median,
-                cov_pct: trace.cov_percent(),
+                median_g_per_kwh: stats.median_g_per_kwh,
+                cov_pct: stats.cov_pct,
             },
             operational: crate::report::OperationalSection {
                 sched_kg: sim.total_carbon.as_kg(),
@@ -289,7 +361,7 @@ mod tests {
     use crate::providers::FlatIntensity;
     use crate::types::{SystemId, TraceSource, UpgradePath};
     use hpcarbon_grid::regions::OperatorId;
-    use hpcarbon_sched::Policy;
+    use hpcarbon_sched::{Job, Policy};
     use hpcarbon_workloads::benchmarks::Suite;
     use hpcarbon_workloads::nodes::NodeGen;
 
@@ -412,6 +484,53 @@ mod tests {
         lone.policy = Policy::SpatioTemporal { slack_hours: 24 };
         lone.partner = Some(false);
         assert!(est.estimate(&lone).is_ok());
+    }
+
+    #[test]
+    fn context_never_changes_reported_bytes() {
+        let est = Estimator::builder().threads(1).build();
+        let mut reqs: Vec<EstimateRequest> = Vec::new();
+        for seed in [2021u64, 7] {
+            for policy in [Policy::Fifo, Policy::SpatioTemporal { slack_hours: 24 }] {
+                let mut r = req();
+                r.seed = seed;
+                r.policy = policy;
+                reqs.push(r);
+            }
+        }
+        let ctx = std::sync::Arc::new(est.context_for(&reqs));
+        assert_eq!(ctx.trace_count(), 4); // 2 seeds × {Eso, Ciso partner}
+        let with_ctx = Estimator::builder()
+            .threads(1)
+            .context(ctx)
+            .build()
+            .estimate_batch(&reqs);
+        let without = est.estimate_batch(&reqs);
+        assert_eq!(with_ctx, without);
+        // Single estimates consult the attached context too.
+        let single = Estimator::builder()
+            .context(std::sync::Arc::new(est.context_for(&reqs[..1])))
+            .build()
+            .estimate(&reqs[0])
+            .unwrap();
+        assert_eq!(Some(&single), with_ctx[0].as_ref().ok());
+    }
+
+    #[test]
+    fn custom_job_source_plugs_in() {
+        struct NoJobs;
+        impl crate::providers::JobSource for NoJobs {
+            fn job_trace(&self, _count: usize, _seed: u64) -> std::sync::Arc<Vec<Job>> {
+                std::sync::Arc::new(Vec::new())
+            }
+        }
+        let rep = Estimator::builder()
+            .jobs(NoJobs)
+            .build()
+            .estimate(&req())
+            .unwrap();
+        assert_eq!(rep.operational.sched_kg, 0.0);
+        assert_eq!(rep.operational.sched_kwh, 0.0);
     }
 
     #[test]

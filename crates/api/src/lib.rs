@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod error;
 pub mod estimator;
 pub mod json;
@@ -71,11 +72,12 @@ pub mod report;
 pub mod request;
 pub mod types;
 
+pub use context::{EstimateContext, JobKey, RequestKeys, TraceKey, TraceStats};
 pub use error::{ApiError, ParseError};
 pub use estimator::{Estimator, EstimatorBuilder};
 pub use providers::{
-    CatalogEmbodied, DispatchIntensity, EmbodiedSource, FlatIntensity, IntensityProvider,
-    PueProvider, RequestPue,
+    CatalogEmbodied, DispatchIntensity, EmbodiedSource, FlatIntensity, GeneratedJobs,
+    IntensityProvider, JobSource, PueProvider, RequestPue,
 };
 pub use report::{
     batch_from_json, batch_to_json, EmbodiedSection, FootprintReport, GridSection,

@@ -11,12 +11,20 @@
 //! - [`EmbodiedSource`] — where system inventories come from
 //!   ([`CatalogEmbodied`] wraps the Table 1/2 part catalog);
 //! - [`PueProvider`] — which PUE model applies ([`RequestPue`] honors
-//!   the request; a site-specific provider can override it).
+//!   the request; a site-specific provider can override it);
+//! - [`JobSource`] — where scheduling job traces come from
+//!   ([`GeneratedJobs`] wraps the seeded workload generator).
 //!
 //! Contract for all providers: implementations must be **pure functions
 //! of their arguments** (no ambient randomness, clocks, or mutable
 //! state), because batch determinism — byte-identical output for any
 //! thread count — is promised over them.
+//!
+//! Traces and job lists are returned behind [`Arc`]s: they are the
+//! heavyweight inputs (an indexed year trace is ~1 MiB of prefix sums),
+//! and batch consumers — the streaming sweep engine above all — evaluate
+//! many requests against the *same* region-year, so the provider
+//! contract is "hand out a shared immutable value", never "copy".
 
 use crate::types::{PueSpec, SystemId, TraceSource};
 use hpcarbon_core::systems::HpcSystem;
@@ -24,7 +32,9 @@ use hpcarbon_grid::regions::OperatorId;
 use hpcarbon_grid::sim::simulate_year;
 use hpcarbon_grid::synth::synthesize_year;
 use hpcarbon_grid::trace::IntensityTrace;
+use hpcarbon_sched::{Job, JobTraceGenerator};
 use hpcarbon_timeseries::series::HourlySeries;
+use std::sync::Arc;
 
 /// Supplies the hourly carbon-intensity trace of one region-year.
 pub trait IntensityProvider: Send + Sync {
@@ -38,7 +48,25 @@ pub trait IntensityProvider: Send + Sync {
         source: TraceSource,
         year: i32,
         seed: u64,
-    ) -> IntensityTrace;
+    ) -> Arc<IntensityTrace>;
+}
+
+/// Supplies the job trace a request's scheduling run consumes.
+pub trait JobSource: Send + Sync {
+    /// Returns `count` jobs for the `jobs` substream seed derived from
+    /// the request (same request → same seed).
+    fn job_trace(&self, count: usize, seed: u64) -> Arc<Vec<Job>>;
+}
+
+/// Default job source: the seeded workload generator at its
+/// production-like default rates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeneratedJobs;
+
+impl JobSource for GeneratedJobs {
+    fn job_trace(&self, count: usize, seed: u64) -> Arc<Vec<Job>> {
+        Arc::new(JobTraceGenerator::default_rates().generate(count, seed))
+    }
 }
 
 /// Supplies system inventories for embodied-carbon accounting.
@@ -68,11 +96,11 @@ impl IntensityProvider for DispatchIntensity {
         source: TraceSource,
         year: i32,
         seed: u64,
-    ) -> IntensityTrace {
-        match source {
+    ) -> Arc<IntensityTrace> {
+        Arc::new(match source {
             TraceSource::Paper => simulate_year(region, year, seed),
             TraceSource::Synthetic => synthesize_year(region, year, seed),
-        }
+        })
     }
 }
 
@@ -99,8 +127,11 @@ impl IntensityProvider for FlatIntensity {
         _source: TraceSource,
         year: i32,
         _seed: u64,
-    ) -> IntensityTrace {
-        IntensityTrace::new(region, HourlySeries::from_fn(year, |_| self.g_per_kwh))
+    ) -> Arc<IntensityTrace> {
+        Arc::new(IntensityTrace::new(
+            region,
+            HourlySeries::from_fn(year, |_| self.g_per_kwh),
+        ))
     }
 }
 

@@ -12,7 +12,7 @@ use hpcarbon_workloads::benchmarks::Suite;
 use hpcarbon_workloads::nodes::NodeGen;
 
 /// Which Table 2 system the request deploys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SystemId {
     /// Frontier (Oak Ridge).
     Frontier,
@@ -121,7 +121,7 @@ impl PueSpec {
 }
 
 /// Where a request's intensity trace comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TraceSource {
     /// The calibrated dispatch simulator
     /// ([`hpcarbon_grid::sim::simulate_year`]) — the paper's trace set.

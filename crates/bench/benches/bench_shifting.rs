@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpcarbon_grid::{simulate_year, synthesize_year, OperatorId};
 use hpcarbon_sched::{Cluster, JobTraceGenerator, Policy, Simulation};
-use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+use hpcarbon_sweep::{ScenarioGrid, Sweep, SweepConfig};
 use std::hint::black_box;
 
 fn trace_generation(c: &mut Criterion) {
@@ -59,7 +59,14 @@ fn shifting_sweep(c: &mut Criterion) {
     let mut g = c.benchmark_group("shifting/sweep");
     g.sample_size(3);
     g.bench_function("grid_20_scenarios", |b| {
-        b.iter(|| black_box(SweepExecutor::new(cfg).run(&grid)))
+        b.iter(|| {
+            black_box(
+                Sweep::over(&grid)
+                    .config(cfg)
+                    .run()
+                    .expect("sinkless sweep cannot fail"),
+            )
+        })
     });
     g.finish();
 }

@@ -1,13 +1,20 @@
-//! Benches for the scenario-sweep engine: serial vs. parallel execution
-//! of the same grid, plus expansion and emission costs.
+//! Benches for the streaming scenario-sweep engine: the hoisted
+//! [`SweepContext`] vs. the cold per-scenario path, serial vs. parallel
+//! streaming of the same grid, plus expansion and emission costs.
 //!
-//! On a multi-core host `executor/parallel` beats `executor/serial_1_thread`
-//! roughly by the core count (scenarios are independent and the executor's
-//! atomic-cursor distribution keeps workers busy); on a single core the
-//! two collapse to the same time, never worse.
+//! The contract gated in CI (`ci/bench_gate.sh`): a scenario evaluated
+//! through a pre-built `SweepContext` must beat the uncontexted
+//! `run_scenario` path by ≥ `BENCH_GATE_MIN_SWEEP_SPEEDUP` (default 2×),
+//! because the context hoists trace simulation, job-trace generation,
+//! and catalog assembly out of the per-row loop. On a multi-core host
+//! `streaming/parallel` additionally beats `streaming/serial_1_thread`
+//! roughly by the core count; on a single core the two collapse to the
+//! same time, never worse.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+use hpcarbon_sweep::{
+    run_scenario, CsvSink, JsonSink, ScenarioGrid, Sweep, SweepConfig, SweepContext,
+};
 use std::hint::black_box;
 
 /// A mid-size grid: large enough to amortize thread startup, small enough
@@ -28,25 +35,82 @@ fn grid_expansion(c: &mut Criterion) {
     });
 }
 
-fn executor(c: &mut Criterion) {
+fn context(c: &mut Criterion) {
     let grid = bench_grid();
     let cfg = SweepConfig::fast();
-    let mut g = c.benchmark_group("sweep/executor");
+    let mut g = c.benchmark_group("sweep/context");
+    g.sample_size(10);
+    // One-time cost of hoisting every shared derivation (intensity
+    // traces, job traces, catalogs) for the whole grid.
+    g.bench_function("build", |b| {
+        b.iter(|| black_box(SweepContext::build(&grid, cfg, Some(1))))
+    });
+    // Per-row cost with vs. without the hoisted context — the ≥2x
+    // speedup the bench gate enforces.
+    let ctx = SweepContext::build(&grid, cfg, Some(1));
+    let sc = grid.scenario_at(0);
+    g.bench_function("scenario_uncontexted", |b| {
+        b.iter(|| black_box(run_scenario(&sc, &cfg).unwrap()))
+    });
+    g.bench_function("scenario_contexted", |b| {
+        b.iter(|| black_box(ctx.run(&sc).unwrap()))
+    });
+    g.finish();
+}
+
+fn streaming(c: &mut Criterion) {
+    let grid = bench_grid();
+    let cfg = SweepConfig::fast();
+    let mut g = c.benchmark_group("sweep/streaming");
     g.sample_size(10);
     g.bench_function("serial_1_thread", |b| {
-        b.iter(|| black_box(SweepExecutor::new(cfg).with_threads(1).run(&grid)))
+        b.iter(|| {
+            black_box(
+                Sweep::over(&grid)
+                    .config(cfg)
+                    .threads(1)
+                    .run()
+                    .expect("sinkless sweep cannot fail"),
+            )
+        })
     });
     g.bench_function("parallel", |b| {
-        b.iter(|| black_box(SweepExecutor::new(cfg).run(&grid)))
+        b.iter(|| {
+            black_box(
+                Sweep::over(&grid)
+                    .config(cfg)
+                    .run()
+                    .expect("sinkless sweep cannot fail"),
+            )
+        })
     });
     g.finish();
 }
 
 fn emission(c: &mut Criterion) {
-    let results = SweepExecutor::new(SweepConfig::fast()).run(&bench_grid());
-    c.bench_function("sweep/to_csv", |b| b.iter(|| black_box(results.to_csv())));
-    c.bench_function("sweep/to_json", |b| b.iter(|| black_box(results.to_json())));
+    // Emitter cost alone: stream pre-computed rows through each sink.
+    let grid = bench_grid();
+    let mut collect = hpcarbon_sweep::CollectSink::new();
+    Sweep::over(&grid)
+        .config(SweepConfig::fast())
+        .sink(&mut collect)
+        .run()
+        .unwrap();
+    let rows = collect.rows().to_vec();
+    let emit = |mut sink: Box<dyn hpcarbon_sweep::RowSink>| {
+        sink.begin().unwrap();
+        for row in &rows {
+            sink.row(row).unwrap();
+        }
+        sink.finish().unwrap();
+    };
+    c.bench_function("sweep/to_csv", |b| {
+        b.iter(|| emit(Box::new(CsvSink::new(black_box(Vec::new())))))
+    });
+    c.bench_function("sweep/to_json", |b| {
+        b.iter(|| emit(Box::new(JsonSink::new(black_box(Vec::new())))))
+    });
 }
 
-criterion_group!(benches, grid_expansion, executor, emission);
+criterion_group!(benches, grid_expansion, context, streaming, emission);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 use crate::job::Job;
 use hpcarbon_grid::trace::IntensityTrace;
 use hpcarbon_units::{CarbonMass, Energy, Power, TimeSpan};
+use std::sync::Arc;
 
 /// The cluster `job` actually runs on when `preferred` is requested:
 /// `preferred` if it fits, else the first cluster that does, else
@@ -25,12 +26,18 @@ pub fn fitting_cluster(preferred: usize, job: &Job, clusters: &[Cluster]) -> usi
 
 /// A homogeneous GPU partition whose electricity comes from one regional
 /// grid (its [`IntensityTrace`]).
+///
+/// The trace is held behind an [`Arc`] so that cloning a cluster — or a
+/// whole cluster topology, as the shift-savings baseline does — shares
+/// the indexed year trace instead of copying its megabyte of prefix
+/// sums. Streaming sweeps clone thousands of topologies per second off
+/// one precomputed trace set, so this sharing is load-bearing.
 #[derive(Debug, Clone)]
 pub struct Cluster {
     /// Site name.
     pub name: String,
-    /// The regional hourly intensity trace.
-    pub trace: IntensityTrace,
+    /// The regional hourly intensity trace (shared, immutable).
+    pub trace: Arc<IntensityTrace>,
     /// Total schedulable GPUs.
     pub capacity_gpus: u32,
     /// Facility PUE.
@@ -38,12 +45,17 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Creates a cluster with the default facility PUE (1.2).
-    pub fn new(name: impl Into<String>, trace: IntensityTrace, capacity_gpus: u32) -> Cluster {
+    /// Creates a cluster with the default facility PUE (1.2). Accepts an
+    /// owned [`IntensityTrace`] or an `Arc` to one already shared.
+    pub fn new(
+        name: impl Into<String>,
+        trace: impl Into<Arc<IntensityTrace>>,
+        capacity_gpus: u32,
+    ) -> Cluster {
         assert!(capacity_gpus > 0, "cluster needs capacity");
         Cluster {
             name: name.into(),
-            trace,
+            trace: trace.into(),
             capacity_gpus,
             pue: 1.2,
         }

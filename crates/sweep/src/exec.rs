@@ -1,9 +1,63 @@
-//! The batched executor: fan a grid out over worker threads.
+//! The streaming sweep executor: evaluate a grid over worker threads,
+//! restore grid order, and feed pluggable sinks.
+//!
+//! ## Architecture
+//!
+//! [`Sweep`] is the entry point — a builder over a [`ScenarioGrid`]:
+//!
+//! ```
+//! use hpcarbon_sweep::{CsvSink, ScenarioGrid, Sweep, SweepConfig};
+//!
+//! let grid = ScenarioGrid::quick();
+//! let mut csv = CsvSink::new(Vec::new());
+//! let report = Sweep::over(&grid)
+//!     .config(SweepConfig::fast())
+//!     .threads(2)
+//!     .sink(&mut csv)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.len(), grid.len());
+//! assert_eq!(report.errors, 0);
+//! ```
+//!
+//! `run` builds one shared [`SweepContext`] (traces, catalogs and job
+//! lists hoisted out of the per-scenario path), then evaluates the
+//! shard's id range:
+//!
+//! - **workers** claim scenario ids from an atomic cursor, decode them
+//!   with [`ScenarioGrid::scenario_at`] (no grid materialization), and
+//!   push `(id, row)` results into a bounded channel;
+//! - the **merge** (caller thread) holds out-of-order arrivals in a
+//!   pending min-heap and forwards rows to the sinks in strictly
+//!   ascending id order;
+//! - a **reorder window** throttles workers: nobody may run more than
+//!   `window` ids ahead of the last forwarded row, so the heap, the
+//!   channel and the in-flight rows are all bounded by
+//!   O(threads + window) — sweep memory is independent of grid size.
+//!
+//! Determinism: rows are pure functions of their scenario (randomness
+//! forks from the seed dimension, never thread state) and sinks see
+//! them in grid order, so emitted bytes are **identical for every
+//! thread count and shard split** — the property CI `cmp`s.
+//!
+//! `threads(1)` bypasses the machinery entirely (a plain in-order loop)
+//! and is the byte reference the streaming path is tested against.
 
+use crate::context::SweepContext;
 use crate::grid::ScenarioGrid;
-use crate::scenario::run_scenario;
-use crate::table::{SweepResults, SweepRow};
-use hpcarbon_sim::par::{par_map_workers, worker_count};
+use crate::shard::ShardSpec;
+use crate::sink::{CollectSink, RowSink, SinkDigest};
+use crate::summary::SummaryAccumulator;
+use crate::table::{summary_markdown, MetricSummary, SweepRow};
+use hpcarbon_sim::par::worker_count;
+use std::cmp::{Ordering as CmpOrdering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Condvar, Mutex};
 
 /// Per-scenario workload knobs shared by every grid point.
 #[derive(Debug, Clone, Copy)]
@@ -42,13 +96,411 @@ impl Default for SweepConfig {
     }
 }
 
-/// Runs scenario grids over [`par_map_workers`].
+/// Why a sweep run failed. Infeasible scenarios are **not** errors —
+/// they become error rows and the sweep completes; this type covers
+/// failures of the run itself.
+#[derive(Debug)]
+pub enum SweepError {
+    /// A sink failed; the sweep was aborted mid-stream and the sink
+    /// outputs are incomplete.
+    Sink(io::Error),
+    /// The shard specification does not describe a partition slice.
+    Shard {
+        /// Offending zero-based index.
+        index: usize,
+        /// Declared shard count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Sink(e) => write!(f, "sweep sink failed: {e}"),
+            SweepError::Shard { index, count } => {
+                write!(
+                    f,
+                    "invalid shard {index}/{count}: index must be < count ≥ 1"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Sink(e) => Some(e),
+            SweepError::Shard { .. } => None,
+        }
+    }
+}
+
+/// What a completed sweep run produced: stream statistics, the online
+/// summary, the top-k ranking, and the digests of every byte-emitting
+/// sink (attachment order) — everything the CLI prints and shard
+/// manifests record, with no row table behind it.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Total rows of the full grid (all shards).
+    pub grid_len: usize,
+    /// The id range this run evaluated (the full grid when unsharded).
+    pub rows: Range<usize>,
+    /// Rows that evaluated successfully.
+    pub ok: usize,
+    /// Rows that failed soft (infeasible scenarios).
+    pub errors: usize,
+    /// Min/mean/max of the headline metrics over this run's ok rows.
+    pub summary: Vec<MetricSummary>,
+    /// The lowest-carbon rows of this run, ascending, at most `top`.
+    pub top: Vec<SweepRow>,
+    /// Digests of the attached byte-emitting sinks, attachment order.
+    pub digests: Vec<SinkDigest>,
+}
+
+impl SweepReport {
+    /// Rows evaluated by this run.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the run evaluated no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The summary as an aligned Markdown table (terminal-friendly).
+    pub fn summary_table(&self) -> String {
+        summary_markdown(&self.summary)
+    }
+}
+
+/// A configured sweep run: `Sweep::over(&grid)` + chained knobs, then
+/// [`Sweep::run`]. See the [module docs](self) for the execution model.
+pub struct Sweep<'a> {
+    grid: &'a ScenarioGrid,
+    config: SweepConfig,
+    threads: Option<usize>,
+    shard: Option<(usize, usize)>,
+    top: usize,
+    sinks: Vec<&'a mut dyn RowSink>,
+}
+
+impl<'a> Sweep<'a> {
+    /// Starts a sweep over `grid` with the paper-default workload, the
+    /// available parallelism, no shard, and a top-5 ranking.
+    pub fn over(grid: &'a ScenarioGrid) -> Sweep<'a> {
+        Sweep {
+            grid,
+            config: SweepConfig::paper_default(),
+            threads: None,
+            shard: None,
+            top: 5,
+            sinks: Vec::new(),
+        }
+    }
+
+    /// Sets the per-scenario workload knobs.
+    pub fn config(mut self, config: SweepConfig) -> Sweep<'a> {
+        self.config = config;
+        self
+    }
+
+    /// Forces the worker count (1 = the serial byte-reference path).
+    pub fn threads(mut self, threads: usize) -> Sweep<'a> {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Restricts the run to shard `index` of a `count`-way partition
+    /// (see [`ShardSpec::range`]). Validated at [`Sweep::run`].
+    pub fn shard(mut self, index: usize, count: usize) -> Sweep<'a> {
+        self.shard = Some((index, count));
+        self
+    }
+
+    /// Sets how many lowest-carbon rows the report retains (default 5).
+    pub fn top(mut self, k: usize) -> Sweep<'a> {
+        self.top = k;
+        self
+    }
+
+    /// Attaches a sink; rows stream to every attached sink in grid
+    /// order. May be called repeatedly (e.g. CSV + JSON in one pass).
+    pub fn sink(mut self, sink: &'a mut dyn RowSink) -> Sweep<'a> {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Evaluates the configured slice of the grid, streaming every row
+    /// through the attached sinks in grid order.
+    ///
+    /// # Errors
+    /// [`SweepError::Shard`] for a malformed shard spec;
+    /// [`SweepError::Sink`] when a sink fails (the stream aborts and
+    /// that sink's output is incomplete).
+    pub fn run(mut self) -> Result<SweepReport, SweepError> {
+        let shard = match self.shard {
+            Some((index, count)) => {
+                if count == 0 || index >= count {
+                    return Err(SweepError::Shard { index, count });
+                }
+                Some(ShardSpec { index, count })
+            }
+            None => None,
+        };
+        let grid_len = self.grid.len();
+        let range = shard.map_or(0..grid_len, |s| s.range(grid_len));
+        let workers = self
+            .threads
+            .unwrap_or_else(|| worker_count(range.len()))
+            .clamp(1, range.len().max(1));
+        let ctx = SweepContext::build(self.grid, self.config, Some(workers));
+        let mut acc = SummaryAccumulator::new(self.top);
+
+        for sink in self.sinks.iter_mut() {
+            sink.begin().map_err(SweepError::Sink)?;
+        }
+        if workers == 1 {
+            for id in range.clone() {
+                let sc = self.grid.scenario_at(id);
+                let row = SweepRow {
+                    scenario: sc,
+                    outcome: ctx.run(&sc),
+                };
+                deliver(&mut self.sinks, &mut acc, &row).map_err(SweepError::Sink)?;
+            }
+        } else {
+            stream(
+                self.grid,
+                &ctx,
+                range.clone(),
+                workers,
+                &mut self.sinks,
+                &mut acc,
+            )
+            .map_err(SweepError::Sink)?;
+        }
+        for sink in self.sinks.iter_mut() {
+            sink.finish().map_err(SweepError::Sink)?;
+        }
+        Ok(SweepReport {
+            grid_len,
+            rows: range,
+            ok: acc.ok_count(),
+            errors: acc.error_count(),
+            summary: acc.summary(),
+            top: acc.top(),
+            digests: self.sinks.iter().filter_map(|s| s.digest()).collect(),
+        })
+    }
+}
+
+/// Forwards one in-order row to every sink, then the accumulator.
+fn deliver(
+    sinks: &mut [&mut dyn RowSink],
+    acc: &mut SummaryAccumulator,
+    row: &SweepRow,
+) -> io::Result<()> {
+    for sink in sinks.iter_mut() {
+        sink.row(row)?;
+    }
+    acc.row(row)
+}
+
+/// A worker result awaiting its turn in the merge heap, ordered by id.
+struct Pending(usize, SweepRow);
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> CmpOrdering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// The order-restoring merge: rows arrive in any completion order, come
+/// out in strictly ascending id order. Rows ahead of the next expected
+/// id wait in a min-heap; [`ReorderBuffer::pop_ready`] releases the
+/// contiguous run as soon as the gap closes. The proptest suite drives
+/// this with arbitrary permutations.
+pub(crate) struct ReorderBuffer {
+    pending: BinaryHeap<Reverse<Pending>>,
+    expected: usize,
+}
+
+impl ReorderBuffer {
+    /// A buffer expecting `start` as its first id.
+    pub(crate) fn new(start: usize) -> ReorderBuffer {
+        ReorderBuffer {
+            pending: BinaryHeap::new(),
+            expected: start,
+        }
+    }
+
+    /// The next id the merge will release.
+    pub(crate) fn expected(&self) -> usize {
+        self.expected
+    }
+
+    /// Rows currently held out of order.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn held(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Accepts one completed row (any order, each id exactly once).
+    pub(crate) fn push(&mut self, id: usize, row: SweepRow) {
+        debug_assert!(id >= self.expected, "id {id} released already");
+        self.pending.push(Reverse(Pending(id, row)));
+    }
+
+    /// Releases the next in-order row, if it has arrived.
+    pub(crate) fn pop_ready(&mut self) -> Option<SweepRow> {
+        if self
+            .pending
+            .peek()
+            .is_some_and(|Reverse(p)| p.0 == self.expected)
+        {
+            let Reverse(Pending(_, row)) = self.pending.pop().expect("peeked");
+            self.expected += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+}
+
+/// The multi-threaded streaming engine. See the module docs for the
+/// design; the invariants that keep it live and bounded:
 ///
-/// Each work item evaluates [`run_scenario`], which derives all of its
-/// randomness from the scenario's own seed ([`crate::scenario::Scenario::rng`]
-/// forks named substreams). Results come back in grid order, so the
-/// produced [`SweepResults`] — and everything emitted from it — is
-/// **byte-identical for every `threads` setting**.
+/// - the reorder gate admits any id within `window` of the oldest
+///   unforwarded row, so the worker holding the row the merge is
+///   waiting for is never gated (its `id - start` is exactly the
+///   forwarded count);
+/// - the merge thread always drains the channel, so senders blocked on
+///   a full channel always progress;
+/// - on abort (sink error) the flag is raised under the gate lock and
+///   the receiver is dropped, releasing workers from both the gate and
+///   the channel.
+fn stream(
+    grid: &ScenarioGrid,
+    ctx: &SweepContext,
+    range: Range<usize>,
+    workers: usize,
+    sinks: &mut [&mut dyn RowSink],
+    acc: &mut SummaryAccumulator,
+) -> io::Result<()> {
+    let start = range.start;
+    let window = (workers * 4).max(64);
+    let cursor = AtomicUsize::new(start);
+    // Count of rows forwarded to sinks; the condvar gate wakes workers
+    // as it advances.
+    let forwarded = Mutex::new(0usize);
+    let gate = Condvar::new();
+    let abort = AtomicBool::new(false);
+    let (tx, rx) = sync_channel::<Pending>(window);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let forwarded = &forwarded;
+            let gate = &gate;
+            let abort = &abort;
+            let range = range.clone();
+            let ctx = &ctx;
+            scope.spawn(move || loop {
+                let id = cursor.fetch_add(1, Ordering::Relaxed);
+                if id >= range.end {
+                    break;
+                }
+                {
+                    let mut fwd = forwarded.lock().expect("gate lock poisoned");
+                    while !abort.load(Ordering::Relaxed) && id - start >= *fwd + window {
+                        fwd = gate.wait(fwd).expect("gate lock poisoned");
+                    }
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                let sc = grid.scenario_at(id);
+                let row = SweepRow {
+                    scenario: sc,
+                    outcome: ctx.run(&sc),
+                };
+                if tx.send(Pending(id, row)).is_err() {
+                    break; // receiver gone: the run was aborted
+                }
+            });
+        }
+        drop(tx);
+
+        let mut merge = ReorderBuffer::new(start);
+        let mut failure: Option<io::Error> = None;
+        'merge: while merge.expected() < range.end {
+            let Pending(id, row) = match rx.recv() {
+                Ok(item) => item,
+                // All workers exited early; the scope join below will
+                // propagate whatever panicked.
+                Err(_) => break,
+            };
+            merge.push(id, row);
+            let before = merge.expected();
+            while let Some(row) = merge.pop_ready() {
+                if let Err(e) = deliver(sinks, acc, &row) {
+                    failure = Some(e);
+                    break 'merge;
+                }
+            }
+            if merge.expected() != before {
+                let mut fwd = forwarded.lock().expect("gate lock poisoned");
+                *fwd = merge.expected() - start;
+                drop(fwd);
+                gate.notify_all();
+            }
+        }
+        // Tear down: raise the abort flag under the gate lock (so no
+        // worker re-checks it between testing and waiting) and drop the
+        // receiver to unblock senders. On the success path every worker
+        // has already exited via cursor exhaustion.
+        {
+            let _fwd = forwarded.lock().expect("gate lock poisoned");
+            abort.store(true, Ordering::Relaxed);
+        }
+        gate.notify_all();
+        drop(rx);
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+}
+
+/// The legacy batched executor.
+///
+/// Superseded by the streaming [`Sweep`] builder, which bounds memory,
+/// shards, and streams to sinks; this wrapper collects every row in
+/// memory like the original API did. Migrate:
+///
+/// ```text
+/// SweepExecutor::new(cfg).with_threads(n).run(&grid)
+///   ⇒ Sweep::over(&grid).config(cfg).threads(n).sink(&mut sink).run()
+/// ```
+#[deprecated(note = "use the streaming `Sweep` builder: \
+            `Sweep::over(&grid).config(cfg).threads(n).sink(&mut sink).run()`")]
 #[derive(Debug, Clone, Copy)]
 pub struct SweepExecutor {
     /// Shared workload knobs.
@@ -57,6 +509,7 @@ pub struct SweepExecutor {
     pub threads: Option<usize>,
 }
 
+#[allow(deprecated)]
 impl SweepExecutor {
     /// Creates an executor with automatic thread count.
     pub fn new(config: SweepConfig) -> SweepExecutor {
@@ -75,43 +528,248 @@ impl SweepExecutor {
     /// Expands and evaluates the grid, one row per scenario, in grid
     /// order. Infeasible scenarios become error rows; the batch always
     /// completes.
-    pub fn run(&self, grid: &ScenarioGrid) -> SweepResults {
-        let scenarios = grid.scenarios();
-        let workers = self
-            .threads
-            .unwrap_or_else(|| worker_count(scenarios.len()));
-        let config = self.config;
-        let rows: Vec<SweepRow> = par_map_workers(&scenarios, workers, |_, sc| SweepRow {
-            scenario: *sc,
-            outcome: run_scenario(sc, &config),
-        });
-        SweepResults::new(rows)
+    pub fn run(&self, grid: &ScenarioGrid) -> crate::table::SweepResults {
+        let mut collect = CollectSink::new();
+        let mut sweep = Sweep::over(grid).config(self.config).sink(&mut collect);
+        if let Some(threads) = self.threads {
+            sweep = sweep.threads(threads);
+        }
+        sweep.run().expect("in-memory collection cannot fail");
+        collect.into_results()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{CsvSink, JsonSink};
 
-    #[test]
-    fn serial_and_parallel_runs_are_byte_identical() {
+    fn run_bytes(threads: usize, shard: Option<(usize, usize)>) -> (Vec<u8>, Vec<u8>, SweepReport) {
         let grid = ScenarioGrid::quick();
-        let cfg = SweepConfig::fast();
-        let serial = SweepExecutor::new(cfg).with_threads(1).run(&grid);
-        let parallel = SweepExecutor::new(cfg).with_threads(8).run(&grid);
-        assert_eq!(serial.to_csv(), parallel.to_csv());
-        assert_eq!(serial.to_json(), parallel.to_json());
+        let mut csv = CsvSink::new(Vec::new());
+        let mut json = JsonSink::new(Vec::new());
+        let mut sweep = Sweep::over(&grid)
+            .config(SweepConfig::fast())
+            .threads(threads)
+            .sink(&mut csv)
+            .sink(&mut json);
+        if let Some((i, n)) = shard {
+            sweep = sweep.shard(i, n);
+        }
+        let report = sweep.run().unwrap();
+        (csv.into_inner(), json.into_inner(), report)
     }
 
     #[test]
-    fn empty_grid_runs_to_an_empty_table() {
+    fn streaming_is_byte_identical_to_serial() {
+        let (csv1, json1, r1) = run_bytes(1, None);
+        for threads in [2, 3, 8] {
+            let (csv, json, r) = run_bytes(threads, None);
+            assert_eq!(csv, csv1, "threads={threads}");
+            assert_eq!(json, json1, "threads={threads}");
+            assert_eq!(r.ok, r1.ok);
+            assert_eq!(r.digests, r1.digests);
+        }
+    }
+
+    #[test]
+    fn report_carries_summary_top_and_digests() {
+        let (csv, _, report) = run_bytes(4, None);
+        assert_eq!(report.grid_len, 16);
+        assert_eq!(report.rows, 0..16);
+        assert_eq!(report.ok + report.errors, report.len());
+        assert!(report.summary.iter().any(|m| m.metric == "sched_kg"));
+        assert_eq!(report.top.len(), 5);
+        for w in report.top.windows(2) {
+            let a = w[0].outcome.as_ref().unwrap().sched_carbon_kg;
+            let b = w[1].outcome.as_ref().unwrap().sched_carbon_kg;
+            assert!(a <= b);
+        }
+        assert_eq!(report.digests.len(), 2);
+        assert_eq!(report.digests[0].bytes, csv.len() as u64);
+        assert!(report.summary_table().contains("sched_kg"));
+    }
+
+    #[test]
+    fn sharded_fragments_reassemble_the_unsharded_documents() {
+        let (full_csv, full_json, full) = run_bytes(2, None);
+        let grid = ScenarioGrid::quick();
+        let mut csv = crate::sink::csv_header().into_bytes();
+        let mut json = b"[\n".to_vec();
+        let (mut ok, mut errors) = (0, 0);
+        let count = 3;
+        for index in 0..count {
+            let mut csv_frag = CsvSink::fragment(Vec::new());
+            let range = ShardSpec { index, count }.range(grid.len());
+            let mut json_frag = JsonSink::fragment(Vec::new(), range.start > 0);
+            let report = Sweep::over(&grid)
+                .config(SweepConfig::fast())
+                .threads(2)
+                .shard(index, count)
+                .sink(&mut csv_frag)
+                .sink(&mut json_frag)
+                .run()
+                .unwrap();
+            assert_eq!(report.rows, range);
+            ok += report.ok;
+            errors += report.errors;
+            csv.extend_from_slice(&csv_frag.into_inner());
+            json.extend_from_slice(&json_frag.into_inner());
+        }
+        json.extend_from_slice(b"\n]\n");
+        assert_eq!(csv, full_csv);
+        assert_eq!(json, full_json);
+        assert_eq!(ok, full.ok);
+        assert_eq!(errors, full.errors);
+    }
+
+    #[test]
+    fn invalid_shard_specs_are_rejected() {
+        let grid = ScenarioGrid::quick();
+        for (i, n) in [(2, 2), (5, 3), (0, 0)] {
+            match Sweep::over(&grid).shard(i, n).run() {
+                Err(SweepError::Shard { index, count }) => {
+                    assert_eq!((index, count), (i, n));
+                }
+                other => panic!("expected shard error, got {:?}", other.map(|r| r.rows)),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_grid_streams_zero_rows() {
         let grid = ScenarioGrid::new();
-        let results = SweepExecutor::new(SweepConfig::fast()).run(&grid);
-        assert_eq!(results.len(), 0);
-        assert_eq!(results.to_csv().lines().count(), 1); // header only
+        let mut csv = CsvSink::new(Vec::new());
+        let report = Sweep::over(&grid)
+            .config(SweepConfig::fast())
+            .sink(&mut csv)
+            .run()
+            .unwrap();
+        assert!(report.is_empty());
+        assert_eq!(report.grid_len, 0);
+        assert!(report.summary.is_empty() && report.top.is_empty());
+        assert_eq!(csv.into_inner(), crate::sink::csv_header().into_bytes());
     }
 
     #[test]
+    fn sink_failure_aborts_the_stream_without_hanging() {
+        struct FailAfter(usize);
+        impl RowSink for FailAfter {
+            fn row(&mut self, _: &SweepRow) -> io::Result<()> {
+                if self.0 == 0 {
+                    return Err(io::Error::other("sink quota exhausted"));
+                }
+                self.0 -= 1;
+                Ok(())
+            }
+        }
+        let grid = ScenarioGrid::quick();
+        let mut sink = FailAfter(3);
+        let err = Sweep::over(&grid)
+            .config(SweepConfig::fast())
+            .threads(4)
+            .sink(&mut sink)
+            .run()
+            .unwrap_err();
+        match err {
+            SweepError::Sink(e) => assert!(e.to_string().contains("quota")),
+            other => panic!("expected sink error, got {other}"),
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_executor_still_answers() {
+        let grid = ScenarioGrid::quick();
+        let results = SweepExecutor::new(SweepConfig::fast())
+            .with_threads(2)
+            .run(&grid);
+        assert_eq!(results.len(), grid.len());
+        assert_eq!(results.error_count(), 0);
+        let (csv, json, _) = run_bytes(2, None);
+        assert_eq!(results.to_csv().into_bytes(), csv);
+        assert_eq!(results.to_json().into_bytes(), json);
+    }
+
+    mod reorder_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A cheap marker row: the scenario id doubles as the payload.
+        fn marker(id: usize) -> SweepRow {
+            let mut sc = ScenarioGrid::quick().scenario_at(0);
+            sc.id = id;
+            SweepRow {
+                scenario: sc,
+                outcome: Err(crate::ScenarioError::InvalidPue(crate::PueSpec::Constant(
+                    0.5,
+                ))),
+            }
+        }
+
+        /// A seeded Fisher–Yates permutation of `0..n` (the vendored
+        /// proptest has no shuffle strategy).
+        fn permutation(n: usize, seed: u64) -> Vec<usize> {
+            let mut rng = hpcarbon_sim::rng::SimRng::seed_from(seed);
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.index(i + 1);
+                perm.swap(i, j);
+            }
+            perm
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// The merge restores serial order from ANY completion
+            /// order: pushing a random permutation of `start..start+n`
+            /// releases exactly `start..start+n`, ascending.
+            #[test]
+            fn any_completion_order_releases_serial_order(
+                start in 0usize..1000,
+                n in 0usize..64,
+                seed in 0u64..u64::MAX,
+            ) {
+                let perm = permutation(n, seed);
+                let mut merge = ReorderBuffer::new(start);
+                let mut released = Vec::new();
+                for &offset in &perm {
+                    merge.push(start + offset, marker(start + offset));
+                    while let Some(row) = merge.pop_ready() {
+                        released.push(row.scenario.id);
+                    }
+                }
+                let expected: Vec<usize> = (start..start + n).collect();
+                prop_assert_eq!(&released, &expected);
+                prop_assert_eq!(merge.held(), 0);
+                prop_assert_eq!(merge.expected(), start + n);
+            }
+
+            /// The buffer holds exactly the arrived-but-unreleasable
+            /// rows — the quantity the live engine's reorder window
+            /// bounds.
+            #[test]
+            fn held_rows_track_the_reorder_gap(seed in 0u64..u64::MAX) {
+                let perm = permutation(48, seed);
+                let mut merge = ReorderBuffer::new(0);
+                for (step, &id) in perm.iter().enumerate() {
+                    merge.push(id, marker(id));
+                    while merge.pop_ready().is_some() {}
+                    // Everything pushed so far that is >= expected is held.
+                    let held_expected = perm[..=step]
+                        .iter()
+                        .filter(|&&v| v >= merge.expected())
+                        .count();
+                    prop_assert_eq!(merge.held(), held_expected);
+                }
+                prop_assert_eq!(merge.expected(), 48);
+            }
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn infeasible_scenarios_do_not_abort_the_batch() {
         // Perlmutter has no HDD tier: its all-flash rows must fail soft.
         let grid = ScenarioGrid::quick().storage(crate::StorageVariant::ALL);

@@ -147,6 +147,48 @@ impl ScenarioGrid {
         out
     }
 
+    /// The scenario at grid position `id` without expanding the product:
+    /// the mixed-radix decode of `id` over the dimension lists (seeds
+    /// are the least-significant digit, systems the most). Agrees with
+    /// [`ScenarioGrid::scenarios`]`()[id]` for every valid `id` — the
+    /// streaming executor leans on this to keep sweep memory independent
+    /// of grid size.
+    ///
+    /// # Panics
+    /// When `id >= self.len()`.
+    pub fn scenario_at(&self, id: usize) -> Scenario {
+        assert!(
+            id < self.len(),
+            "scenario id {id} out of bounds for a {}-point grid",
+            self.len()
+        );
+        let mut rem = id;
+        let mut digit = |len: usize| {
+            let d = rem % len;
+            rem /= len;
+            d
+        };
+        let seed = self.seeds[digit(self.seeds.len())];
+        let upgrade = self.upgrades[digit(self.upgrades.len())];
+        let policy = self.policies[digit(self.policies.len())];
+        let pue = self.pues[digit(self.pues.len())];
+        let source = self.sources[digit(self.sources.len())];
+        let region = self.regions[digit(self.regions.len())];
+        let storage = self.storage[digit(self.storage.len())];
+        let system = self.systems[digit(self.systems.len())];
+        Scenario {
+            id,
+            system,
+            storage,
+            region,
+            source,
+            pue,
+            policy,
+            upgrade,
+            seed,
+        }
+    }
+
     /// Samples `n` estimate requests uniformly (with replacement) from
     /// the expanded grid under the sweep's workload knobs — the serving
     /// load generator's workload, and a grid-shaped way to build request
@@ -315,6 +357,27 @@ mod tests {
         assert!(g.sample_requests(0, &cfg, 2021).is_empty());
         let empty = ScenarioGrid::new();
         assert!(empty.sample_requests(8, &cfg, 2021).is_empty());
+    }
+
+    #[test]
+    fn scenario_at_agrees_with_full_expansion() {
+        for grid in [
+            ScenarioGrid::paper_default(),
+            ScenarioGrid::quick(),
+            ScenarioGrid::shifting(),
+        ] {
+            let expanded = grid.scenarios();
+            for (i, sc) in expanded.iter().enumerate() {
+                assert_eq!(grid.scenario_at(i), *sc, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scenario_at_rejects_out_of_range_ids() {
+        let g = ScenarioGrid::quick();
+        g.scenario_at(g.len());
     }
 
     #[test]

@@ -1,64 +1,93 @@
 //! # hpcarbon-sweep
 //!
-//! Declarative scenario grids and a deterministic, parallel sweep
-//! executor over the whole carbon-modeling stack.
+//! Declarative scenario grids and a deterministic **streaming** sweep
+//! engine over the whole carbon-modeling stack.
 //!
 //! The paper's headline results (Figs. 5–8) are each *one point* in a much
 //! larger design space: system composition × grid region × PUE model ×
 //! scheduling policy × upgrade path × seed. This crate makes the whole
-//! space addressable:
+//! space addressable — up to millions of scenarios — in bounded memory:
 //!
 //! - [`ScenarioGrid`] declares the sweep as a cartesian product of
-//!   dimension value lists ([`grid`]);
-//! - [`run_scenario`] evaluates one grid point end to end — embodied
-//!   composition (with optional storage-tier what-ifs), a simulated grid
-//!   year, a scheduling run, PUE-adjusted node accounting, and the upgrade
-//!   advisor — as a *pure function* that fails soft with a
-//!   [`ScenarioError`] ([`scenario`]). Since the front-door API landed,
-//!   this delegates to [`hpcarbon_api::Estimator`]: a scenario is exactly
-//!   one [`hpcarbon_api::EstimateRequest`] plus a grid position, and the
-//!   dimension types ([`SystemId`], [`PueSpec`], …) are re-exports from
-//!   that crate;
-//! - [`SweepExecutor`] fans the grid out over
-//!   [`hpcarbon_sim::par::par_map_workers`] ([`exec`]);
-//! - [`SweepResults`] holds the per-scenario rows plus summary statistics
-//!   and rankings, and emits CSV and JSON ([`table`]).
+//!   dimension value lists; [`ScenarioGrid::scenario_at`] decodes any grid
+//!   position without expanding the product ([`grid`]);
+//! - [`run_scenario`] evaluates one grid point end to end as a *pure
+//!   function* that fails soft with a [`ScenarioError`] ([`scenario`]),
+//!   delegating to [`hpcarbon_api::Estimator`]; [`SweepContext`] hoists
+//!   the shared derivations (intensity traces, catalogs, job traces) out
+//!   of that path, built once per sweep ([`context`]);
+//! - [`Sweep`] is the executor: workers fan scenario ids out, an
+//!   order-restoring merge forwards rows **in grid order** to pluggable
+//!   [`RowSink`]s, and a bounded reorder window keeps memory at
+//!   O(threads), independent of grid size ([`exec`], [`sink`]);
+//! - [`CsvSink`] / [`JsonSink`] stream the frozen CSV/JSON documents,
+//!   [`SummaryAccumulator`] folds summary statistics and a top-k ranking
+//!   online ([`summary`]), and the returned [`SweepReport`] carries the
+//!   counts, summaries and output digests;
+//! - `--shard i/N` partitions a grid across machines: [`ShardSpec`]
+//!   slices it deterministically, [`ShardManifest`] records each slice's
+//!   provenance and digests, and the merge helpers reassemble the
+//!   canonical single-machine documents ([`shard`]).
 //!
 //! ## Determinism
 //!
 //! Every scenario derives its randomness from its **own** parameters
 //! (seed dimension + fixed substream labels via
 //! [`hpcarbon_sim::rng::SimRng::substream`]), never from thread-local or
-//! shared state, and the executor returns rows in grid order. Sweeping the
+//! shared state, and the merge forwards rows in grid order. Sweeping the
 //! same grid therefore produces **byte-identical CSV/JSON output for any
-//! worker count** — `--threads 1` and `--threads N` runs can be `diff`ed
-//! in CI.
+//! worker count and any shard split** — `--threads 1`, `--threads N`, and
+//! sharded-then-merged runs all `cmp` equal in CI. The contract is
+//! specified in `DESIGN.md` §11.
 //!
 //! ## Example
 //!
 //! ```
-//! use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor};
+//! use hpcarbon_sweep::{CsvSink, ScenarioGrid, Sweep, SweepConfig};
 //!
 //! let grid = ScenarioGrid::quick(); // a small 16-point demo grid
-//! let results = SweepExecutor::new(SweepConfig::fast()).run(&grid);
-//! assert_eq!(results.len(), grid.len());
-//! assert_eq!(results.error_count(), 0);
-//! let csv = results.to_csv();
-//! assert!(csv.lines().count() == grid.len() + 1); // header + one row each
+//! let mut csv = CsvSink::new(Vec::new());
+//! let report = Sweep::over(&grid)
+//!     .config(SweepConfig::fast())
+//!     .sink(&mut csv)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.len(), grid.len());
+//! assert_eq!(report.errors, 0);
+//! let bytes = csv.into_inner();
+//! assert_eq!(bytes.iter().filter(|&&b| b == b'\n').count(), grid.len() + 1);
 //! ```
+//!
+//! The pre-streaming `SweepExecutor`/`SweepResults` API still works but
+//! is deprecated; it collects every row in memory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod exec;
 pub mod grid;
 pub mod scenario;
+pub mod shard;
+pub mod sink;
+pub mod summary;
 pub mod table;
 
-pub use exec::{SweepConfig, SweepExecutor};
+pub use context::SweepContext;
+#[allow(deprecated)]
+pub use exec::SweepExecutor;
+pub use exec::{Sweep, SweepConfig, SweepError, SweepReport};
 pub use grid::ScenarioGrid;
 pub use scenario::{
     run_scenario, PueSpec, Scenario, ScenarioError, ScenarioOutcome, StorageVariant, SystemId,
     TraceSource, UpgradePath,
 };
-pub use table::{MetricSummary, SweepResults, SweepRow};
+pub use shard::{
+    grid_fingerprint, merge_sweep_outputs, validate_partition, OutputDigest, ShardManifest,
+    ShardSpec, CSV_FILE, JSON_FILE, MANIFEST_FILE,
+};
+pub use sink::{fnv1a64, CollectSink, CsvSink, JsonSink, RowSink, SinkDigest};
+pub use summary::SummaryAccumulator;
+#[allow(deprecated)]
+pub use table::SweepResults;
+pub use table::{MetricSummary, SweepRow};

@@ -1,0 +1,602 @@
+//! Pluggable row sinks: where streamed sweep rows go.
+//!
+//! The streaming executor ([`crate::Sweep`]) forwards every evaluated
+//! [`SweepRow`] **in grid order** to the sinks attached to the run. A
+//! sink sees three calls — [`RowSink::begin`] once, [`RowSink::row`]
+//! per row, [`RowSink::finish`] once — and must never buffer rows:
+//! bounded sweep memory at 10^6 scenarios depends on sinks being O(1)
+//! in row count ([`CollectSink`] is the deliberate exception, kept for
+//! the deprecated [`crate::SweepResults`] compatibility path).
+//!
+//! ## The frozen byte contract
+//!
+//! [`CsvSink`] and [`JsonSink`] are THE sweep emitters: the historical
+//! `SweepResults::to_csv`/`to_json` now delegate to them, and golden
+//! tests pin their output to the pre-streaming bytes for the default,
+//! quick, and shifting grids. Anything here that changes a byte is a
+//! breaking change to downstream diff-based CI.
+//!
+//! ## Full vs fragment mode
+//!
+//! Both emitters run in **full** mode (header / array brackets
+//! included — the single-machine document) or **fragment** mode (rows
+//! only — one shard's slice of the document). Fragments are designed so
+//! the canonical document is the plain concatenation
+//! `prologue ++ fragment_0 ++ … ++ fragment_{N-1} ++ epilogue`
+//! (see [`crate::shard`]): CSV fragments omit the header; JSON
+//! fragments omit the brackets and lead with the `,\n` separator when
+//! the fragment continues a previous one.
+//!
+//! Every byte-emitting sink tracks an FNV-1a 64 [`SinkDigest`] of what
+//! it wrote, which shard manifests embed and `--merge` re-validates.
+
+use crate::scenario::Scenario;
+use crate::table::{SweepRow, COLUMNS};
+use std::io::{self, Write};
+
+/// FNV-1a 64 offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over `bytes` — the digest primitive shared by sinks, shard
+/// manifests, and grid fingerprints. Not cryptographic; it guards
+/// against truncation, corruption, and mixed-up shard files, not
+/// adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a 64 digest over more bytes.
+pub fn fnv1a64_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// What a byte-emitting sink wrote: length and FNV-1a 64 digest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkDigest {
+    /// Bytes written.
+    pub bytes: u64,
+    /// FNV-1a 64 of those bytes.
+    pub fnv64: u64,
+}
+
+/// A destination for sweep rows, driven in grid order.
+///
+/// Contract (specified in DESIGN.md §11):
+/// - `begin` is called exactly once, before any row;
+/// - `row` is called once per evaluated scenario, in **strictly
+///   ascending grid order** regardless of worker count or shard;
+/// - `finish` is called exactly once after the last row (also when the
+///   sweep had zero rows), and must flush;
+/// - a sink must not retain rows (O(1) memory in row count) unless
+///   collecting is its documented purpose;
+/// - any error aborts the sweep — workers are torn down and the error
+///   surfaces from [`crate::Sweep::run`].
+pub trait RowSink {
+    /// Starts the stream (headers, array brackets, …).
+    fn begin(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Consumes the next row in grid order.
+    fn row(&mut self, row: &SweepRow) -> io::Result<()>;
+
+    /// Ends the stream and flushes.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Length + digest of the bytes this sink wrote, when it writes
+    /// bytes at all.
+    fn digest(&self) -> Option<SinkDigest> {
+        None
+    }
+}
+
+/// A writer wrapper that byte-counts and FNV-digests everything written
+/// through it.
+#[derive(Debug)]
+struct DigestWriter<W: Write> {
+    inner: W,
+    bytes: u64,
+    fnv: u64,
+}
+
+impl<W: Write> DigestWriter<W> {
+    fn new(inner: W) -> DigestWriter<W> {
+        DigestWriter {
+            inner,
+            bytes: 0,
+            fnv: FNV_OFFSET,
+        }
+    }
+
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.inner.write_all(buf)?;
+        self.bytes += buf.len() as u64;
+        self.fnv = fnv1a64_update(self.fnv, buf);
+        Ok(())
+    }
+
+    fn digest(&self) -> SinkDigest {
+        SinkDigest {
+            bytes: self.bytes,
+            fnv64: self.fnv,
+        }
+    }
+}
+
+/// Stable decimal formatting: enough digits to distinguish real metric
+/// differences, no dependence on shortest-roundtrip printing.
+fn num(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(num).unwrap_or_default()
+}
+
+/// JSON string escaping: the API's emitter, shared so the sweep's JSON
+/// and `hpcarbon estimate` output can never desynchronize.
+fn json_string(s: &str) -> String {
+    hpcarbon_api::json::esc(s)
+}
+
+/// JSON number with the same fixed `{:.4}` formatting as the CSV;
+/// `null` when undefined. Also the API's emitter.
+fn json_num(v: Option<f64>) -> String {
+    hpcarbon_api::json::fmt_metric(v)
+}
+
+/// The scenario dimensions of one row as display strings, CSV order.
+fn dimension_cells(s: &Scenario) -> [String; 9] {
+    [
+        s.id.to_string(),
+        s.system.label().to_string(),
+        s.storage.label().to_string(),
+        s.region.info().short.to_string(),
+        s.source.label().to_string(),
+        s.pue.label(),
+        s.policy.label().to_string(),
+        s.upgrade.label(),
+        s.seed.to_string(),
+    ]
+}
+
+/// RFC-4180 cell escaping (matches `hpcarbon_report::emit::Csv`).
+fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// The CSV header line (with trailing newline).
+pub(crate) fn csv_header() -> String {
+    let mut line = COLUMNS.join(",");
+    line.push('\n');
+    line
+}
+
+/// One row as an RFC-4180 CSV line (with trailing newline). Error rows
+/// carry the error message and empty metric cells.
+pub(crate) fn csv_line(r: &SweepRow) -> String {
+    let dims = dimension_cells(&r.scenario);
+    let (status, error, metrics) = match &r.outcome {
+        Ok(o) => (
+            "ok".to_string(),
+            String::new(),
+            [
+                num(o.embodied_t),
+                opt(o.storage_delta_pct),
+                num(o.median_g_per_kwh),
+                num(o.cov_percent),
+                num(o.sched_carbon_kg),
+                num(o.sched_energy_kwh),
+                num(o.mean_wait_hours),
+                num(o.max_wait_hours),
+                num(o.shift_saved_kg),
+                num(o.shift_saved_pct),
+                num(o.node_annual_kg),
+                opt(o.break_even_years),
+                num(o.asymptotic_savings_pct),
+                o.verdict.to_string(),
+            ],
+        ),
+        Err(e) => (
+            "error".to_string(),
+            e.to_string(),
+            std::array::from_fn(|_| String::new()),
+        ),
+    };
+    let cells: Vec<String> = dims
+        .into_iter()
+        .chain([status, error])
+        .chain(metrics)
+        .map(|c| csv_escape(&c))
+        .collect();
+    debug_assert_eq!(cells.len(), COLUMNS.len());
+    let mut line = cells.join(",");
+    line.push('\n');
+    line
+}
+
+/// One row as the two-space-indented JSON object (`  {…}`, no separator
+/// or newline) of the sweep's array document: a **uniform schema**
+/// where every row carries every CSV column. `id` and `seed` are
+/// numbers; the other dimensions are strings; `error` and `verdict` are
+/// strings or `null`; metrics are numbers or `null` (always `null` on
+/// error rows, mirroring the CSV's empty cells).
+pub(crate) fn json_object(r: &SweepRow) -> String {
+    let dims = dimension_cells(&r.scenario);
+    let mut obj = String::from("  {");
+    let push = |obj: &mut String, key: &str, value: String| {
+        if !obj.ends_with('{') {
+            obj.push_str(", ");
+        }
+        obj.push_str(&format!("\"{key}\": {value}"));
+    };
+    push(&mut obj, "id", r.scenario.id.to_string());
+    for (key, cell) in COLUMNS[1..8].iter().zip(dims[1..8].iter()) {
+        push(&mut obj, key, json_string(cell));
+    }
+    push(&mut obj, "seed", r.scenario.seed.to_string());
+    let o = r.outcome.as_ref();
+    push(
+        &mut obj,
+        "status",
+        json_string(if o.is_ok() { "ok" } else { "error" }),
+    );
+    push(
+        &mut obj,
+        "error",
+        match &r.outcome {
+            Ok(_) => "null".to_string(),
+            Err(e) => json_string(&e.to_string()),
+        },
+    );
+    push(
+        &mut obj,
+        "embodied_t",
+        json_num(o.ok().map(|o| o.embodied_t)),
+    );
+    push(
+        &mut obj,
+        "storage_delta_pct",
+        json_num(o.ok().and_then(|o| o.storage_delta_pct)),
+    );
+    push(
+        &mut obj,
+        "median_g_per_kwh",
+        json_num(o.ok().map(|o| o.median_g_per_kwh)),
+    );
+    push(&mut obj, "cov_pct", json_num(o.ok().map(|o| o.cov_percent)));
+    push(
+        &mut obj,
+        "sched_kg",
+        json_num(o.ok().map(|o| o.sched_carbon_kg)),
+    );
+    push(
+        &mut obj,
+        "sched_kwh",
+        json_num(o.ok().map(|o| o.sched_energy_kwh)),
+    );
+    push(
+        &mut obj,
+        "mean_wait_h",
+        json_num(o.ok().map(|o| o.mean_wait_hours)),
+    );
+    push(
+        &mut obj,
+        "max_wait_h",
+        json_num(o.ok().map(|o| o.max_wait_hours)),
+    );
+    push(
+        &mut obj,
+        "saved_kg",
+        json_num(o.ok().map(|o| o.shift_saved_kg)),
+    );
+    push(
+        &mut obj,
+        "saved_pct",
+        json_num(o.ok().map(|o| o.shift_saved_pct)),
+    );
+    push(
+        &mut obj,
+        "node_annual_kg",
+        json_num(o.ok().map(|o| o.node_annual_kg)),
+    );
+    push(
+        &mut obj,
+        "break_even_y",
+        json_num(o.ok().and_then(|o| o.break_even_years)),
+    );
+    push(
+        &mut obj,
+        "asymptotic_pct",
+        json_num(o.ok().map(|o| o.asymptotic_savings_pct)),
+    );
+    push(
+        &mut obj,
+        "verdict",
+        match o.ok() {
+            Some(o) => json_string(o.verdict),
+            None => "null".to_string(),
+        },
+    );
+    obj.push('}');
+    obj
+}
+
+/// Streams rows as RFC-4180 CSV.
+///
+/// Full mode writes the header in `begin`; fragment mode writes rows
+/// only (the merge step supplies the header once).
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    out: DigestWriter<W>,
+    header: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A full-document CSV sink (header + rows).
+    pub fn new(w: W) -> CsvSink<W> {
+        CsvSink {
+            out: DigestWriter::new(w),
+            header: true,
+        }
+    }
+
+    /// A fragment sink: rows only, no header.
+    pub fn fragment(w: W) -> CsvSink<W> {
+        CsvSink {
+            out: DigestWriter::new(w),
+            header: false,
+        }
+    }
+
+    /// Consumes the sink, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out.inner
+    }
+}
+
+impl<W: Write> RowSink for CsvSink<W> {
+    fn begin(&mut self) -> io::Result<()> {
+        if self.header {
+            self.out.write_all(csv_header().as_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn row(&mut self, row: &SweepRow) -> io::Result<()> {
+        self.out.write_all(csv_line(row).as_bytes())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.inner.flush()
+    }
+
+    fn digest(&self) -> Option<SinkDigest> {
+        Some(self.out.digest())
+    }
+}
+
+/// Streams rows as the sweep's JSON array document.
+///
+/// Full mode brackets the array; fragment mode emits the row objects
+/// (and their separating `,\n`) only, leading with a separator when the
+/// fragment continues an earlier one — so concatenating `[\n`, the
+/// fragments in shard order, and the closing `\n]\n` reproduces the
+/// full document byte-for-byte.
+#[derive(Debug)]
+pub struct JsonSink<W: Write> {
+    out: DigestWriter<W>,
+    brackets: bool,
+    /// Whether the next row needs a leading `,\n` separator.
+    separate: bool,
+    rows: u64,
+}
+
+impl<W: Write> JsonSink<W> {
+    /// A full-document JSON sink (`[` … `]`).
+    pub fn new(w: W) -> JsonSink<W> {
+        JsonSink {
+            out: DigestWriter::new(w),
+            brackets: true,
+            separate: false,
+            rows: 0,
+        }
+    }
+
+    /// A fragment sink: row objects only. `continues` declares that the
+    /// fragment follows earlier rows (every shard but the first), so
+    /// its first row leads with the `,\n` separator.
+    pub fn fragment(w: W, continues: bool) -> JsonSink<W> {
+        JsonSink {
+            out: DigestWriter::new(w),
+            brackets: false,
+            separate: continues,
+            rows: 0,
+        }
+    }
+
+    /// Consumes the sink, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out.inner
+    }
+}
+
+impl<W: Write> RowSink for JsonSink<W> {
+    fn begin(&mut self) -> io::Result<()> {
+        if self.brackets {
+            self.out.write_all(b"[\n")?;
+        }
+        Ok(())
+    }
+
+    fn row(&mut self, row: &SweepRow) -> io::Result<()> {
+        if self.separate {
+            self.out.write_all(b",\n")?;
+        }
+        self.separate = true;
+        self.rows += 1;
+        self.out.write_all(json_object(row).as_bytes())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if self.brackets {
+            if self.rows > 0 {
+                self.out.write_all(b"\n]\n")?;
+            } else {
+                self.out.write_all(b"]\n")?;
+            }
+        }
+        self.out.inner.flush()
+    }
+
+    fn digest(&self) -> Option<SinkDigest> {
+        Some(self.out.digest())
+    }
+}
+
+/// Collects rows into memory — O(rows), **not** for million-scenario
+/// sweeps. Exists to back the deprecated [`crate::SweepResults`]
+/// compatibility wrapper and small in-process analyses.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    rows: Vec<SweepRow>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> CollectSink {
+        CollectSink::default()
+    }
+
+    /// The collected rows, grid order.
+    pub fn rows(&self) -> &[SweepRow] {
+        &self.rows
+    }
+
+    /// Consumes the collector into the legacy results table.
+    #[allow(deprecated)]
+    pub fn into_results(self) -> crate::table::SweepResults {
+        crate::table::SweepResults::new(self.rows)
+    }
+}
+
+impl RowSink for CollectSink {
+    fn row(&mut self, row: &SweepRow) -> io::Result<()> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};
+    use hpcarbon_grid::regions::OperatorId;
+    use hpcarbon_sched::Policy;
+    use hpcarbon_workloads::benchmarks::Suite;
+    use hpcarbon_workloads::nodes::NodeGen;
+
+    fn row(id: usize) -> SweepRow {
+        let sc = Scenario {
+            id,
+            system: SystemId::Frontier,
+            storage: StorageVariant::Baseline,
+            region: OperatorId::Eso,
+            source: TraceSource::Paper,
+            pue: PueSpec::Constant(1.2),
+            policy: Policy::Fifo,
+            upgrade: UpgradePath {
+                from: NodeGen::V100Node,
+                to: NodeGen::A100Node,
+                suite: Suite::Nlp,
+            },
+            seed: 2021,
+        };
+        SweepRow {
+            scenario: sc,
+            outcome: Err(crate::ScenarioError::InvalidPue(PueSpec::Constant(0.5))),
+        }
+    }
+
+    fn drive(sink: &mut dyn RowSink, rows: &[SweepRow]) {
+        sink.begin().unwrap();
+        for r in rows {
+            sink.row(r).unwrap();
+        }
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_matches_bytes_written() {
+        let mut buf = Vec::new();
+        let mut sink = CsvSink::new(&mut buf);
+        drive(&mut sink, &[row(0), row(1)]);
+        let d = sink.digest().unwrap();
+        assert_eq!(d.bytes, buf.len() as u64);
+        assert_eq!(d.fnv64, fnv1a64(&buf));
+    }
+
+    #[test]
+    fn csv_fragments_concatenate_to_the_full_document() {
+        let rows = [row(0), row(1), row(2)];
+        let mut full = Vec::new();
+        drive(&mut CsvSink::new(&mut full), &rows);
+        let mut merged = csv_header().into_bytes();
+        for chunk in [&rows[..1], &rows[1..]] {
+            let mut frag = Vec::new();
+            drive(&mut CsvSink::fragment(&mut frag), chunk);
+            merged.extend_from_slice(&frag);
+        }
+        assert_eq!(full, merged);
+    }
+
+    #[test]
+    fn json_fragments_concatenate_to_the_full_document() {
+        let rows = [row(0), row(1), row(2)];
+        let mut full = Vec::new();
+        drive(&mut JsonSink::new(&mut full), &rows);
+        let mut merged = b"[\n".to_vec();
+        for (i, chunk) in [&rows[..2], &rows[2..]].into_iter().enumerate() {
+            let mut frag = Vec::new();
+            drive(&mut JsonSink::fragment(&mut frag, i > 0), chunk);
+            merged.extend_from_slice(&frag);
+        }
+        merged.extend_from_slice(b"\n]\n");
+        assert_eq!(full, merged);
+    }
+
+    #[test]
+    fn empty_json_document_is_the_bare_brackets() {
+        let mut buf = Vec::new();
+        drive(&mut JsonSink::new(&mut buf), &[]);
+        assert_eq!(buf, b"[\n]\n");
+    }
+
+    #[test]
+    fn collect_sink_keeps_grid_order() {
+        let mut sink = CollectSink::new();
+        drive(&mut sink, &[row(0), row(1)]);
+        assert_eq!(sink.rows().len(), 2);
+        assert_eq!(sink.rows()[1].scenario.id, 1);
+    }
+}

@@ -1,8 +1,17 @@
 //! The result table: per-scenario rows, summary statistics, rankings,
-//! and CSV/JSON emission.
+//! and the legacy collected-results wrapper.
+//!
+//! Emission lives in [`crate::sink`] — [`SweepResults::to_csv`] and
+//! [`SweepResults::to_json`] drive the same [`CsvSink`]/[`JsonSink`]
+//! the streaming executor uses, so there is exactly one byte contract.
+//!
+//! [`CsvSink`]: crate::sink::CsvSink
+//! [`JsonSink`]: crate::sink::JsonSink
 
 use crate::scenario::{Scenario, ScenarioError, ScenarioOutcome};
-use hpcarbon_report::emit::{Csv, MarkdownTable};
+use crate::sink::{CsvSink, JsonSink, RowSink};
+use crate::summary::SummaryAccumulator;
+use hpcarbon_report::emit::MarkdownTable;
 
 /// One evaluated grid point.
 #[derive(Debug, Clone)]
@@ -28,15 +37,8 @@ pub struct MetricSummary {
     pub max: f64,
 }
 
-/// The full sweep result, rows in grid order.
-#[derive(Debug, Clone)]
-pub struct SweepResults {
-    rows: Vec<SweepRow>,
-}
-
-/// CSV column order; [`SweepResults::to_csv`] and the JSON emitter both
-/// follow it.
-const COLUMNS: [&str; 25] = [
+/// CSV column order; the CSV and JSON emitters both follow it.
+pub(crate) const COLUMNS: [&str; 25] = [
     "id",
     "system",
     "storage",
@@ -64,16 +66,39 @@ const COLUMNS: [&str; 25] = [
     "verdict",
 ];
 
-/// Stable decimal formatting: enough digits to distinguish real metric
-/// differences, no dependence on shortest-roundtrip printing.
-fn num(v: f64) -> String {
-    format!("{v:.4}")
+/// Renders metric summaries as an aligned Markdown table.
+pub(crate) fn summary_markdown(summaries: &[MetricSummary]) -> String {
+    let num = |v: f64| format!("{v:.4}");
+    let mut t = MarkdownTable::new(&["metric", "n", "min", "mean", "max"]);
+    for s in summaries {
+        t.row([
+            s.metric.to_string(),
+            s.count.to_string(),
+            num(s.min),
+            num(s.mean),
+            num(s.max),
+        ]);
+    }
+    t.finish()
 }
 
-fn opt(v: Option<f64>) -> String {
-    v.map(num).unwrap_or_default()
+/// The collected sweep result, rows in grid order.
+///
+/// Holds every row in memory — the pre-streaming API shape, kept as a
+/// compatibility wrapper over [`crate::CollectSink`]. New code should
+/// stream: attach sinks to [`crate::Sweep`] and read the
+/// [`crate::SweepReport`], which carries the same summary/ranking data
+/// without retaining rows.
+#[deprecated(
+    note = "collects every row in memory; stream through `Sweep::over(&grid)…sink(…)` \
+            and use the returned `SweepReport` (or `CollectSink` when rows are needed)"
+)]
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    rows: Vec<SweepRow>,
 }
 
+#[allow(deprecated)]
 impl SweepResults {
     /// Wraps evaluated rows (grid order).
     pub fn new(rows: Vec<SweepRow>) -> SweepResults {
@@ -106,124 +131,52 @@ impl SweepResults {
     }
 
     /// The `k` successful rows with the lowest scheduled carbon,
-    /// ascending; ties break by grid order.
+    /// ascending; ties break by grid order. Error rows are skipped
+    /// wherever they appear — an all-error sweep ranks to an empty
+    /// list.
     pub fn rank_by_sched_carbon(&self, k: usize) -> Vec<&SweepRow> {
         let mut ok: Vec<&SweepRow> = self.rows.iter().filter(|r| r.outcome.is_ok()).collect();
         ok.sort_by(|a, b| {
             let ka = a.outcome.as_ref().expect("filtered ok").sched_carbon_kg;
             let kb = b.outcome.as_ref().expect("filtered ok").sched_carbon_kg;
-            ka.partial_cmp(&kb)
-                .expect("finite carbon")
-                .then(a.scenario.id.cmp(&b.scenario.id))
+            ka.total_cmp(&kb).then(a.scenario.id.cmp(&b.scenario.id))
         });
         ok.truncate(k);
         ok
     }
 
+    /// Feeds `self`'s rows through a sink writing to an in-memory
+    /// buffer (which the caller reads afterwards).
+    fn emit(&self, mut sink: impl RowSink) {
+        sink.begin().expect("in-memory sink cannot fail");
+        for r in &self.rows {
+            sink.row(r).expect("in-memory sink cannot fail");
+        }
+        sink.finish().expect("in-memory sink cannot fail");
+    }
+
     /// Min/mean/max summaries of the headline metrics over successful
-    /// rows. Empty when no row succeeded.
+    /// rows (error rows are skipped wherever they appear). Empty when
+    /// no row succeeded.
     pub fn summary(&self) -> Vec<MetricSummary> {
-        type MetricGetter = fn(&ScenarioOutcome) -> Option<f64>;
-        let metrics: [(&'static str, MetricGetter); 7] = [
-            ("embodied_t", |o| Some(o.embodied_t)),
-            ("median_g_per_kwh", |o| Some(o.median_g_per_kwh)),
-            ("sched_kg", |o| Some(o.sched_carbon_kg)),
-            ("mean_wait_h", |o| Some(o.mean_wait_hours)),
-            ("saved_kg", |o| Some(o.shift_saved_kg)),
-            ("node_annual_kg", |o| Some(o.node_annual_kg)),
-            ("break_even_y", |o| o.break_even_years),
-        ];
-        metrics
-            .iter()
-            .filter_map(|(name, get)| {
-                let values: Vec<f64> = self
-                    .rows
-                    .iter()
-                    .filter_map(|r| r.outcome.as_ref().ok().and_then(get))
-                    .collect();
-                if values.is_empty() {
-                    return None;
-                }
-                let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-                let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-                let mean = values.iter().sum::<f64>() / values.len() as f64;
-                Some(MetricSummary {
-                    metric: name,
-                    count: values.len(),
-                    min,
-                    mean,
-                    max,
-                })
-            })
-            .collect()
+        let mut acc = SummaryAccumulator::new(0);
+        for r in &self.rows {
+            acc.row(r).expect("accumulator cannot fail");
+        }
+        acc.summary()
     }
 
     /// The summary as an aligned Markdown table (terminal-friendly).
     pub fn summary_table(&self) -> String {
-        let mut t = MarkdownTable::new(&["metric", "n", "min", "mean", "max"]);
-        for s in self.summary() {
-            t.row([
-                s.metric.to_string(),
-                s.count.to_string(),
-                num(s.min),
-                num(s.mean),
-                num(s.max),
-            ]);
-        }
-        t.finish()
-    }
-
-    /// The scenario dimensions of one row as display strings, CSV order.
-    fn dimension_cells(s: &Scenario) -> [String; 9] {
-        [
-            s.id.to_string(),
-            s.system.label().to_string(),
-            s.storage.label().to_string(),
-            s.region.info().short.to_string(),
-            s.source.label().to_string(),
-            s.pue.label(),
-            s.policy.label().to_string(),
-            s.upgrade.label(),
-            s.seed.to_string(),
-        ]
+        summary_markdown(&self.summary())
     }
 
     /// Emits the full table as RFC-4180 CSV, header first, rows in grid
     /// order. Error rows carry the error message and empty metric cells.
     pub fn to_csv(&self) -> String {
-        let mut csv = Csv::new(&COLUMNS);
-        for r in &self.rows {
-            let dims = Self::dimension_cells(&r.scenario);
-            let (status, error, metrics) = match &r.outcome {
-                Ok(o) => (
-                    "ok".to_string(),
-                    String::new(),
-                    [
-                        num(o.embodied_t),
-                        opt(o.storage_delta_pct),
-                        num(o.median_g_per_kwh),
-                        num(o.cov_percent),
-                        num(o.sched_carbon_kg),
-                        num(o.sched_energy_kwh),
-                        num(o.mean_wait_hours),
-                        num(o.max_wait_hours),
-                        num(o.shift_saved_kg),
-                        num(o.shift_saved_pct),
-                        num(o.node_annual_kg),
-                        opt(o.break_even_years),
-                        num(o.asymptotic_savings_pct),
-                        o.verdict.to_string(),
-                    ],
-                ),
-                Err(e) => (
-                    "error".to_string(),
-                    e.to_string(),
-                    std::array::from_fn(|_| String::new()),
-                ),
-            };
-            csv.row(dims.into_iter().chain([status, error]).chain(metrics));
-        }
-        csv.finish()
+        let mut buf = Vec::new();
+        self.emit(CsvSink::new(&mut buf));
+        String::from_utf8(buf).expect("CSV emitter writes UTF-8")
     }
 
     /// Emits the table as a JSON array of objects with a **uniform
@@ -232,129 +185,14 @@ impl SweepResults {
     /// are strings or `null`; metrics are numbers or `null` (always
     /// `null` on error rows, mirroring the CSV's empty cells).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, r) in self.rows.iter().enumerate() {
-            let dims = Self::dimension_cells(&r.scenario);
-            let mut obj = String::from("  {");
-            let push = |obj: &mut String, key: &str, value: String| {
-                if !obj.ends_with('{') {
-                    obj.push_str(", ");
-                }
-                obj.push_str(&format!("\"{key}\": {value}"));
-            };
-            push(&mut obj, "id", r.scenario.id.to_string());
-            for (key, cell) in COLUMNS[1..8].iter().zip(dims[1..8].iter()) {
-                push(&mut obj, key, json_string(cell));
-            }
-            push(&mut obj, "seed", r.scenario.seed.to_string());
-            let o = r.outcome.as_ref();
-            push(
-                &mut obj,
-                "status",
-                json_string(if o.is_ok() { "ok" } else { "error" }),
-            );
-            push(
-                &mut obj,
-                "error",
-                match &r.outcome {
-                    Ok(_) => "null".to_string(),
-                    Err(e) => json_string(&e.to_string()),
-                },
-            );
-            push(
-                &mut obj,
-                "embodied_t",
-                json_num(o.ok().map(|o| o.embodied_t)),
-            );
-            push(
-                &mut obj,
-                "storage_delta_pct",
-                json_num(o.ok().and_then(|o| o.storage_delta_pct)),
-            );
-            push(
-                &mut obj,
-                "median_g_per_kwh",
-                json_num(o.ok().map(|o| o.median_g_per_kwh)),
-            );
-            push(&mut obj, "cov_pct", json_num(o.ok().map(|o| o.cov_percent)));
-            push(
-                &mut obj,
-                "sched_kg",
-                json_num(o.ok().map(|o| o.sched_carbon_kg)),
-            );
-            push(
-                &mut obj,
-                "sched_kwh",
-                json_num(o.ok().map(|o| o.sched_energy_kwh)),
-            );
-            push(
-                &mut obj,
-                "mean_wait_h",
-                json_num(o.ok().map(|o| o.mean_wait_hours)),
-            );
-            push(
-                &mut obj,
-                "max_wait_h",
-                json_num(o.ok().map(|o| o.max_wait_hours)),
-            );
-            push(
-                &mut obj,
-                "saved_kg",
-                json_num(o.ok().map(|o| o.shift_saved_kg)),
-            );
-            push(
-                &mut obj,
-                "saved_pct",
-                json_num(o.ok().map(|o| o.shift_saved_pct)),
-            );
-            push(
-                &mut obj,
-                "node_annual_kg",
-                json_num(o.ok().map(|o| o.node_annual_kg)),
-            );
-            push(
-                &mut obj,
-                "break_even_y",
-                json_num(o.ok().and_then(|o| o.break_even_years)),
-            );
-            push(
-                &mut obj,
-                "asymptotic_pct",
-                json_num(o.ok().map(|o| o.asymptotic_savings_pct)),
-            );
-            push(
-                &mut obj,
-                "verdict",
-                match o.ok() {
-                    Some(o) => json_string(o.verdict),
-                    None => "null".to_string(),
-                },
-            );
-            obj.push('}');
-            if i + 1 < self.rows.len() {
-                obj.push(',');
-            }
-            out.push_str(&obj);
-            out.push('\n');
-        }
-        out.push_str("]\n");
-        out
+        let mut buf = Vec::new();
+        self.emit(JsonSink::new(&mut buf));
+        String::from_utf8(buf).expect("JSON emitter writes UTF-8")
     }
 }
 
-/// JSON string escaping: the API's emitter, shared so the sweep's JSON
-/// and `hpcarbon estimate` output can never desynchronize.
-fn json_string(s: &str) -> String {
-    hpcarbon_api::json::esc(s)
-}
-
-/// JSON number with the same fixed `{:.4}` formatting as the CSV;
-/// `null` when undefined. Also the API's emitter.
-fn json_num(v: Option<f64>) -> String {
-    hpcarbon_api::json::fmt_metric(v)
-}
-
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::exec::{SweepConfig, SweepExecutor};
@@ -364,6 +202,17 @@ mod tests {
         SweepExecutor::new(SweepConfig::fast())
             .with_threads(2)
             .run(&ScenarioGrid::quick())
+    }
+
+    fn error_row(id: usize) -> SweepRow {
+        let mut sc = ScenarioGrid::quick().scenario_at(0);
+        sc.id = id;
+        SweepRow {
+            scenario: sc,
+            outcome: Err(crate::ScenarioError::InvalidPue(crate::PueSpec::Constant(
+                0.5,
+            ))),
+        }
     }
 
     #[test]
@@ -446,17 +295,65 @@ mod tests {
     }
 
     #[test]
+    fn error_rows_anywhere_leave_summary_and_ranking_total() {
+        // Error rows leading, interleaved, and trailing: the statistics
+        // must come out as if only the ok rows existed.
+        let base = results();
+        let mut rows = vec![error_row(9000), error_row(9001)];
+        for (i, r) in base.rows().iter().enumerate() {
+            rows.push(r.clone());
+            if i % 3 == 0 {
+                rows.push(error_row(9100 + i));
+            }
+        }
+        rows.push(error_row(9999));
+        let salted = SweepResults::new(rows);
+        assert_eq!(salted.ok_count(), base.ok_count());
+        let a = salted.summary();
+        let b = base.summary();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.metric, y.metric);
+            assert_eq!(x.count, y.count);
+            assert_eq!((x.min, x.mean, x.max), (y.min, y.mean, y.max));
+        }
+        let ra: Vec<usize> = salted
+            .rank_by_sched_carbon(5)
+            .iter()
+            .map(|r| r.scenario.id)
+            .collect();
+        let rb: Vec<usize> = base
+            .rank_by_sched_carbon(5)
+            .iter()
+            .map(|r| r.scenario.id)
+            .collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn all_error_sweep_stays_total() {
+        // Every row infeasible: counts add up, the summary is empty,
+        // rankings are empty, and both emitters still produce complete
+        // documents.
+        let rows: Vec<SweepRow> = (0..4).map(error_row).collect();
+        let r = SweepResults::new(rows);
+        assert_eq!(r.ok_count(), 0);
+        assert_eq!(r.error_count(), 4);
+        assert!(r.summary().is_empty());
+        assert!(r.rank_by_sched_carbon(5).is_empty());
+        assert_eq!(r.summary_table().lines().count(), 2); // header + rule
+        assert_eq!(r.to_csv().lines().count(), 5);
+        let json = r.to_json();
+        assert!(json.starts_with("[\n") && json.ends_with("\n]\n"));
+        assert_eq!(json.matches("\"status\": \"error\"").count(), 4);
+    }
+
+    #[test]
     fn greener_policies_rank_ahead_of_fifo() {
         // In the quick grid (GB + CA), greenest-window rows must beat the
         // FIFO rows from the same region/seed on scheduled carbon.
         let r = results();
         let best = r.rank_by_sched_carbon(1)[0];
         assert_ne!(best.scenario.policy, hpcarbon_sched::Policy::Fifo);
-    }
-
-    #[test]
-    fn json_escaping() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
-        assert_eq!(json_num(None), "null");
     }
 }

@@ -9,6 +9,7 @@
 //!
 //! Run with `cargo run --example estimate_api`.
 
+use std::sync::Arc;
 use sustainable_hpc::api::TraceSource;
 use sustainable_hpc::grid::trace::IntensityTrace;
 use sustainable_hpc::prelude::*;
@@ -30,7 +31,7 @@ impl IntensityProvider for DayNightGrid {
         _source: TraceSource,
         year: i32,
         _seed: u64,
-    ) -> IntensityTrace {
+    ) -> Arc<IntensityTrace> {
         let series = HourlySeries::from_fn(year, |stamp| {
             if (8..20).contains(&stamp.hour()) {
                 self.day_g_per_kwh
@@ -38,7 +39,7 @@ impl IntensityProvider for DayNightGrid {
                 self.night_g_per_kwh
             }
         });
-        IntensityTrace::new(region, series)
+        Arc::new(IntensityTrace::new(region, series))
     }
 }
 

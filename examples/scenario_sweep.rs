@@ -5,16 +5,54 @@
 //! ```
 //!
 //! Figs. 5–8 each fix all but one dimension of the design space. This
-//! example sweeps a 504-point cartesian product — Table 2 system ×
+//! example streams a 504-point cartesian product — Table 2 system ×
 //! storage what-if × Table 3 region × PUE model × scheduling policy ×
-//! upgrade path — through the deterministic parallel executor, then uses
-//! the result table to answer questions no single figure can: which
-//! combinations minimize scheduled carbon, how the all-flash what-if
-//! shifts embodied totals across every system at once, and where the
-//! upgrade advisor flips its verdict.
+//! upgrade path — through the `Sweep` builder, answering questions no
+//! single figure can: which combinations minimize scheduled carbon, how
+//! the all-flash what-if shifts embodied totals across every system at
+//! once, and where the upgrade advisor flips its verdict. No row table
+//! is ever materialized: the built-in summary/top-k accumulators run
+//! online, and the custom [`RowSink`] below folds the example's own
+//! questions the same way.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
 
 use sustainable_hpc::prelude::*;
 use sustainable_hpc::sweep::scenario::StorageVariant;
+use sustainable_hpc::sweep::SweepRow;
+
+/// Folds the example's questions row by row as the sweep streams.
+#[derive(Default)]
+struct Analysis {
+    /// First all-flash row per system: (embodied delta %, total tCO2).
+    flash: BTreeMap<&'static str, Result<(f64, f64), String>>,
+    seen: BTreeSet<&'static str>,
+    /// Five-year advisor verdict histogram.
+    verdicts: BTreeMap<&'static str, usize>,
+}
+
+impl RowSink for Analysis {
+    fn row(&mut self, row: &SweepRow) -> io::Result<()> {
+        if let Ok(o) = &row.outcome {
+            *self.verdicts.entry(o.verdict).or_insert(0) += 1;
+        }
+        if row.scenario.storage == StorageVariant::AllFlash {
+            let label = row.scenario.system.label();
+            if self.seen.insert(label) {
+                let entry = match &row.outcome {
+                    Ok(o) => Ok((
+                        o.storage_delta_pct.expect("all-flash rows carry a delta"),
+                        o.embodied_t,
+                    )),
+                    Err(e) => Err(e.to_string()),
+                };
+                self.flash.insert(label, entry);
+            }
+        }
+        Ok(())
+    }
+}
 
 fn main() {
     let grid = ScenarioGrid::paper_default();
@@ -28,20 +66,25 @@ fn main() {
         grid.policies.len(),
         grid.upgrades.len(),
     );
-    let results = SweepExecutor::new(SweepConfig::paper_default()).run(&grid);
+    let mut analysis = Analysis::default();
+    let report = Sweep::over(&grid)
+        .config(SweepConfig::paper_default())
+        .top(3)
+        .sink(&mut analysis)
+        .run()
+        .expect("in-memory sweep cannot fail");
     println!(
         "{} ok, {} infeasible (all-flash what-ifs on HDD-free systems)\n",
-        results.ok_count(),
-        results.error_count()
+        report.ok, report.errors
     );
 
-    // Headline distributions over the whole space.
-    print!("{}", results.summary_table());
+    // Headline distributions over the whole space, folded online.
+    print!("{}", report.summary_table());
 
     // Q1: the greenest (scheduled-carbon) corner of the space.
     println!("\nlowest scheduled carbon:");
-    for row in results.rank_by_sched_carbon(3) {
-        let o = row.outcome.as_ref().expect("ranked rows are ok");
+    for row in &report.top {
+        let o = row.outcome.as_ref().expect("top rows are ok");
         let s = &row.scenario;
         println!(
             "  {} / {} / {} / {} -> {:.1} kgCO2 (mean wait {:.1} h)",
@@ -54,34 +97,20 @@ fn main() {
         );
     }
 
-    // Q2: the all-flash embodied penalty, per system, from the same table.
+    // Q2: the all-flash embodied penalty, per system, from the stream.
     println!("\nall-flash embodied penalty (vs. baseline):");
-    let mut seen = std::collections::BTreeSet::new();
-    for row in results.rows() {
-        if row.scenario.storage != StorageVariant::AllFlash {
-            continue;
-        }
-        let label = row.scenario.system.label();
-        if !seen.insert(label) {
-            continue;
-        }
-        match &row.outcome {
-            Ok(o) => println!(
-                "  {:<10} +{:.1}% embodied ({:.0} tCO2 total)",
-                label,
-                o.storage_delta_pct.expect("all-flash rows carry a delta"),
-                o.embodied_t
-            ),
+    for (label, entry) in &analysis.flash {
+        match entry {
+            Ok((delta, total)) => {
+                println!("  {label:<10} +{delta:.1}% embodied ({total:.0} tCO2 total)")
+            }
             Err(e) => println!("  {label:<10} infeasible: {e}"),
         }
     }
 
     // Q3: where the five-year advisor verdict lands across regions.
-    let mut counts = std::collections::BTreeMap::new();
-    for row in results.rows() {
-        if let Ok(o) = &row.outcome {
-            *counts.entry(o.verdict).or_insert(0usize) += 1;
-        }
-    }
-    println!("\nfive-year upgrade verdicts across the space: {counts:?}");
+    println!(
+        "\nfive-year upgrade verdicts across the space: {:?}",
+        analysis.verdicts
+    );
 }

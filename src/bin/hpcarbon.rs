@@ -12,8 +12,9 @@
 //! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
 //! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G | --region R] [--usage F]
 //! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]
-//! hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]
-//!                   [--quick | --shifting]
+//! hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]
+//!                   [--top K] [--quick | --shifting] [--shard i/N]
+//! hpcarbon sweep    --merge DIR... [--out DIR]
 //! ```
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no CLI
@@ -27,6 +28,10 @@
 use sustainable_hpc::api::{batch_to_json, parse as api_parse, FlatIntensity, TraceSource};
 use sustainable_hpc::grid::analysis::regional_summary;
 use sustainable_hpc::prelude::*;
+use sustainable_hpc::sweep::{
+    grid_fingerprint, merge_sweep_outputs, OutputDigest, ShardManifest, ShardSpec, CSV_FILE,
+    JSON_FILE,
+};
 use sustainable_hpc::upgrade::savings::UsageLevel;
 
 fn main() {
@@ -67,8 +72,9 @@ fn print_usage() {
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
          [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
          hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
-         hpcarbon sweep    [--seed N] [--jobs N] [--threads N] [--out DIR] [--top K]\n                    \
-         [--quick | --shifting]\n\n\
+         hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]\n                    \
+         [--top K] [--quick | --shifting] [--shard i/N]\n  \
+         hpcarbon sweep    --merge DIR... [--out DIR]\n\n\
          serve puts the same front door behind a std-only epoll event\n\
          loop (--shards readiness loops, cache hits answered in place;\n\
          uncached estimation on --workers threads): POST /v1/estimate\n\
@@ -88,12 +94,17 @@ fn print_usage() {
          the batch in parallel, and emits one FootprintReport per request\n\
          (to stdout, or to --out). Output is byte-identical for every\n\
          --threads value; infeasible requests become {{\"error\": ...}} rows.\n\n\
-         sweep runs the full scenario grid (system x storage x region x trace\n\
-         source x PUE x policy x upgrade path; 504 scenarios by default, 16\n\
-         with --quick, 20 carbon-shifting scenarios with --shifting) through\n\
-         the same API in parallel and writes sweep.csv + sweep.json under\n\
-         --out (default out/sweep). Output is byte-identical for every\n\
-         --threads value.\n\n\
+         sweep streams the full scenario grid (system x storage x region x\n\
+         trace source x PUE x policy x upgrade path; 504 scenarios by\n\
+         default, 16 with --quick, 20 carbon-shifting scenarios with\n\
+         --shifting; --seeds N multiplies any grid by N seeds) through the\n\
+         same API in parallel and writes sweep.csv + sweep.json under --out\n\
+         (default out/sweep) in bounded memory. Output is byte-identical\n\
+         for every --threads value and every shard split: --shard i/N\n\
+         evaluates the i-th of N deterministic grid slices as document\n\
+         fragments plus a digest manifest (re-running a completed shard is\n\
+         a verified no-op), and --merge DIR... validates a full partition\n\
+         and reassembles the canonical single-machine documents.\n\n\
          schedule compares every policy (incl. the indexed temporal and\n\
          spatio-temporal shifting pair at --slack hours) via one API batch\n\
          on a fixed GB+CA topology (partner site forced for every row, so\n\
@@ -601,6 +612,9 @@ fn cmd_advisor(args: &[String]) -> i32 {
 }
 
 fn cmd_sweep(args: &[String]) -> i32 {
+    if let Some(pos) = args.iter().position(|a| a == "--merge") {
+        return cmd_sweep_merge(args, pos);
+    }
     let mut grid = if args.iter().any(|a| a == "--quick") {
         ScenarioGrid::quick()
     } else if args.iter().any(|a| a == "--shifting") {
@@ -608,33 +622,118 @@ fn cmd_sweep(args: &[String]) -> i32 {
     } else {
         ScenarioGrid::paper_default()
     };
-    if let Some(seed) = flag(args, "--seed").and_then(|s| s.parse::<u64>().ok()) {
-        grid = grid.seeds([seed]);
+    let seed = flag(args, "--seed").and_then(|s| s.parse::<u64>().ok());
+    if let Some(n) = flag(args, "--seeds").and_then(|s| s.parse::<u64>().ok()) {
+        // N consecutive seeds starting at --seed (default 0): the knob
+        // that scales any grid to 10^5+ rows for sharded runs.
+        let base = seed.unwrap_or(0);
+        grid = grid.seeds((base..base + n).collect::<Vec<u64>>());
+    } else if let Some(s) = seed {
+        grid = grid.seeds([s]);
     }
     let mut config = SweepConfig::paper_default();
     if let Some(jobs) = flag(args, "--jobs").and_then(|s| s.parse().ok()) {
         config.jobs_per_scenario = jobs;
     }
-    let mut executor = SweepExecutor::new(config);
-    if let Some(threads) = flag(args, "--threads").and_then(|s| s.parse().ok()) {
-        executor = executor.with_threads(threads);
-    }
+    let shard = match flag(args, "--shard") {
+        Some(s) => match ShardSpec::parse(&s) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("invalid --shard: {e}");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let threads: Option<usize> = flag(args, "--threads").and_then(|s| s.parse().ok());
     let top: usize = flag(args, "--top")
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     let out = flag(args, "--out").unwrap_or_else(|| "out/sweep".into());
+    let dir = std::path::Path::new(&out);
 
-    let results = executor.run(&grid);
+    let fingerprint = grid_fingerprint(&grid, &config);
+    if let Some(spec) = shard {
+        // Resume: a shard whose manifest matches this (grid, config)
+        // and whose output files verify is already done.
+        if let Ok(m) = ShardManifest::load_verified(dir) {
+            if m.fingerprint == fingerprint && m.shard == spec {
+                println!(
+                    "shard {spec} already complete in {} ({} rows, verified); nothing to do",
+                    dir.display(),
+                    m.rows.len()
+                );
+                return 0;
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    let (csv_file, json_file) = match (
+        std::fs::File::create(dir.join(CSV_FILE)),
+        std::fs::File::create(dir.join(JSON_FILE)),
+    ) {
+        (Ok(c), Ok(j)) => (std::io::BufWriter::new(c), std::io::BufWriter::new(j)),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("cannot write {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    // Shards emit document fragments that `--merge` concatenates; a
+    // shard that continues earlier rows leads with the JSON separator.
+    let mut csv = match shard {
+        Some(_) => CsvSink::fragment(csv_file),
+        None => CsvSink::new(csv_file),
+    };
+    let mut json = match shard {
+        Some(spec) => JsonSink::fragment(json_file, spec.range(grid.len()).start > 0),
+        None => JsonSink::new(json_file),
+    };
+
+    let mut sweep = Sweep::over(&grid)
+        .config(config)
+        .top(top)
+        .sink(&mut csv)
+        .sink(&mut json);
+    if let Some(t) = threads {
+        sweep = sweep.threads(t);
+    }
+    if let Some(spec) = shard {
+        sweep = sweep.shard(spec.index, spec.count);
+    }
+    let report = match sweep.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return 1;
+        }
+    };
+    if let Err(e) = std::io::Write::flush(&mut csv.into_inner())
+        .and_then(|()| std::io::Write::flush(&mut json.into_inner()))
+    {
+        eprintln!("cannot write {}: {e}", dir.display());
+        return 1;
+    }
+
+    if let Some(spec) = shard {
+        println!(
+            "shard {spec}: rows {}..{} of {}",
+            report.rows.start, report.rows.end, report.grid_len
+        );
+    }
     println!(
         "swept {} scenarios ({} ok, {} infeasible)\n",
-        results.len(),
-        results.ok_count(),
-        results.error_count()
+        report.len(),
+        report.ok,
+        report.errors
     );
-    print!("{}", results.summary_table());
+    print!("{}", report.summary_table());
     println!("\nlowest scheduled carbon (top {top}):");
-    for row in results.rank_by_sched_carbon(top) {
-        let o = row.outcome.as_ref().expect("ranked rows are ok");
+    for row in &report.top {
+        let o = row.outcome.as_ref().expect("top rows are ok");
         let s = &row.scenario;
         println!(
             "  #{:<4} {:<10} {:<9} {:<4} pue {:<9} {:<28} {:>9.1} kgCO2",
@@ -648,16 +747,72 @@ fn cmd_sweep(args: &[String]) -> i32 {
         );
     }
 
-    let dir = std::path::Path::new(&out);
-    if let Err(e) = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(dir.join("sweep.csv"), results.to_csv()))
-        .and_then(|()| std::fs::write(dir.join("sweep.json"), results.to_json()))
-    {
-        eprintln!("cannot write {}: {e}", dir.display());
-        return 1;
+    if let Some(spec) = shard {
+        let manifest = ShardManifest {
+            fingerprint,
+            shard: spec,
+            rows: report.rows.clone(),
+            ok: report.ok,
+            errors: report.errors,
+            outputs: report
+                .digests
+                .iter()
+                .zip([CSV_FILE, JSON_FILE])
+                .map(|(d, name)| OutputDigest {
+                    path: name.to_string(),
+                    bytes: d.bytes,
+                    fnv64: d.fnv64,
+                })
+                .collect(),
+        };
+        if let Err(e) = manifest.write(dir) {
+            eprintln!("cannot write {}: {e}", dir.display());
+            return 1;
+        }
+        println!(
+            "\nwrote {}/{{{CSV_FILE},{JSON_FILE},manifest.json}} (fragment)",
+            dir.display()
+        );
+    } else {
+        println!("\nwrote {}/sweep.{{csv,json}}", dir.display());
     }
-    println!("\nwrote {}/sweep.{{csv,json}}", dir.display());
     0
+}
+
+/// `hpcarbon sweep --merge DIR...`: validate a complete shard partition
+/// and reassemble the canonical single-machine documents.
+fn cmd_sweep_merge(args: &[String], pos: usize) -> i32 {
+    let dirs: Vec<std::path::PathBuf> = args[pos + 1..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .map(std::path::PathBuf::from)
+        .collect();
+    if dirs.is_empty() {
+        eprintln!("--merge requires one directory per shard");
+        return 2;
+    }
+    let out = flag(args, "--out").unwrap_or_else(|| "out/sweep".into());
+    let out_dir = std::path::Path::new(&out);
+    match merge_sweep_outputs(&dirs, out_dir) {
+        Ok((rows, digests)) => {
+            println!(
+                "merged {} shards ({rows} rows) -> {}/sweep.{{csv,json}}",
+                dirs.len(),
+                out_dir.display()
+            );
+            for d in &digests {
+                println!(
+                    "  {:<10} {:>9} bytes  fnv64 {:#018x}",
+                    d.path, d.bytes, d.fnv64
+                );
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
+            1
+        }
+    }
 }
 
 fn cmd_schedule(args: &[String]) -> i32 {

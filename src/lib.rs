@@ -25,8 +25,9 @@
 //! - [`api`] — the **single front door**: a versioned
 //!   `EstimateRequest → FootprintReport` API with pluggable providers
 //!   (`hpcarbon estimate`)
-//! - [`sweep`] — declarative scenario grids and a deterministic parallel
-//!   sweep executor, batch-shaped consumer of the API (`hpcarbon sweep`)
+//! - [`sweep`] — declarative scenario grids and a deterministic streaming
+//!   sweep engine (bounded memory, pluggable row sinks, `--shard i/N`
+//!   partitioning), batch-shaped consumer of the API (`hpcarbon sweep`)
 //! - [`server`] — a std-only threaded HTTP server over the API with a
 //!   canonical-request cache, plus the matching load generator
 //!   (`hpcarbon serve` / `hpcarbon loadgen`)
@@ -112,7 +113,12 @@ pub mod prelude {
     pub use hpcarbon_server::{
         EstimateService, LoadGenConfig, LoadSummary, Server, ServerConfig, ShutdownHandle,
     };
-    pub use hpcarbon_sweep::{ScenarioGrid, SweepConfig, SweepExecutor, TraceSource};
+    #[allow(deprecated)]
+    pub use hpcarbon_sweep::SweepExecutor;
+    pub use hpcarbon_sweep::{
+        CollectSink, CsvSink, JsonSink, RowSink, ScenarioGrid, Sweep, SweepConfig, SweepReport,
+        TraceSource,
+    };
     pub use hpcarbon_units::*;
     pub use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor, UpgradeScenario};
     pub use hpcarbon_workloads::{benchmarks::Suite, nodes::NodeGen, GpuModel};

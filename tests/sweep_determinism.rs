@@ -1,9 +1,13 @@
-//! Workspace-level guarantees of the sweep engine: byte-identical output
-//! for any thread count, soft failure of infeasible grid points, and the
-//! default grid's ≥500-scenario coverage.
+//! Workspace-level guarantees of the streaming sweep engine:
+//! byte-identical output for any thread count AND any shard split, soft
+//! failure of infeasible grid points, shard manifest round-trips through
+//! `--merge`, and the default grid's ≥500-scenario coverage.
 
 use sustainable_hpc::prelude::*;
 use sustainable_hpc::sweep::scenario::StorageVariant;
+use sustainable_hpc::sweep::{
+    grid_fingerprint, merge_sweep_outputs, OutputDigest, ShardManifest, ShardSpec,
+};
 
 /// A grid that keeps every layer in play (storage what-ifs included, so it
 /// contains infeasible points) while staying test-sized: 2 x 2 x 2 x 1 x
@@ -23,25 +27,105 @@ fn mixed_grid() -> ScenarioGrid {
         .seeds([2021, 7])
 }
 
+/// Streams `grid` at `threads`, returning the report and full documents.
+fn run_full(grid: &ScenarioGrid, threads: usize) -> (SweepReport, Vec<u8>, Vec<u8>) {
+    let mut csv = CsvSink::new(Vec::new());
+    let mut json = JsonSink::new(Vec::new());
+    let report = Sweep::over(grid)
+        .config(SweepConfig::fast())
+        .threads(threads)
+        .sink(&mut csv)
+        .sink(&mut json)
+        .run()
+        .expect("in-memory sweep cannot fail");
+    (report, csv.into_inner(), json.into_inner())
+}
+
 #[test]
 fn csv_and_json_are_thread_count_invariant() {
     let grid = mixed_grid();
-    let cfg = SweepConfig::fast();
-    let reference = SweepExecutor::new(cfg).with_threads(1).run(&grid);
+    let (_, ref_csv, ref_json) = run_full(&grid, 1);
     for threads in [2, 5, 16] {
-        let run = SweepExecutor::new(cfg).with_threads(threads).run(&grid);
-        assert_eq!(reference.to_csv(), run.to_csv(), "{threads} threads");
-        assert_eq!(reference.to_json(), run.to_json(), "{threads} threads");
+        let (_, csv, json) = run_full(&grid, threads);
+        assert_eq!(ref_csv, csv, "{threads} threads");
+        assert_eq!(ref_json, json, "{threads} threads");
     }
 }
 
 #[test]
+fn sharded_runs_merge_to_the_unsharded_bytes() {
+    // The full end-to-end `--shard`/`--merge` loop at workspace level:
+    // three shard runs write fragments + manifests to disk, the merge
+    // validates the partition and must reassemble the exact unsharded
+    // documents.
+    let grid = mixed_grid();
+    let cfg = SweepConfig::fast();
+    let (_, ref_csv, ref_json) = run_full(&grid, 2);
+    let base = std::env::temp_dir().join(format!("hpcarbon-shard-test-{}", std::process::id()));
+    let count = 3;
+    let mut dirs = Vec::new();
+    for index in 0..count {
+        let spec = ShardSpec { index, count };
+        let dir = base.join(format!("s{index}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut csv = CsvSink::fragment(Vec::new());
+        let mut json = JsonSink::fragment(Vec::new(), spec.range(grid.len()).start > 0);
+        let report = Sweep::over(&grid)
+            .config(cfg)
+            .threads(2)
+            .shard(index, count)
+            .sink(&mut csv)
+            .sink(&mut json)
+            .run()
+            .unwrap();
+        std::fs::write(dir.join("sweep.csv"), csv.into_inner()).unwrap();
+        std::fs::write(dir.join("sweep.json"), json.into_inner()).unwrap();
+        let manifest = ShardManifest {
+            fingerprint: grid_fingerprint(&grid, &cfg),
+            shard: spec,
+            rows: report.rows.clone(),
+            ok: report.ok,
+            errors: report.errors,
+            outputs: report
+                .digests
+                .iter()
+                .zip(["sweep.csv", "sweep.json"])
+                .map(|(d, name)| OutputDigest {
+                    path: name.to_string(),
+                    bytes: d.bytes,
+                    fnv64: d.fnv64,
+                })
+                .collect(),
+        };
+        manifest.write(&dir).unwrap();
+        dirs.push(dir);
+    }
+    let merged_dir = base.join("merged");
+    let (rows, digests) = merge_sweep_outputs(&dirs, &merged_dir).unwrap();
+    assert_eq!(rows, grid.len());
+    assert_eq!(digests.len(), 2);
+    assert_eq!(
+        std::fs::read(merged_dir.join("sweep.csv")).unwrap(),
+        ref_csv
+    );
+    assert_eq!(
+        std::fs::read(merged_dir.join("sweep.json")).unwrap(),
+        ref_json
+    );
+    // A corrupted fragment must fail verification, not merge silently.
+    std::fs::write(dirs[1].join("sweep.csv"), b"tampered").unwrap();
+    assert!(merge_sweep_outputs(&dirs, &merged_dir).is_err());
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
 fn infeasible_points_fail_soft_and_are_labeled() {
-    let results = SweepExecutor::new(SweepConfig::fast()).run(&mixed_grid());
+    let grid = mixed_grid();
+    let (report, csv, _) = run_full(&grid, 4);
     // Perlmutter is all-flash already: its all-flash what-if rows error.
-    assert!(results.error_count() > 0);
-    assert_eq!(results.len(), mixed_grid().len());
-    let csv = results.to_csv();
+    assert!(report.errors > 0);
+    assert_eq!(report.len(), grid.len());
+    let csv = String::from_utf8(csv).unwrap();
     assert!(csv.contains("error,"));
     assert!(csv.contains("holds no"));
     // Errors never leak into the ok rows' metric columns.
@@ -51,8 +135,7 @@ fn infeasible_points_fail_soft_and_are_labeled() {
         .filter(|l| l.contains(",error,"))
         .count();
     assert_eq!(
-        error_rows,
-        results.error_count(),
+        error_rows, report.errors,
         "one error status cell per failed row"
     );
 }
@@ -70,10 +153,9 @@ fn default_grid_covers_at_least_500_scenarios() {
 #[test]
 fn rerunning_a_sweep_is_reproducible() {
     let grid = mixed_grid();
-    let cfg = SweepConfig::fast();
-    let a = SweepExecutor::new(cfg).run(&grid);
-    let b = SweepExecutor::new(cfg).run(&grid);
-    assert_eq!(a.to_csv(), b.to_csv());
+    let (_, a_csv, _) = run_full(&grid, 4);
+    let (_, b_csv, _) = run_full(&grid, 4);
+    assert_eq!(a_csv, b_csv);
 }
 
 #[test]
@@ -83,22 +165,27 @@ fn shifting_axes_are_thread_count_invariant() {
     // well as paper traces. Output must stay byte-identical for any
     // worker count, like every other sweep.
     let grid = ScenarioGrid::shifting();
-    let cfg = SweepConfig::fast();
-    let reference = SweepExecutor::new(cfg).with_threads(1).run(&grid);
+    let (report, ref_csv, ref_json) = run_full(&grid, 1);
     for threads in [2, 4, 8] {
-        let run = SweepExecutor::new(cfg).with_threads(threads).run(&grid);
-        assert_eq!(reference.to_csv(), run.to_csv(), "{threads} threads");
-        assert_eq!(reference.to_json(), run.to_json(), "{threads} threads");
+        let (_, csv, json) = run_full(&grid, threads);
+        assert_eq!(ref_csv, csv, "{threads} threads");
+        assert_eq!(ref_json, json, "{threads} threads");
     }
     // Every scenario in the shifting grid is feasible, and the shifting
     // rows actually report savings columns.
-    assert_eq!(reference.error_count(), 0);
-    let csv = reference.to_csv();
+    assert_eq!(report.errors, 0);
+    let csv = String::from_utf8(ref_csv).unwrap();
     assert!(csv.contains("temporal shift"));
     assert!(csv.contains("spatio-temporal shift"));
     assert!(csv.contains("synthetic"));
     // FIFO rows save nothing; at least one shifting row saves something.
-    let saved: Vec<f64> = reference
+    let mut collect = CollectSink::new();
+    Sweep::over(&grid)
+        .config(SweepConfig::fast())
+        .sink(&mut collect)
+        .run()
+        .unwrap();
+    let saved: Vec<f64> = collect
         .rows()
         .iter()
         .filter_map(|r| r.outcome.as_ref().ok())
@@ -109,10 +196,30 @@ fn shifting_axes_are_thread_count_invariant() {
 
 #[test]
 fn facade_prelude_exposes_the_sweep_types() {
-    // ScenarioGrid, SweepConfig, SweepExecutor all arrive via the prelude.
+    // ScenarioGrid, SweepConfig, Sweep, and the sinks all arrive via
+    // the prelude.
+    let mut collect = CollectSink::new();
+    let report = Sweep::over(&ScenarioGrid::quick())
+        .config(SweepConfig::fast())
+        .threads(1)
+        .sink(&mut collect)
+        .run()
+        .unwrap();
+    assert_eq!(report.len(), 16);
+    assert_eq!(report.errors, 0);
+    assert_eq!(collect.rows().len(), 16);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_executor_matches_the_streaming_engine() {
+    // The pre-streaming API still answers, with the same bytes.
+    let grid = ScenarioGrid::quick();
     let results = SweepExecutor::new(SweepConfig::fast())
-        .with_threads(1)
-        .run(&ScenarioGrid::quick());
-    assert_eq!(results.len(), 16);
-    assert_eq!(results.error_count(), 0);
+        .with_threads(2)
+        .run(&grid);
+    let (report, csv, json) = run_full(&grid, 2);
+    assert_eq!(results.len(), report.len());
+    assert_eq!(results.to_csv().into_bytes(), csv);
+    assert_eq!(results.to_json().into_bytes(), json);
 }
