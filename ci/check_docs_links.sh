@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Docs link check.
+#
+# Scans README.md, DESIGN.md, ROADMAP.md, and everything under docs/
+# for relative Markdown links and fails when one points at a file that
+# does not exist in the checkout. External links (http/https/mailto)
+# and pure anchors (#section) are skipped — this gate is about
+# repo-internal references rotting as files move.
+#
+# Usage: ci/check_docs_links.sh   (from the repository root)
+set -euo pipefail
+
+fail=0
+checked=0
+
+check_file() {
+    local doc="$1"
+    local dir target
+    dir=$(dirname "$doc")
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"") continue ;;
+        esac
+        checked=$((checked + 1))
+        # Resolve like a renderer: relative to the document, with a
+        # repo-root fallback for docs that link from subdirectories.
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "$doc: broken relative link -> $target"
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" 2>/dev/null \
+        | sed -E 's/^\]\(//; s/\)$//; s/#.*$//' || true)
+}
+
+docs=(README.md DESIGN.md ROADMAP.md)
+while IFS= read -r f; do
+    docs+=("$f")
+done < <(find docs -name '*.md' 2>/dev/null | sort)
+
+for doc in "${docs[@]}"; do
+    [ -f "$doc" ] || continue
+    check_file "$doc"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs link check failed"
+    exit 1
+fi
+echo "docs link check passed (${#docs[@]} documents, $checked relative links)"

@@ -252,7 +252,8 @@ impl Estimator {
         let (embodied_t, storage_delta_pct) = match r.storage {
             StorageVariant::Baseline => (base.embodied_total().as_t(), None),
             StorageVariant::AllFlash => {
-                let w = swap_storage_tier(base, PartId::Hdd16tb, PartId::Ssd3_2tb)?;
+                let ssd = self.embodied.part_spec(PartId::Ssd3_2tb);
+                let w = swap_storage_tier(base, PartId::Hdd16tb, ssd)?;
                 let delta = w.relative_change() * 100.0;
                 (w.system.embodied_total().as_t(), Some(delta))
             }

@@ -73,6 +73,28 @@ impl JobSource for GeneratedJobs {
 pub trait EmbodiedSource: Send + Sync {
     /// Builds the as-built inventory of `system`.
     fn build_system(&self, system: SystemId) -> HpcSystem;
+
+    /// Resolves the spec of a single part, used by what-if transforms
+    /// that introduce parts absent from the base inventory (e.g. the
+    /// all-flash swap's replacement SSD). Defaults to the built-in
+    /// Table 1 catalog; a plain-text catalog source returns its own
+    /// entity so swaps stay internally consistent with its numbers.
+    fn part_spec(&self, part: hpcarbon_core::db::PartId) -> hpcarbon_core::db::PartSpec {
+        part.spec()
+    }
+}
+
+/// Delegation through [`Arc`], so one embodied source (e.g. a loaded
+/// catalog) can back an estimator, a sweep context, and server shards
+/// simultaneously.
+impl<T: EmbodiedSource + ?Sized> EmbodiedSource for Arc<T> {
+    fn build_system(&self, system: SystemId) -> HpcSystem {
+        (**self).build_system(system)
+    }
+
+    fn part_spec(&self, part: hpcarbon_core::db::PartId) -> hpcarbon_core::db::PartSpec {
+        (**self).part_spec(part)
+    }
 }
 
 /// Resolves the PUE model a request runs under.

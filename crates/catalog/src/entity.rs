@@ -1,0 +1,700 @@
+//! Per-kind field schemas: raw fields → typed, validated entities.
+//!
+//! The directory an entity file lives in determines its schema
+//! (`parts/` holds `kind: part`, and so on); validation checks the
+//! `kind:` field against it, then required fields, closed
+//! vocabularies, numeric domains, and field exclusivity. Every
+//! diagnostic carries the 1-based line it anchors to; diagnostics
+//! about a field the file *lacks* anchor to the `kind:` line.
+
+use crate::error::{unknown_value, CatalogError};
+use crate::parse::RawEntity;
+use crate::vocab;
+use hpcarbon_core::db::{PartId, PartSpec, ProcessNode, Vendor};
+use hpcarbon_core::embodied::{ComponentClass, FabDensities, PackagingSpec};
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_grid::regions::OperatorId;
+
+/// A resolved part entity: the spec it contributes plus its source file.
+#[derive(Debug, Clone)]
+pub struct PartEntity {
+    /// The fully resolved spec (identical shape to the built-in table).
+    pub spec: PartSpec,
+    /// Path of the defining file, relative to the catalog root.
+    pub source: String,
+}
+
+/// A resolved process-node entity.
+#[derive(Debug, Clone)]
+pub struct ProcessNodeEntity {
+    /// The node this entity defines densities for.
+    pub node: ProcessNode,
+    /// Marketing label (e.g. `7nm`).
+    pub label: String,
+    /// The Eq. 3 FPA/GPA/MPA densities.
+    pub densities: FabDensities,
+    /// Path of the defining file, relative to the catalog root.
+    pub source: String,
+}
+
+/// One `link:` line of a system's bill of materials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemLink {
+    /// The linked part.
+    pub part: PartId,
+    /// Unit count.
+    pub count: u64,
+    /// The 1-based line of the `link:` declaration (provenance).
+    pub line: usize,
+}
+
+/// A resolved system entity: the built inventory plus its BOM links.
+#[derive(Debug, Clone)]
+pub struct SystemEntity {
+    /// The system's catalog id (an open slug).
+    pub id: String,
+    /// The built system, with every inventory spec resolved from this
+    /// catalog's part entities.
+    pub system: HpcSystem,
+    /// The BOM links in file order (provenance: file + line per part).
+    pub links: Vec<SystemLink>,
+    /// Path of the defining file, relative to the catalog root.
+    pub source: String,
+}
+
+/// A resolved region entity (descriptive: the Table 3 operator rows).
+#[derive(Debug, Clone)]
+pub struct RegionEntity {
+    /// The operator this entity describes.
+    pub id: OperatorId,
+    /// Short code used in figures (KN, TK, ESO, …).
+    pub short: String,
+    /// Full operator name.
+    pub name: String,
+    /// Country of operation.
+    pub country: String,
+    /// Region of operation.
+    pub region: String,
+    /// Path of the defining file, relative to the catalog root.
+    pub source: String,
+}
+
+/// Pre-resolution part: node references are checked against the
+/// catalog's node entities in a later cross-entity pass.
+#[derive(Debug, Clone)]
+pub(crate) struct RawPart {
+    pub file: String,
+    pub id_line: usize,
+    pub id: PartId,
+    pub class: ComponentClass,
+    pub component: String,
+    pub part_name: String,
+    pub vendor: Vendor,
+    pub release: (u16, u8),
+    pub die_area_mm2: Option<f64>,
+    pub node: Option<(usize, ProcessNode)>,
+    pub epc_g_per_gb: Option<f64>,
+    pub packaging: PackagingSpec,
+    pub capacity_gb: Option<f64>,
+    pub fp64_gflops: Option<f64>,
+    pub bandwidth_gbps: Option<f64>,
+    pub tdp_w: Option<f64>,
+    pub idle_w: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RawNode {
+    pub file: String,
+    pub id_line: usize,
+    pub node: ProcessNode,
+    pub label: String,
+    pub fpa: f64,
+    pub gpa: f64,
+    pub mpa: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RawSystem {
+    pub file: String,
+    pub id_line: usize,
+    pub id: String,
+    pub name: String,
+    pub location: String,
+    pub cores: u64,
+    pub year: u16,
+    pub links: Vec<SystemLink>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct RawRegion {
+    pub file: String,
+    pub id_line: usize,
+    pub id: OperatorId,
+    pub short: String,
+    pub name: String,
+    pub country: String,
+    pub region: String,
+}
+
+pub(crate) const KIND_VALUES: [&str; 4] = ["part", "process-node", "system", "region"];
+
+const PART_FIELDS: [&str; 17] = [
+    "kind",
+    "id",
+    "class",
+    "component",
+    "part-name",
+    "vendor",
+    "release",
+    "die-area-mm2",
+    "node",
+    "epc-g-per-gb",
+    "packaging-ic-count",
+    "packaging-ratio",
+    "capacity-gb",
+    "fp64-gflops",
+    "bandwidth-gbps",
+    "tdp-w",
+    "idle-w",
+];
+const NODE_FIELDS: [&str; 6] = [
+    "kind",
+    "id",
+    "label",
+    "fpa-g-per-cm2",
+    "gpa-g-per-cm2",
+    "mpa-g-per-cm2",
+];
+const SYSTEM_FIELDS: [&str; 7] = ["kind", "id", "name", "location", "cores", "year", "link"];
+const REGION_FIELDS: [&str; 6] = ["kind", "id", "short", "name", "country", "region"];
+
+/// Field accessor over a parsed entity: duplicate/unknown detection plus
+/// typed extraction, all error paths line-numbered.
+struct Fields<'a> {
+    file: &'a str,
+    kind_line: usize,
+    /// `(line, key, value)` of every non-`link` field, deduplicated.
+    scalars: Vec<(usize, &'a str, &'a str)>,
+    /// Every `link:` field in file order.
+    links: Vec<(usize, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    /// Indexes `raw` against the schema `(kind, allowed)`. Unknown and
+    /// duplicate fields are reported here; `link` is the one repeatable
+    /// key (and only allowed where the schema lists it).
+    fn index(
+        raw: &'a RawEntity,
+        kind: &str,
+        allowed: &'static [&'static str],
+        errors: &mut Vec<CatalogError>,
+    ) -> Fields<'a> {
+        let kind_line = raw
+            .fields
+            .iter()
+            .find(|f| f.key == "kind")
+            .map(|f| f.line)
+            .unwrap_or(1);
+        let mut scalars: Vec<(usize, &str, &str)> = Vec::new();
+        let mut links = Vec::new();
+        for f in &raw.fields {
+            if !allowed.contains(&f.key.as_str()) {
+                errors.push(CatalogError::entity(
+                    &raw.file,
+                    f.line,
+                    format!(
+                        "unknown field \"{}\" (valid fields for {kind}: {})",
+                        f.key,
+                        allowed.join(", ")
+                    ),
+                ));
+                continue;
+            }
+            if f.key == "link" {
+                links.push((f.line, f.value.as_str()));
+                continue;
+            }
+            if let Some((first, _, _)) = scalars.iter().find(|(_, k, _)| *k == f.key) {
+                errors.push(CatalogError::entity(
+                    &raw.file,
+                    f.line,
+                    format!("duplicate field \"{}\" (first set on line {first})", f.key),
+                ));
+                continue;
+            }
+            scalars.push((f.line, f.key.as_str(), f.value.as_str()));
+        }
+        Fields {
+            file: &raw.file,
+            kind_line,
+            scalars,
+            links,
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<(usize, &'a str)> {
+        self.scalars
+            .iter()
+            .find(|(_, k, _)| *k == key)
+            .map(|(l, _, v)| (*l, *v))
+    }
+
+    /// A required free-text field; empty values are rejected.
+    fn required(
+        &self,
+        key: &'static str,
+        errors: &mut Vec<CatalogError>,
+    ) -> Option<(usize, &'a str)> {
+        match self.get(key) {
+            None => {
+                errors.push(CatalogError::entity(
+                    self.file,
+                    self.kind_line,
+                    format!("missing required field \"{key}\""),
+                ));
+                None
+            }
+            Some((line, "")) => {
+                errors.push(CatalogError::entity(
+                    self.file,
+                    line,
+                    format!("field \"{key}\" must not be empty"),
+                ));
+                None
+            }
+            Some(found) => Some(found),
+        }
+    }
+
+    /// A required closed-vocabulary field (`unknown {what} "{v}"
+    /// (valid values: …)`).
+    fn required_vocab<T: Copy>(
+        &self,
+        key: &'static str,
+        what: &'static str,
+        table: &'static [(&'static str, T)],
+        errors: &mut Vec<CatalogError>,
+    ) -> Option<(usize, T)> {
+        let (line, v) = self.required(key, errors)?;
+        match vocab::lookup(table, v) {
+            Some(t) => Some((line, t)),
+            None => {
+                errors.push(CatalogError::entity(
+                    self.file,
+                    line,
+                    unknown_value(what, v, &vocab::slug_list(table)),
+                ));
+                None
+            }
+        }
+    }
+
+    /// A positive finite `f64` field; `required` selects missing-field
+    /// behavior (error vs `None`).
+    fn number(
+        &self,
+        key: &'static str,
+        required: bool,
+        errors: &mut Vec<CatalogError>,
+    ) -> Option<f64> {
+        let found = if required {
+            self.required(key, errors)?
+        } else {
+            self.get(key)?
+        };
+        let (line, v) = found;
+        match v.parse::<f64>() {
+            Ok(x) if x.is_finite() => {
+                if x > 0.0 {
+                    Some(x)
+                } else {
+                    errors.push(CatalogError::entity(
+                        self.file,
+                        line,
+                        format!("field \"{key}\" must be a positive number (got \"{v}\")"),
+                    ));
+                    None
+                }
+            }
+            _ => {
+                errors.push(CatalogError::entity(
+                    self.file,
+                    line,
+                    format!("field \"{key}\" must be a finite number (got \"{v}\")"),
+                ));
+                None
+            }
+        }
+    }
+
+    /// A required positive integer field.
+    fn integer(&self, key: &'static str, errors: &mut Vec<CatalogError>) -> Option<(usize, u64)> {
+        let (line, v) = self.required(key, errors)?;
+        match v.parse::<u64>() {
+            Ok(x) if x > 0 => Some((line, x)),
+            _ => {
+                errors.push(CatalogError::entity(
+                    self.file,
+                    line,
+                    format!("field \"{key}\" must be a positive integer (got \"{v}\")"),
+                ));
+                None
+            }
+        }
+    }
+
+    /// The required `release: YYYY-MM` field.
+    fn release(&self, errors: &mut Vec<CatalogError>) -> Option<(u16, u8)> {
+        let (line, v) = self.required("release", errors)?;
+        let parsed = v.split_once('-').and_then(|(y, m)| {
+            if y.len() != 4 || m.len() != 2 {
+                return None;
+            }
+            let year: u16 = y.parse().ok()?;
+            let month: u8 = m.parse().ok()?;
+            (1..=12).contains(&month).then_some((year, month))
+        });
+        if parsed.is_none() {
+            errors.push(CatalogError::entity(
+                self.file,
+                line,
+                format!("field \"release\" must be \"YYYY-MM\" (got \"{v}\")"),
+            ));
+        }
+        parsed
+    }
+
+    /// A field the schema rejects for this entity's class.
+    fn forbid(
+        &self,
+        key: &'static str,
+        class: &'static str,
+        hint: &'static str,
+        errors: &mut Vec<CatalogError>,
+    ) -> bool {
+        if let Some((line, _)) = self.get(key) {
+            errors.push(CatalogError::entity(
+                self.file,
+                line,
+                format!("field \"{key}\" is not allowed for class {class} ({hint})"),
+            ));
+            return true;
+        }
+        false
+    }
+}
+
+/// Checks the `kind:` field of `raw` against the kind its directory
+/// implies. Returns `false` (after reporting) on mismatch; a missing
+/// `kind:` is reported but validation proceeds — the directory already
+/// determines the schema.
+fn check_kind(
+    raw: &RawEntity,
+    expected: &'static str,
+    dir: &'static str,
+    errors: &mut Vec<CatalogError>,
+) -> bool {
+    match raw.fields.iter().find(|f| f.key == "kind") {
+        None => {
+            errors.push(CatalogError::entity(
+                &raw.file,
+                1,
+                "missing required field \"kind\"".to_string(),
+            ));
+            true
+        }
+        Some(f) if f.value == expected => true,
+        Some(f) => {
+            if KIND_VALUES.contains(&f.value.as_str()) {
+                errors.push(CatalogError::entity(
+                    &raw.file,
+                    f.line,
+                    format!(
+                        "kind \"{}\" does not match its directory ({dir}/ holds kind {expected})",
+                        f.value
+                    ),
+                ));
+            } else {
+                errors.push(CatalogError::entity(
+                    &raw.file,
+                    f.line,
+                    unknown_value("kind", &f.value, &KIND_VALUES),
+                ));
+            }
+            false
+        }
+    }
+}
+
+/// Validates one `parts/*.ent` file. Returns the typed part only if
+/// every check passed; all diagnostics are appended either way.
+pub(crate) fn validate_part(raw: &RawEntity, errors: &mut Vec<CatalogError>) -> Option<RawPart> {
+    if !check_kind(raw, "part", "parts", errors) {
+        return None;
+    }
+    let before = errors.len();
+    let f = Fields::index(raw, "part", &PART_FIELDS, errors);
+
+    let id = f.required_vocab("id", "part", &vocab::PART_SLUGS, errors);
+    let class = f.required_vocab("class", "class", &vocab::CLASS_SLUGS, errors);
+    let component = f.required("component", errors);
+    let part_name = f.required("part-name", errors);
+    let vendor = f.required_vocab("vendor", "vendor", &vocab::VENDOR_SLUGS, errors);
+    let release = f.release(errors);
+
+    // Embodied-model inputs are class-shaped: processors carry Eq. 3
+    // inputs (die area on a node), memory/storage carries Eq. 4 inputs
+    // (EPC × capacity).
+    let mut die_area_mm2 = None;
+    let mut node = None;
+    let mut epc_g_per_gb = None;
+    let mut capacity_gb = f.number("capacity-gb", false, errors);
+    if let Some((_, c)) = class {
+        match c {
+            ComponentClass::Gpu | ComponentClass::Cpu => {
+                let slug = vocab::slug_of(&vocab::CLASS_SLUGS, c);
+                f.forbid(
+                    "epc-g-per-gb",
+                    slug,
+                    "processor parts use die-area-mm2 + node",
+                    errors,
+                );
+                die_area_mm2 = f.number("die-area-mm2", true, errors);
+                node = f.required_vocab("node", "process node", &vocab::NODE_SLUGS, errors);
+            }
+            ComponentClass::Dram | ComponentClass::Ssd | ComponentClass::Hdd => {
+                let slug = vocab::slug_of(&vocab::CLASS_SLUGS, c);
+                let hint = "memory/storage parts use epc-g-per-gb";
+                f.forbid("die-area-mm2", slug, hint, errors);
+                f.forbid("node", slug, hint, errors);
+                epc_g_per_gb = f.number("epc-g-per-gb", true, errors);
+                if capacity_gb.is_none() && f.get("capacity-gb").is_none() {
+                    errors.push(CatalogError::entity(
+                        f.file,
+                        f.kind_line,
+                        "missing required field \"capacity-gb\"".to_string(),
+                    ));
+                    capacity_gb = None;
+                }
+            }
+        }
+    }
+
+    // Eq. 5 packaging: an IC count, or the manufacturing ratio used for
+    // storage devices — exactly one.
+    let ic = f.get("packaging-ic-count");
+    let ratio = f.get("packaging-ratio");
+    let packaging = match (ic, ratio) {
+        (Some(_), Some((r_line, _))) => {
+            errors.push(CatalogError::entity(
+                f.file,
+                r_line,
+                "field \"packaging-ratio\" conflicts with \"packaging-ic-count\" (set exactly one)"
+                    .to_string(),
+            ));
+            None
+        }
+        (Some(_), None) => f
+            .integer("packaging-ic-count", errors)
+            .map(|(_, n)| PackagingSpec::IcCount(n as u32)),
+        (None, Some(_)) => f
+            .number("packaging-ratio", true, errors)
+            .map(PackagingSpec::ManufacturingRatio),
+        (None, None) => {
+            errors.push(CatalogError::entity(
+                f.file,
+                f.kind_line,
+                "exactly one of \"packaging-ic-count\" or \"packaging-ratio\" is required"
+                    .to_string(),
+            ));
+            None
+        }
+    };
+
+    let fp64_gflops = f.number("fp64-gflops", false, errors);
+    let bandwidth_gbps = f.number("bandwidth-gbps", false, errors);
+    let tdp_w = f.number("tdp-w", false, errors);
+    let idle_w = f.number("idle-w", false, errors);
+
+    if errors.len() > before {
+        return None;
+    }
+    Some(RawPart {
+        file: raw.file.clone(),
+        id_line: id.map(|(l, _)| l).unwrap_or(f.kind_line),
+        id: id?.1,
+        class: class?.1,
+        component: component?.1.to_string(),
+        part_name: part_name?.1.to_string(),
+        vendor: vendor?.1,
+        release: release?,
+        die_area_mm2,
+        node,
+        epc_g_per_gb,
+        packaging: packaging?,
+        capacity_gb,
+        fp64_gflops,
+        bandwidth_gbps,
+        tdp_w,
+        idle_w,
+    })
+}
+
+/// Validates one `nodes/*.ent` file.
+pub(crate) fn validate_node(raw: &RawEntity, errors: &mut Vec<CatalogError>) -> Option<RawNode> {
+    if !check_kind(raw, "process-node", "nodes", errors) {
+        return None;
+    }
+    let before = errors.len();
+    let f = Fields::index(raw, "process-node", &NODE_FIELDS, errors);
+    let id = f.required_vocab("id", "process node", &vocab::NODE_SLUGS, errors);
+    let label = f.required("label", errors);
+    let fpa = f.number("fpa-g-per-cm2", true, errors);
+    let gpa = f.number("gpa-g-per-cm2", true, errors);
+    let mpa = f.number("mpa-g-per-cm2", true, errors);
+    if errors.len() > before {
+        return None;
+    }
+    Some(RawNode {
+        file: raw.file.clone(),
+        id_line: id.map(|(l, _)| l).unwrap_or(f.kind_line),
+        node: id?.1,
+        label: label?.1.to_string(),
+        fpa: fpa?,
+        gpa: gpa?,
+        mpa: mpa?,
+    })
+}
+
+/// Validates one `systems/*.ent` file. Link *targets* are checked
+/// against the part vocabulary here; whether the catalog actually
+/// defines each linked part is the loader's cross-entity pass.
+pub(crate) fn validate_system(
+    raw: &RawEntity,
+    errors: &mut Vec<CatalogError>,
+) -> Option<RawSystem> {
+    if !check_kind(raw, "system", "systems", errors) {
+        return None;
+    }
+    let before = errors.len();
+    let f = Fields::index(raw, "system", &SYSTEM_FIELDS, errors);
+    let id = match f.required("id", errors) {
+        Some((line, v)) if !vocab::is_slug(v) => {
+            errors.push(CatalogError::entity(
+                f.file,
+                line,
+                format!("field \"id\" must be a slug of [a-z0-9-] (got \"{v}\")"),
+            ));
+            None
+        }
+        other => other,
+    };
+    let name = f.required("name", errors);
+    let location = f.required("location", errors);
+    let cores = f.integer("cores", errors);
+    let year = f.integer("year", errors).and_then(|(line, y)| {
+        u16::try_from(y).ok().or_else(|| {
+            errors.push(CatalogError::entity(
+                f.file,
+                line,
+                format!("field \"year\" must be a positive integer (got \"{y}\")"),
+            ));
+            None
+        })
+    });
+
+    let mut links: Vec<SystemLink> = Vec::new();
+    for (line, v) in &f.links {
+        let mut tokens = v.split_whitespace();
+        let parsed = match (tokens.next(), tokens.next(), tokens.next()) {
+            (Some(slug), Some(count), None) => count
+                .parse::<u64>()
+                .ok()
+                .filter(|c| *c > 0)
+                .map(|c| (slug, c)),
+            _ => None,
+        };
+        let Some((slug, count)) = parsed else {
+            errors.push(CatalogError::entity(
+                f.file,
+                *line,
+                format!("field \"link\" must be \"<part-id> <count>\" (got \"{v}\")"),
+            ));
+            continue;
+        };
+        let Some(part) = vocab::lookup(&vocab::PART_SLUGS, slug) else {
+            errors.push(CatalogError::entity(
+                f.file,
+                *line,
+                unknown_value("part", slug, &vocab::slug_list(&vocab::PART_SLUGS)),
+            ));
+            continue;
+        };
+        if let Some(first) = links.iter().find(|l| l.part == part) {
+            errors.push(CatalogError::entity(
+                f.file,
+                *line,
+                format!(
+                    "duplicate link to \"{slug}\" (first on line {})",
+                    first.line
+                ),
+            ));
+            continue;
+        }
+        links.push(SystemLink {
+            part,
+            count,
+            line: *line,
+        });
+    }
+    if f.links.is_empty() {
+        errors.push(CatalogError::entity(
+            f.file,
+            f.kind_line,
+            "missing required field \"link\" (a system declares its bill of materials)".to_string(),
+        ));
+    }
+
+    if errors.len() > before {
+        return None;
+    }
+    Some(RawSystem {
+        file: raw.file.clone(),
+        id_line: id.map(|(l, _)| l).unwrap_or(f.kind_line),
+        id: id?.1.to_string(),
+        name: name?.1.to_string(),
+        location: location?.1.to_string(),
+        cores: cores?.1,
+        year: year?,
+        links,
+    })
+}
+
+/// Validates one `regions/*.ent` file.
+pub(crate) fn validate_region(
+    raw: &RawEntity,
+    errors: &mut Vec<CatalogError>,
+) -> Option<RawRegion> {
+    if !check_kind(raw, "region", "regions", errors) {
+        return None;
+    }
+    let before = errors.len();
+    let f = Fields::index(raw, "region", &REGION_FIELDS, errors);
+    let id = f.required_vocab("id", "region", &vocab::REGION_SLUGS, errors);
+    let short = f.required("short", errors);
+    let name = f.required("name", errors);
+    let country = f.required("country", errors);
+    let region = f.required("region", errors);
+    if errors.len() > before {
+        return None;
+    }
+    Some(RawRegion {
+        file: raw.file.clone(),
+        id_line: id.map(|(l, _)| l).unwrap_or(f.kind_line),
+        id: id?.1,
+        short: short?.1.to_string(),
+        name: name?.1.to_string(),
+        country: country?.1.to_string(),
+        region: region?.1.to_string(),
+    })
+}

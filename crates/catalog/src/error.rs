@@ -1,0 +1,106 @@
+//! Line-numbered validation errors.
+//!
+//! Every diagnostic the validator can emit is listed (with a sample)
+//! in `docs/CATALOG.md`; the strings here are a documented contract —
+//! golden fixture tests assert them byte-for-byte. Vocabulary errors
+//! reuse the PR 4 `ParseError` idiom:
+//! `unknown {field} "{value}" (valid values: {list})`.
+
+/// One validation diagnostic.
+///
+/// Entity errors carry the file (path relative to the catalog root,
+/// `/`-separated) and the 1-based line they anchor to; errors about a
+/// field the file *lacks* anchor to the `kind:` line, which is the line
+/// that selected the schema. Catalog errors are directory-level
+/// (completeness, stray files) and have no line.
+///
+/// ```
+/// use hpcarbon_catalog::CatalogError;
+///
+/// let e = CatalogError::Entity {
+///     file: "parts/dram-64gb.ent".to_string(),
+///     line: 9,
+///     message: "field \"epc-g-per-gb\" must be a finite number (got \"sixty-five\")".to_string(),
+/// };
+/// assert_eq!(
+///     e.to_string(),
+///     "parts/dram-64gb.ent:9: field \"epc-g-per-gb\" must be a finite number (got \"sixty-five\")"
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A diagnostic inside one entity file.
+    Entity {
+        /// Path relative to the catalog root, `/`-separated.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// The diagnostic message (see `docs/CATALOG.md`).
+        message: String,
+    },
+    /// A directory-level diagnostic (no single file/line).
+    Catalog {
+        /// The diagnostic message.
+        message: String,
+    },
+}
+
+impl CatalogError {
+    pub(crate) fn entity(file: &str, line: usize, message: String) -> CatalogError {
+        CatalogError::Entity {
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    pub(crate) fn catalog(message: String) -> CatalogError {
+        CatalogError::Catalog { message }
+    }
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Entity {
+                file,
+                line,
+                message,
+            } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+            CatalogError::Catalog { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// Every diagnostic of one failed load, in deterministic order:
+/// per-entity errors (sorted by file, then line), then cross-entity
+/// errors (dangling links, duplicate ids), then completeness errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogErrors(pub Vec<CatalogError>);
+
+impl std::fmt::Display for CatalogErrors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CatalogErrors {}
+
+/// `unknown {field} "{value}" (valid values: {list})` — the shared
+/// vocabulary-listing idiom.
+pub(crate) fn unknown_value(field: &str, value: &str, expected: &[&str]) -> String {
+    format!(
+        "unknown {field} \"{value}\" (valid values: {})",
+        expected.join(", ")
+    )
+}

@@ -1,0 +1,290 @@
+//! Export of the built-in tables as a canonical catalog tree.
+//!
+//! Every numeric field is printed with Rust's `{}` float formatting —
+//! the shortest decimal string that round-trips to the same `f64` —
+//! and in the same unit the quantity type stores internally (mm²,
+//! g/cm², GB, g/GB, GB/s, GFLOPS, W). Reloading an exported tree
+//! therefore reconstructs every spec **bit for bit**, which is what
+//! makes `--catalog <exported tree>` estimates byte-identical to the
+//! built-in tables (the repository CI proves it with `cmp`).
+
+use crate::vocab;
+use hpcarbon_core::db::EmbodiedInputs;
+use hpcarbon_core::db::{all_parts, PartSpec, ProcessNode};
+use hpcarbon_core::embodied::PackagingSpec;
+use hpcarbon_core::systems::HpcSystem;
+use hpcarbon_grid::regions::OperatorId;
+use std::io;
+use std::path::Path;
+
+/// The built-in process nodes, oldest lithography last (canonical
+/// listing order = `NODE_SLUGS` order).
+const NODES: [ProcessNode; 5] = [
+    ProcessNode::N6,
+    ProcessNode::N7,
+    ProcessNode::N12,
+    ProcessNode::N14,
+    ProcessNode::N16,
+];
+
+/// Writes the shipped Table 1/2/3 data as a catalog tree under `root`,
+/// creating `parts/`, `nodes/`, `systems/`, and `regions/`. Existing
+/// files are overwritten; the result always passes
+/// [`crate::Catalog::load`].
+pub fn export_builtin(root: impl AsRef<Path>) -> io::Result<()> {
+    let root = root.as_ref();
+    for (dir, files) in [
+        ("parts", part_files()),
+        ("nodes", node_files()),
+        ("systems", system_files()),
+        ("regions", region_files()),
+    ] {
+        let dir = root.join(dir);
+        std::fs::create_dir_all(&dir)?;
+        for (name, text) in files {
+            std::fs::write(dir.join(format!("{name}.ent")), text)?;
+        }
+    }
+    Ok(())
+}
+
+fn part_files() -> Vec<(String, String)> {
+    all_parts()
+        .into_iter()
+        .map(|id| {
+            let spec = id.spec();
+            (vocab::part_slug(id).to_string(), render_part(&spec))
+        })
+        .collect()
+}
+
+fn render_part(spec: &PartSpec) -> String {
+    let mut s = String::new();
+    push(
+        &mut s,
+        format!("# {} — exported built-in entity.", spec.part_name),
+    );
+    push(&mut s, "kind: part".to_string());
+    push(&mut s, format!("id: {}", vocab::part_slug(spec.id)));
+    push(
+        &mut s,
+        format!("class: {}", vocab::slug_of(&vocab::CLASS_SLUGS, spec.class)),
+    );
+    push(&mut s, format!("component: {}", spec.component));
+    push(&mut s, format!("part-name: {}", spec.part_name));
+    push(
+        &mut s,
+        format!(
+            "vendor: {}",
+            vocab::slug_of(&vocab::VENDOR_SLUGS, spec.vendor)
+        ),
+    );
+    push(
+        &mut s,
+        format!("release: {:04}-{:02}", spec.release.0, spec.release.1),
+    );
+    match spec.embodied_inputs {
+        EmbodiedInputs::Processor { die_area, node, .. } => {
+            push(&mut s, format!("die-area-mm2: {}", die_area.as_mm2()));
+            push(
+                &mut s,
+                format!("node: {}", vocab::slug_of(&vocab::NODE_SLUGS, node)),
+            );
+        }
+        EmbodiedInputs::MemoryStorage { epc } => {
+            push(&mut s, format!("epc-g-per-gb: {}", epc.as_g_per_gb()));
+        }
+    }
+    match spec.packaging {
+        PackagingSpec::IcCount(n) => push(&mut s, format!("packaging-ic-count: {n}")),
+        PackagingSpec::ManufacturingRatio(r) => push(&mut s, format!("packaging-ratio: {r}")),
+    }
+    if let Some(c) = spec.capacity {
+        push(&mut s, format!("capacity-gb: {}", c.as_gb()));
+    }
+    if let Some(p) = spec.fp64_peak {
+        push(&mut s, format!("fp64-gflops: {}", p.as_gflops()));
+    }
+    if let Some(b) = spec.bandwidth {
+        push(&mut s, format!("bandwidth-gbps: {}", b.as_gbps()));
+    }
+    if let Some(t) = spec.tdp {
+        push(&mut s, format!("tdp-w: {}", t.as_w()));
+    }
+    if let Some(i) = spec.idle_power {
+        push(&mut s, format!("idle-w: {}", i.as_w()));
+    }
+    s
+}
+
+fn node_files() -> Vec<(String, String)> {
+    NODES
+        .into_iter()
+        .map(|node| {
+            let slug = vocab::slug_of(&vocab::NODE_SLUGS, node);
+            let d = node.fab_densities();
+            let mut s = String::new();
+            push(
+                &mut s,
+                format!(
+                    "# Process node {} — exported built-in entity.",
+                    node.label()
+                ),
+            );
+            push(&mut s, "kind: process-node".to_string());
+            push(&mut s, format!("id: {slug}"));
+            push(&mut s, format!("label: {}", node.label()));
+            push(&mut s, format!("fpa-g-per-cm2: {}", d.fpa.as_g_per_cm2()));
+            push(&mut s, format!("gpa-g-per-cm2: {}", d.gpa.as_g_per_cm2()));
+            push(&mut s, format!("mpa-g-per-cm2: {}", d.mpa.as_g_per_cm2()));
+            (slug.to_string(), s)
+        })
+        .collect()
+}
+
+fn system_files() -> Vec<(String, String)> {
+    [
+        ("frontier", HpcSystem::frontier()),
+        ("lumi", HpcSystem::lumi()),
+        ("perlmutter", HpcSystem::perlmutter()),
+    ]
+    .into_iter()
+    .map(|(id, sys)| {
+        let mut s = String::new();
+        push(
+            &mut s,
+            format!("# {} — exported built-in entity.", sys.name),
+        );
+        push(&mut s, "kind: system".to_string());
+        push(&mut s, format!("id: {id}"));
+        push(&mut s, format!("name: {}", sys.name));
+        push(&mut s, format!("location: {}", sys.location));
+        push(&mut s, format!("cores: {}", sys.cores));
+        push(&mut s, format!("year: {}", sys.year));
+        for (spec, count) in &sys.inventory {
+            push(
+                &mut s,
+                format!("link: {} {count}", vocab::part_slug(spec.id)),
+            );
+        }
+        (id.to_string(), s)
+    })
+    .collect()
+}
+
+fn region_files() -> Vec<(String, String)> {
+    OperatorId::ALL
+        .into_iter()
+        .map(|op| {
+            let slug = vocab::slug_of(&vocab::REGION_SLUGS, op);
+            let info = op.info();
+            let mut s = String::new();
+            push(
+                &mut s,
+                format!("# {} — exported built-in entity.", info.name),
+            );
+            push(&mut s, "kind: region".to_string());
+            push(&mut s, format!("id: {slug}"));
+            push(&mut s, format!("short: {}", info.short));
+            push(&mut s, format!("name: {}", info.name));
+            push(&mut s, format!("country: {}", info.country));
+            push(&mut s, format!("region: {}", info.region));
+            (slug.to_string(), s)
+        })
+        .collect()
+}
+
+fn push(s: &mut String, line: String) {
+    s.push_str(&line);
+    s.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+    use hpcarbon_core::db::PartId;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hpcarbon-catalog-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn exported_tree_loads_cleanly() {
+        let dir = tmp("loads");
+        export_builtin(&dir).unwrap();
+        let cat = Catalog::load(&dir).unwrap();
+        assert_eq!(cat.parts().len(), 13);
+        assert_eq!(cat.nodes().len(), 5);
+        assert_eq!(cat.systems().len(), 3);
+        assert_eq!(cat.regions().len(), 7);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reload_is_bit_identical_to_builtin() {
+        // The tentpole guarantee: every exported spec reloads to the
+        // exact bits of the hard-coded table — f64 `{}` formatting is
+        // shortest-round-trip and parsing is correctly rounded.
+        let dir = tmp("bits");
+        export_builtin(&dir).unwrap();
+        let cat = Catalog::load(&dir).unwrap();
+        for id in hpcarbon_core::db::all_parts() {
+            assert_eq!(cat.part(id), Some(&id.spec()), "{id:?}");
+        }
+        for (sys, id) in [
+            (HpcSystem::frontier(), "frontier"),
+            (HpcSystem::lumi(), "lumi"),
+            (HpcSystem::perlmutter(), "perlmutter"),
+        ] {
+            let loaded = &cat.system(id).unwrap().system;
+            assert_eq!(loaded.name, sys.name);
+            assert_eq!(loaded.location, sys.location);
+            assert_eq!(loaded.cores, sys.cores);
+            assert_eq!(loaded.year, sys.year);
+            assert_eq!(loaded.inventory, sys.inventory);
+            assert_eq!(
+                loaded.embodied_total().as_g().to_bits(),
+                sys.embodied_total().as_g().to_bits()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = tmp("det-a");
+        let b = tmp("det-b");
+        export_builtin(&a).unwrap();
+        export_builtin(&b).unwrap();
+        let read = |d: &std::path::Path| {
+            let mut all = String::new();
+            for kind in ["parts", "nodes", "systems", "regions"] {
+                let mut names: Vec<_> = std::fs::read_dir(d.join(kind))
+                    .unwrap()
+                    .map(|e| e.unwrap().file_name().into_string().unwrap())
+                    .collect();
+                names.sort();
+                for n in names {
+                    all.push_str(&std::fs::read_to_string(d.join(kind).join(n)).unwrap());
+                }
+            }
+            all
+        };
+        assert_eq!(read(&a), read(&b));
+        let _ = std::fs::remove_dir_all(&a);
+        let _ = std::fs::remove_dir_all(&b);
+    }
+
+    #[test]
+    fn catalog_ssd_matches_builtin_for_the_allflash_whatif() {
+        let dir = tmp("ssd");
+        export_builtin(&dir).unwrap();
+        let cat = Catalog::load(&dir).unwrap();
+        assert_eq!(cat.part(PartId::Ssd3_2tb), Some(&PartId::Ssd3_2tb.spec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,42 @@
+//! Leaked-string interning.
+//!
+//! The model layer uses `&'static str` for identity-like strings
+//! (`PartSpec::component`, `HpcSystem::name`, …) because the built-in
+//! tables are literals and `PartSpec` stays `Copy`. Catalog-loaded
+//! strings get the same lifetime by interning: each distinct string is
+//! leaked **once** into a process-wide table and reused forever after.
+//! The leak is bounded — catalogs are memoized per directory (see
+//! [`crate::CatalogSource`]) and the intern table deduplicates across
+//! reloads, so repeated loads of the same catalog allocate nothing new.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock};
+
+static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+
+/// Returns a `'static` copy of `s`, allocating only on first sight.
+pub(crate) fn intern(s: &str) -> &'static str {
+    let mut table = TABLE
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table lock");
+    if let Some(found) = table.get(s) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = intern("hpcarbon-intern-test");
+        let b = intern("hpcarbon-intern-test");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "hpcarbon-intern-test");
+    }
+}

@@ -1,0 +1,116 @@
+//! Line-level parsing of `.ent` files into raw `key: value` fields.
+//!
+//! This layer knows nothing about entity kinds or schemas — it turns
+//! text into `(line, key, value)` triples, rejecting only lines that
+//! are not comments, blanks, or `key: value` pairs. Everything
+//! semantic (required fields, vocabularies, links) happens in
+//! `schema`-level validation with these line numbers attached.
+
+use crate::error::CatalogError;
+
+/// One `key: value` field with its 1-based source line.
+#[derive(Debug, Clone)]
+pub(crate) struct RawField {
+    pub line: usize,
+    pub key: String,
+    pub value: String,
+}
+
+/// A parsed entity file: its fields in file order.
+#[derive(Debug, Clone)]
+pub(crate) struct RawEntity {
+    /// Path relative to the catalog root, `/`-separated.
+    pub file: String,
+    pub fields: Vec<RawField>,
+}
+
+impl RawEntity {
+    /// Parses one file's text. Syntactic errors (lines that are not
+    /// comments, blanks, or `key: value`) are pushed to `errors`; the
+    /// well-formed lines are still returned so one bad line does not
+    /// mask every later diagnostic in the file.
+    pub fn parse(file: &str, text: &str, errors: &mut Vec<CatalogError>) -> RawEntity {
+        let mut fields = Vec::new();
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw_line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = trimmed.split_once(':') else {
+                errors.push(CatalogError::entity(
+                    file,
+                    line,
+                    "expected \"key: value\"".to_string(),
+                ));
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            if key.is_empty() {
+                errors.push(CatalogError::entity(
+                    file,
+                    line,
+                    "expected \"key: value\"".to_string(),
+                ));
+                continue;
+            }
+            fields.push(RawField {
+                line,
+                key: key.to_string(),
+                value: value.to_string(),
+            });
+        }
+        RawEntity {
+            file: file.to_string(),
+            fields,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_blanks_and_fields() {
+        let mut errs = Vec::new();
+        let e = RawEntity::parse(
+            "parts/x.ent",
+            "# header\n\nkind: part\n  id:  gpu-a100-pcie-40  \n",
+            &mut errs,
+        );
+        assert!(errs.is_empty());
+        assert_eq!(e.fields.len(), 2);
+        assert_eq!(e.fields[0].line, 3);
+        assert_eq!(e.fields[0].key, "kind");
+        assert_eq!(e.fields[1].value, "gpu-a100-pcie-40");
+    }
+
+    #[test]
+    fn non_field_lines_are_line_numbered_errors() {
+        let mut errs = Vec::new();
+        let e = RawEntity::parse(
+            "parts/x.ent",
+            "kind: part\nnot a field\n: empty key\n",
+            &mut errs,
+        );
+        assert_eq!(e.fields.len(), 1);
+        assert_eq!(errs.len(), 2);
+        assert_eq!(
+            errs[0].to_string(),
+            "parts/x.ent:2: expected \"key: value\""
+        );
+        assert_eq!(
+            errs[1].to_string(),
+            "parts/x.ent:3: expected \"key: value\""
+        );
+    }
+
+    #[test]
+    fn value_may_contain_colons() {
+        let mut errs = Vec::new();
+        let e = RawEntity::parse("systems/x.ent", "location: Kajaani: Finland\n", &mut errs);
+        assert_eq!(e.fields[0].value, "Kajaani: Finland");
+    }
+}

@@ -1,0 +1,139 @@
+//! The closed vocabularies: catalog slugs ↔ in-memory enums.
+//!
+//! Part, node, and region identities are closed enums in the model
+//! layer ([`PartId`], [`ProcessNode`], [`OperatorId`]), so their
+//! catalog slugs are closed vocabularies too — an unknown slug is a
+//! validation error listing the valid values, never a silently ignored
+//! entity. System ids are open slugs (any operator can add fleets),
+//! but an estimation-grade catalog must define the three Table 2
+//! systems the request schema can name.
+
+use hpcarbon_core::db::{PartId, ProcessNode, Vendor};
+use hpcarbon_core::embodied::ComponentClass;
+use hpcarbon_grid::regions::OperatorId;
+
+/// Catalog slug of every part, in `TABLE1_PARTS` + `TABLE5_EXTRA_PARTS`
+/// order (the canonical listing order everywhere).
+pub(crate) const PART_SLUGS: [(&str, PartId); 13] = [
+    ("gpu-a100-pcie-40", PartId::GpuA100Pcie40),
+    ("gpu-mi250x", PartId::GpuMi250x),
+    ("gpu-v100-sxm2-32", PartId::GpuV100Sxm2_32),
+    ("cpu-epyc-7763", PartId::CpuEpyc7763),
+    ("cpu-epyc-7742", PartId::CpuEpyc7742),
+    ("cpu-xeon-gold-6240r", PartId::CpuXeonGold6240r),
+    ("dram-64gb", PartId::Dram64gb),
+    ("ssd-3-2tb", PartId::Ssd3_2tb),
+    ("hdd-16tb", PartId::Hdd16tb),
+    ("gpu-p100-pcie-16", PartId::GpuP100Pcie16),
+    ("cpu-xeon-e5-2680-v4", PartId::CpuXeonE5_2680v4),
+    ("cpu-epyc-7542", PartId::CpuEpyc7542),
+    ("dram-32gb", PartId::Dram32gb),
+];
+
+pub(crate) const NODE_SLUGS: [(&str, ProcessNode); 5] = [
+    ("n6", ProcessNode::N6),
+    ("n7", ProcessNode::N7),
+    ("n12", ProcessNode::N12),
+    ("n14", ProcessNode::N14),
+    ("n16", ProcessNode::N16),
+];
+
+pub(crate) const CLASS_SLUGS: [(&str, ComponentClass); 5] = [
+    ("gpu", ComponentClass::Gpu),
+    ("cpu", ComponentClass::Cpu),
+    ("dram", ComponentClass::Dram),
+    ("ssd", ComponentClass::Ssd),
+    ("hdd", ComponentClass::Hdd),
+];
+
+pub(crate) const VENDOR_SLUGS: [(&str, Vendor); 5] = [
+    ("nvidia", Vendor::Nvidia),
+    ("amd", Vendor::Amd),
+    ("intel", Vendor::Intel),
+    ("sk-hynix", Vendor::SkHynix),
+    ("seagate", Vendor::Seagate),
+];
+
+pub(crate) const REGION_SLUGS: [(&str, OperatorId); 7] = [
+    ("kansai", OperatorId::Kansai),
+    ("tokyo", OperatorId::Tokyo),
+    ("eso", OperatorId::Eso),
+    ("ciso", OperatorId::Ciso),
+    ("pjm", OperatorId::Pjm),
+    ("miso", OperatorId::Miso),
+    ("ercot", OperatorId::Ercot),
+];
+
+/// The systems an estimation-grade catalog must define: the Table 2
+/// fleet the request schema's `system` field can name.
+pub(crate) const REQUIRED_SYSTEMS: [&str; 3] = ["frontier", "lumi", "perlmutter"];
+
+pub(crate) fn slug_list<T: Copy>(table: &'static [(&'static str, T)]) -> Vec<&'static str> {
+    table.iter().map(|(s, _)| *s).collect()
+}
+
+pub(crate) fn lookup<T: Copy>(table: &'static [(&'static str, T)], slug: &str) -> Option<T> {
+    table.iter().find(|(s, _)| *s == slug).map(|(_, v)| *v)
+}
+
+pub(crate) fn slug_of<T: Copy + PartialEq>(
+    table: &'static [(&'static str, T)],
+    v: T,
+) -> &'static str {
+    table
+        .iter()
+        .find(|(_, x)| *x == v)
+        .map(|(s, _)| *s)
+        .expect("every enum variant has a catalog slug")
+}
+
+/// The catalog slug of a part id (used by export, provenance listings,
+/// and the `hpcarbon catalog` subcommands).
+pub fn part_slug(id: PartId) -> &'static str {
+    slug_of(&PART_SLUGS, id)
+}
+
+/// The catalog slug of a process node (`n7`, `n16`, …).
+pub fn node_slug(node: ProcessNode) -> &'static str {
+    slug_of(&NODE_SLUGS, node)
+}
+
+/// The catalog slug of a grid region (`eso`, `ciso`, …).
+pub fn region_slug(op: OperatorId) -> &'static str {
+    slug_of(&REGION_SLUGS, op)
+}
+
+/// True iff `s` is a valid open id slug: non-empty `[a-z0-9-]`.
+pub(crate) fn is_slug(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_part_has_a_distinct_slug() {
+        let mut slugs = slug_list(&PART_SLUGS);
+        assert_eq!(slugs.len(), hpcarbon_core::db::all_parts().len());
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), 13);
+        for p in hpcarbon_core::db::all_parts() {
+            assert_eq!(lookup(&PART_SLUGS, part_slug(p)), Some(p));
+        }
+    }
+
+    #[test]
+    fn slugs_are_slugs() {
+        for (s, _) in PART_SLUGS {
+            assert!(is_slug(s), "{s}");
+        }
+        assert!(is_slug("frontier"));
+        assert!(!is_slug("Frontier"));
+        assert!(!is_slug("a b"));
+        assert!(!is_slug(""));
+    }
+}

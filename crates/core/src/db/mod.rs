@@ -16,12 +16,26 @@
 //!    Figs. 1–3 and 5 reproduce — each such constant is documented at its
 //!    definition.
 //!
-//! Swapping in real vendor RFP data is a one-file change.
+//! Swapping in real vendor RFP data is a one-file change — or no code
+//! change at all: the `hpcarbon-catalog` crate loads this same data
+//! model from plain-text entity files (see `docs/CATALOG.md`), and
+//! `hpcarbon catalog export` round-trips these tables bit for bit.
+//!
+//! ```
+//! use hpcarbon_core::db::{all_parts, PartId};
+//!
+//! // Table 1 + Table 5: 13 parts, each with a full embodied breakdown.
+//! assert_eq!(all_parts().len(), 13);
+//! let a100 = PartId::GpuA100Pcie40.spec();
+//! let embodied = a100.embodied();
+//! assert!(embodied.total().as_kg() > 10.0); // Eq. 2 for one A100
+//! assert!(embodied.packaging_share().percent() > 0.0); // Eq. 5 share
+//! ```
 
 mod parts;
 mod process_nodes;
 
-pub use parts::{PartId, PartSpec, Vendor};
+pub use parts::{EmbodiedInputs, PartId, PartSpec, Vendor};
 pub use process_nodes::ProcessNode;
 
 use crate::embodied::ComponentClass;

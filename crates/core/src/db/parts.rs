@@ -3,7 +3,7 @@
 use crate::db::ProcessNode;
 use crate::embodied::{
     default_fab_yield, memory_manufacturing, processor_manufacturing, ComponentClass,
-    EmbodiedBreakdown, PackagingSpec,
+    EmbodiedBreakdown, FabDensities, PackagingSpec,
 };
 use hpcarbon_units::{
     Bandwidth, CarbonMass, CarbonPerCapacity, ComputeRate, DataCapacity, Power, SiliconArea,
@@ -42,8 +42,13 @@ pub enum EmbodiedInputs {
     Processor {
         /// Carbon-relevant die area.
         die_area: SiliconArea,
-        /// Process node determining the per-area densities.
+        /// Process node (identity/label; Table 1's "Process Node" column).
         node: ProcessNode,
+        /// The FPA/GPA/MPA densities Eq. 3 actually runs with. For the
+        /// built-in catalog these are [`ProcessNode::fab_densities`];
+        /// a plain-text catalog resolves them from its own node entities,
+        /// so editing a node file changes every part fabbed on it.
+        densities: FabDensities,
     },
     /// A memory or storage device with vendor-reported emission-per-capacity
     /// (Eq. 4).
@@ -51,6 +56,28 @@ pub enum EmbodiedInputs {
         /// Vendor EPC (gCO₂/GB).
         epc: CarbonPerCapacity,
     },
+}
+
+impl EmbodiedInputs {
+    /// Eq. 3 inputs for a die fabbed on `node`, with the densities
+    /// resolved from the built-in node table — the constructor every
+    /// hard-coded Table 1 entry uses.
+    ///
+    /// ```
+    /// use hpcarbon_core::db::{EmbodiedInputs, ProcessNode};
+    /// use hpcarbon_units::SiliconArea;
+    ///
+    /// let inputs = EmbodiedInputs::on_node(SiliconArea::from_mm2(826.0), ProcessNode::N7);
+    /// let EmbodiedInputs::Processor { densities, .. } = inputs else { unreachable!() };
+    /// assert_eq!(densities, ProcessNode::N7.fab_densities());
+    /// ```
+    pub fn on_node(die_area: SiliconArea, node: ProcessNode) -> EmbodiedInputs {
+        EmbodiedInputs::Processor {
+            die_area,
+            node,
+            densities: node.fab_densities(),
+        }
+    }
 }
 
 /// A catalog entry: identity, embodied-model inputs and performance/power
@@ -91,9 +118,11 @@ impl PartSpec {
     /// Eq. 3 / Eq. 4 manufacturing carbon for one unit.
     pub fn manufacturing(&self) -> CarbonMass {
         match self.embodied_inputs {
-            EmbodiedInputs::Processor { die_area, node } => {
-                processor_manufacturing(node.fab_densities(), die_area, default_fab_yield())
-            }
+            EmbodiedInputs::Processor {
+                die_area,
+                node: _,
+                densities,
+            } => processor_manufacturing(densities, die_area, default_fab_yield()),
             EmbodiedInputs::MemoryStorage { epc } => {
                 let cap = self
                     .capacity
@@ -173,10 +202,10 @@ impl PartId {
                 part_name: "NVIDIA A100 PCIe 40GB",
                 vendor: Vendor::Nvidia,
                 release: (2020, 5),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(826.0),
-                    node: ProcessNode::N7,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(826.0),
+                    ProcessNode::N7,
+                ),
                 packaging: PackagingSpec::IcCount(21),
                 capacity: Some(DataCapacity::from_gb(40.0)),
                 fp64_peak: Some(ComputeRate::from_tflops(9.7)),
@@ -195,10 +224,10 @@ impl PartId {
                 part_name: "AMD INSTINCT MI250X",
                 vendor: Vendor::Amd,
                 release: (2021, 11),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(1448.0),
-                    node: ProcessNode::N6,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(1448.0),
+                    ProcessNode::N6,
+                ),
                 packaging: PackagingSpec::IcCount(38),
                 capacity: Some(DataCapacity::from_gb(128.0)),
                 fp64_peak: Some(ComputeRate::from_tflops(47.9)),
@@ -214,10 +243,10 @@ impl PartId {
                 part_name: "NVIDIA V100 SXM2 32GB",
                 vendor: Vendor::Nvidia,
                 release: (2018, 3),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(815.0),
-                    node: ProcessNode::N12,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(815.0),
+                    ProcessNode::N12,
+                ),
                 packaging: PackagingSpec::IcCount(18),
                 capacity: Some(DataCapacity::from_gb(32.0)),
                 fp64_peak: Some(ComputeRate::from_tflops(7.8)),
@@ -233,10 +262,10 @@ impl PartId {
                 part_name: "NVIDIA Tesla P100 PCIe 16GB",
                 vendor: Vendor::Nvidia,
                 release: (2016, 6),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(610.0),
-                    node: ProcessNode::N16,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(610.0),
+                    ProcessNode::N16,
+                ),
                 packaging: PackagingSpec::IcCount(14),
                 capacity: Some(DataCapacity::from_gb(16.0)),
                 fp64_peak: Some(ComputeRate::from_tflops(4.7)),
@@ -257,10 +286,10 @@ impl PartId {
                 part_name: "AMD EPYC 7763 CPU",
                 vendor: Vendor::Amd,
                 release: (2021, 3),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(507.0),
-                    node: ProcessNode::N7,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(507.0),
+                    ProcessNode::N7,
+                ),
                 packaging: PackagingSpec::IcCount(6),
                 capacity: None,
                 fp64_peak: Some(ComputeRate::from_tflops(2.51)),
@@ -276,10 +305,10 @@ impl PartId {
                 part_name: "AMD EPYC 7742 CPU",
                 vendor: Vendor::Amd,
                 release: (2019, 8),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(490.0),
-                    node: ProcessNode::N7,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(490.0),
+                    ProcessNode::N7,
+                ),
                 packaging: PackagingSpec::IcCount(6),
                 capacity: None,
                 fp64_peak: Some(ComputeRate::from_tflops(2.30)),
@@ -296,10 +325,10 @@ impl PartId {
                 part_name: "Intel Xeon Gold 6240R CPU",
                 vendor: Vendor::Intel,
                 release: (2020, 2),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(754.0),
-                    node: ProcessNode::N14,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(754.0),
+                    ProcessNode::N14,
+                ),
                 packaging: PackagingSpec::IcCount(5),
                 capacity: None,
                 fp64_peak: Some(ComputeRate::from_tflops(1.843)),
@@ -315,10 +344,10 @@ impl PartId {
                 part_name: "Intel Xeon E5-2680 v4 CPU",
                 vendor: Vendor::Intel,
                 release: (2016, 3),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(456.0),
-                    node: ProcessNode::N14,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(456.0),
+                    ProcessNode::N14,
+                ),
                 packaging: PackagingSpec::IcCount(4),
                 capacity: None,
                 fp64_peak: Some(ComputeRate::from_tflops(0.538)),
@@ -334,10 +363,10 @@ impl PartId {
                 part_name: "AMD EPYC 7542 CPU",
                 vendor: Vendor::Amd,
                 release: (2019, 8),
-                embodied_inputs: EmbodiedInputs::Processor {
-                    die_area: SiliconArea::from_mm2(420.0),
-                    node: ProcessNode::N7,
-                },
+                embodied_inputs: EmbodiedInputs::on_node(
+                    SiliconArea::from_mm2(420.0),
+                    ProcessNode::N7,
+                ),
                 packaging: PackagingSpec::IcCount(5),
                 capacity: None,
                 fp64_peak: Some(ComputeRate::from_tflops(1.486)),

@@ -33,6 +33,15 @@ impl ProcessNode {
     /// FPA dominates and scales with lithography complexity (EUV double
     /// patterning); GPA scales similarly; MPA (raw materials) is roughly
     /// node-independent.
+    ///
+    /// ```
+    /// use hpcarbon_core::db::ProcessNode;
+    ///
+    /// // The ACT trend: EUV nodes emit more per cm² than older ones.
+    /// let n7 = ProcessNode::N7.fab_densities();
+    /// let n16 = ProcessNode::N16.fab_densities();
+    /// assert!(n7.fpa.as_g_per_cm2() > n16.fpa.as_g_per_cm2());
+    /// ```
     pub fn fab_densities(self) -> FabDensities {
         let (fpa, gpa, mpa) = match self {
             ProcessNode::N6 => (1380.0, 280.0, 470.0),

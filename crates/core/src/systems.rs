@@ -18,11 +18,20 @@
 //! the other"); we follow suit in the regenerated Fig. 5 but expose the
 //! absolute numbers for downstream modeling.
 
-use crate::db::PartId;
+use crate::db::{PartId, PartSpec};
 use crate::embodied::{ComponentClass, EmbodiedBreakdown};
 use hpcarbon_units::{CarbonMass, Fraction};
 
 /// A deployed HPC system: identity plus a bill of materials.
+///
+/// The inventory carries **resolved part specs**, not just ids: every
+/// embodied number downstream (Fig. 5 compositions, the estimator's
+/// layer 1, the what-if transforms) reads the spec stored in the
+/// inventory. The built-in constructors store [`PartId::spec`] entries,
+/// so nothing changes for them — but a system built from a plain-text
+/// catalog carries the catalog's own numbers, which is what lets
+/// `--catalog` actually drive estimates instead of merely relabeling
+/// the hard-coded tables.
 #[derive(Debug, Clone)]
 pub struct HpcSystem {
     /// System name.
@@ -33,8 +42,13 @@ pub struct HpcSystem {
     pub cores: u64,
     /// Deployment year (Table 2's "Year" column).
     pub year: u16,
-    /// Bill of materials: part and unit count.
-    pub inventory: Vec<(PartId, u64)>,
+    /// Bill of materials: resolved part spec and unit count.
+    pub inventory: Vec<(PartSpec, u64)>,
+}
+
+/// Inventory-entry shorthand for the built-in constructors.
+fn units(part: PartId, count: u64) -> (PartSpec, u64) {
+    (part.spec(), count)
 }
 
 impl HpcSystem {
@@ -47,14 +61,14 @@ impl HpcSystem {
             cores: 8_730_112,
             year: 2021,
             inventory: vec![
-                (PartId::CpuEpyc7763, 9_408),
-                (PartId::GpuMi250x, 9_408 * 4),
+                units(PartId::CpuEpyc7763, 9_408),
+                units(PartId::GpuMi250x, 9_408 * 4),
                 // 512 GB/node as 8 × 64 GB DIMMs.
-                (PartId::Dram64gb, 9_408 * 8),
+                units(PartId::Dram64gb, 9_408 * 8),
                 // Orion: ~695 PB HDD capacity tier on 16 TB drives.
-                (PartId::Hdd16tb, 43_438),
+                units(PartId::Hdd16tb, 43_438),
                 // Orion: ~75 PB NVMe performance tier on 3.2 TB drives.
-                (PartId::Ssd3_2tb, 23_438),
+                units(PartId::Ssd3_2tb, 23_438),
             ],
         }
     }
@@ -69,13 +83,13 @@ impl HpcSystem {
             inventory: vec![
                 // LUMI-G: 2,978 nodes × (1 CPU + 4 MI250X + 8 DIMMs);
                 // LUMI-C: 1,536 nodes × (2 CPUs + 4 DIMMs).
-                (PartId::CpuEpyc7763, 2_978 + 1_536 * 2),
-                (PartId::GpuMi250x, 2_978 * 4),
-                (PartId::Dram64gb, 2_978 * 8 + 1_536 * 4),
+                units(PartId::CpuEpyc7763, 2_978 + 1_536 * 2),
+                units(PartId::GpuMi250x, 2_978 * 4),
+                units(PartId::Dram64gb, 2_978 * 8 + 1_536 * 4),
                 // LUMI-P: 80 PB HDD.
-                (PartId::Hdd16tb, 5_000),
+                units(PartId::Hdd16tb, 5_000),
                 // LUMI-F: ~7 PB flash.
-                (PartId::Ssd3_2tb, 2_188),
+                units(PartId::Ssd3_2tb, 2_188),
             ],
         }
     }
@@ -90,11 +104,11 @@ impl HpcSystem {
             inventory: vec![
                 // GPU partition: 1,536 nodes × (1 CPU + 4 A100 + 4 DIMMs);
                 // CPU partition: 3,072 nodes × (2 CPUs + 8 DIMMs).
-                (PartId::CpuEpyc7763, 1_536 + 3_072 * 2),
-                (PartId::GpuA100Pcie40, 1_536 * 4),
-                (PartId::Dram64gb, 1_536 * 4 + 3_072 * 8),
+                units(PartId::CpuEpyc7763, 1_536 + 3_072 * 2),
+                units(PartId::GpuA100Pcie40, 1_536 * 4),
+                units(PartId::Dram64gb, 1_536 * 4 + 3_072 * 8),
                 // 35 PB all-flash Lustre; no HDD tier.
-                (PartId::Ssd3_2tb, 10_938),
+                units(PartId::Ssd3_2tb, 10_938),
             ],
         }
     }
@@ -114,7 +128,7 @@ impl HpcSystem {
         EmbodiedBreakdown::sum(
             self.inventory
                 .iter()
-                .map(|(part, count)| part.spec().embodied().scaled(*count as f64)),
+                .map(|(spec, count)| spec.embodied().scaled(*count as f64)),
         )
     }
 
@@ -128,8 +142,8 @@ impl HpcSystem {
                 let mass: CarbonMass = self
                     .inventory
                     .iter()
-                    .filter(|(part, _)| part.spec().class == *class)
-                    .map(|(part, count)| part.spec().embodied().total() * *count as f64)
+                    .filter(|(spec, _)| spec.class == *class)
+                    .map(|(spec, count)| spec.embodied().total() * *count as f64)
                     .sum();
                 (*class, mass)
             })
@@ -163,9 +177,17 @@ impl HpcSystem {
     pub fn count_of(&self, part: PartId) -> u64 {
         self.inventory
             .iter()
-            .filter(|(p, _)| *p == part)
+            .filter(|(spec, _)| spec.id == part)
             .map(|(_, c)| *c)
             .sum()
+    }
+
+    /// The inventory's resolved spec for `part`, if present.
+    pub fn spec_of(&self, part: PartId) -> Option<&PartSpec> {
+        self.inventory
+            .iter()
+            .find(|(spec, _)| spec.id == part)
+            .map(|(spec, _)| spec)
     }
 }
 

@@ -7,7 +7,7 @@
 //! memory, change the GPU count per node), and compare embodied
 //! compositions before and after.
 
-use crate::db::PartId;
+use crate::db::{PartId, PartSpec};
 use crate::embodied::ComponentClass;
 use crate::systems::HpcSystem;
 use hpcarbon_units::CarbonMass;
@@ -70,29 +70,33 @@ impl WhatIf {
 /// total capacity (both parts must declare capacities). Counts round up —
 /// you cannot buy fractional drives.
 ///
+/// The `from` capacity is read from the system's own inventory spec (so a
+/// catalog-built system swaps at its catalog capacity); the replacement is
+/// a resolved [`PartSpec`] so catalogs can supply their own flash numbers.
+///
 /// # Errors
 /// If either part lacks a capacity, or the system holds no `from` units.
 pub fn swap_storage_tier(
     base: &HpcSystem,
     from: PartId,
-    to: PartId,
+    to: PartSpec,
 ) -> Result<WhatIf, WhatIfError> {
-    let from_cap = from
-        .spec()
-        .capacity
-        .ok_or(WhatIfError::MissingCapacity(from))?;
-    let to_cap = to.spec().capacity.ok_or(WhatIfError::MissingCapacity(to))?;
     let count_from = base.count_of(from);
     if count_from == 0 {
         return Err(WhatIfError::NoSourceUnits(from));
     }
+    let from_spec = base.spec_of(from).ok_or(WhatIfError::NoSourceUnits(from))?;
+    let from_cap = from_spec
+        .capacity
+        .ok_or(WhatIfError::MissingCapacity(from))?;
+    let to_cap = to.capacity.ok_or(WhatIfError::MissingCapacity(to.id))?;
     let total_gb = from_cap.as_gb() * count_from as f64;
     let count_to = (total_gb / to_cap.as_gb()).ceil() as u64;
 
-    let mut inventory: Vec<(PartId, u64)> = base
+    let mut inventory: Vec<(PartSpec, u64)> = base
         .inventory
         .iter()
-        .filter(|(p, _)| *p != from)
+        .filter(|(p, _)| p.id != from)
         .cloned()
         .collect();
     inventory.push((to, count_to));
@@ -123,11 +127,11 @@ pub fn scale_class(
     if !(factor >= 0.0 && factor.is_finite()) {
         return Err(WhatIfError::InvalidFactor(factor));
     }
-    let inventory: Vec<(PartId, u64)> = base
+    let inventory: Vec<(PartSpec, u64)> = base
         .inventory
         .iter()
         .map(|(p, c)| {
-            if p.spec().class == class {
+            if p.class == class {
                 (*p, (*c as f64 * factor).round() as u64)
             } else {
                 (*p, *c)
@@ -159,7 +163,7 @@ mod tests {
         // gCO2/GB storage (1.33) with expensive flash (6.21) — an all-
         // flash Orion would embody several times more storage carbon.
         let frontier = HpcSystem::frontier();
-        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap();
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb.spec()).unwrap();
         assert!(w.after > w.before);
 
         // 43,438 HDDs x 16 TB = 695,008,000 GB -> 217,190 SSDs at 3.2 TB.
@@ -184,7 +188,7 @@ mod tests {
     #[test]
     fn capacity_is_preserved_up_to_rounding() {
         let frontier = HpcSystem::frontier();
-        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap();
+        let w = swap_storage_tier(&frontier, PartId::Hdd16tb, PartId::Ssd3_2tb.spec()).unwrap();
         let before_gb = PartId::Hdd16tb.spec().capacity.unwrap().as_gb()
             * frontier.count_of(PartId::Hdd16tb) as f64;
         let after_gb = PartId::Ssd3_2tb.spec().capacity.unwrap().as_gb()
@@ -242,7 +246,7 @@ mod tests {
     #[test]
     fn swap_requires_presence() {
         let p = HpcSystem::perlmutter(); // all-flash, no HDD
-        let e = swap_storage_tier(&p, PartId::Hdd16tb, PartId::Ssd3_2tb).unwrap_err();
+        let e = swap_storage_tier(&p, PartId::Hdd16tb, PartId::Ssd3_2tb.spec()).unwrap_err();
         assert_eq!(e, WhatIfError::NoSourceUnits(PartId::Hdd16tb));
         assert!(e.to_string().contains("holds no"));
     }
@@ -250,7 +254,7 @@ mod tests {
     #[test]
     fn swap_requires_capacities() {
         let f = HpcSystem::frontier();
-        let e = swap_storage_tier(&f, PartId::Hdd16tb, PartId::CpuEpyc7763).unwrap_err();
+        let e = swap_storage_tier(&f, PartId::Hdd16tb, PartId::CpuEpyc7763.spec()).unwrap_err();
         assert_eq!(e, WhatIfError::MissingCapacity(PartId::CpuEpyc7763));
     }
 

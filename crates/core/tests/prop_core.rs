@@ -126,7 +126,7 @@ fn inventory_scaling_matches_unit_sums() {
         let manual: f64 = sys
             .inventory
             .iter()
-            .map(|(part, count)| part.spec().embodied().total().as_g() * *count as f64)
+            .map(|(spec, count)| spec.embodied().total().as_g() * *count as f64)
             .sum();
         assert!((direct - manual).abs() < manual * 1e-12);
     }

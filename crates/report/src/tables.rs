@@ -68,14 +68,14 @@ pub fn table2() -> Artifact {
         let cpu = sys
             .inventory
             .iter()
-            .find(|(p, _)| p.spec().class == hpcarbon_core::embodied::ComponentClass::Cpu)
-            .map(|(p, _)| p.spec().component)
+            .find(|(p, _)| p.class == hpcarbon_core::embodied::ComponentClass::Cpu)
+            .map(|(p, _)| p.component)
             .unwrap_or("-");
         let gpu = sys
             .inventory
             .iter()
-            .find(|(p, _)| p.spec().class == hpcarbon_core::embodied::ComponentClass::Gpu)
-            .map(|(p, _)| p.spec().component)
+            .find(|(p, _)| p.class == hpcarbon_core::embodied::ComponentClass::Gpu)
+            .map(|(p, _)| p.component)
             .unwrap_or("-");
         md.row([
             sys.name.to_string(),

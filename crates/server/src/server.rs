@@ -127,12 +127,21 @@ impl Server {
     /// port) and prepares the service. Nothing is served until
     /// [`Server::run`].
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        Server::bind_with(addr, config, hpcarbon_api::Estimator::builder().build())
+    }
+
+    /// [`Server::bind`] with an explicit estimator — the `hpcarbon
+    /// serve --catalog DIR` path plugs a catalog-backed embodied source
+    /// in here. The estimator must be a pure function of each request
+    /// (the provider contract), or response caching would be unsound.
+    pub fn bind_with(
+        addr: &str,
+        config: ServerConfig,
+        estimator: hpcarbon_api::Estimator,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        let service = EstimateService::new(
-            hpcarbon_api::Estimator::builder().build(),
-            config.cache_capacity,
-        )
-        .with_max_body_bytes(config.max_body_bytes);
+        let service = EstimateService::new(estimator, config.cache_capacity)
+            .with_max_body_bytes(config.max_body_bytes);
         Ok(Server {
             listener,
             service: Arc::new(service),

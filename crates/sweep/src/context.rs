@@ -20,7 +20,7 @@ use crate::exec::SweepConfig;
 use crate::grid::ScenarioGrid;
 use crate::scenario::{Scenario, ScenarioError, ScenarioOutcome};
 use hpcarbon_api::context::partner_region;
-use hpcarbon_api::providers::{CatalogEmbodied, DispatchIntensity, GeneratedJobs};
+use hpcarbon_api::providers::{CatalogEmbodied, DispatchIntensity, EmbodiedSource, GeneratedJobs};
 use hpcarbon_api::{EstimateContext, Estimator, JobKey, TraceKey};
 use hpcarbon_sim::rng::SimRng;
 use std::collections::BTreeSet;
@@ -60,6 +60,21 @@ impl SweepContext {
     /// parallelism). Cost is proportional to **distinct keys** — for
     /// the paper grids a handful of traces — not to `grid.len()`.
     pub fn build(grid: &ScenarioGrid, config: SweepConfig, threads: Option<usize>) -> SweepContext {
+        Self::build_with(grid, config, threads, Arc::new(CatalogEmbodied))
+    }
+
+    /// [`SweepContext::build`] with an explicit embodied source — the
+    /// `--catalog DIR` path. The grid's `system` dimension then
+    /// resolves every inventory (and the all-flash what-if's
+    /// replacement SSD) against `embodied` instead of the built-in
+    /// tables; with the default [`CatalogEmbodied`] the two
+    /// constructors are byte-identical.
+    pub fn build_with(
+        grid: &ScenarioGrid,
+        config: SweepConfig,
+        threads: Option<usize>,
+        embodied: Arc<dyn EmbodiedSource>,
+    ) -> SweepContext {
         let mut trace_keys: BTreeSet<TraceKey> = BTreeSet::new();
         let mut job_keys: BTreeSet<JobKey> = BTreeSet::new();
         // The sweep translates scenarios with `partner: None`, so a
@@ -90,11 +105,14 @@ impl SweepContext {
             job_keys,
             system_keys,
             &DispatchIntensity,
-            &CatalogEmbodied,
+            &embodied,
             &GeneratedJobs,
             threads,
         ));
-        let estimator = Estimator::builder().context(Arc::clone(&context)).build();
+        let estimator = Estimator::builder()
+            .context(Arc::clone(&context))
+            .embodied(embodied)
+            .build();
         SweepContext {
             config,
             estimator,

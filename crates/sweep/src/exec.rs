@@ -49,6 +49,7 @@ use crate::shard::ShardSpec;
 use crate::sink::{CollectSink, RowSink, SinkDigest};
 use crate::summary::SummaryAccumulator;
 use crate::table::{summary_markdown, MetricSummary, SweepRow};
+use hpcarbon_api::providers::EmbodiedSource;
 use hpcarbon_sim::par::worker_count;
 use std::cmp::{Ordering as CmpOrdering, Reverse};
 use std::collections::BinaryHeap;
@@ -57,7 +58,7 @@ use std::io;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Per-scenario workload knobs shared by every grid point.
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +185,7 @@ pub struct Sweep<'a> {
     shard: Option<(usize, usize)>,
     top: usize,
     sinks: Vec<&'a mut dyn RowSink>,
+    embodied: Option<Arc<dyn EmbodiedSource>>,
 }
 
 impl<'a> Sweep<'a> {
@@ -197,6 +199,7 @@ impl<'a> Sweep<'a> {
             shard: None,
             top: 5,
             sinks: Vec::new(),
+            embodied: None,
         }
     }
 
@@ -232,6 +235,15 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Resolves the grid's `system` dimension (and the all-flash
+    /// what-if's replacement part) against an explicit embodied source
+    /// — the `hpcarbon sweep --catalog DIR` path. Defaults to the
+    /// built-in Table 1/2 tables.
+    pub fn embodied(mut self, source: Arc<dyn EmbodiedSource>) -> Sweep<'a> {
+        self.embodied = Some(source);
+        self
+    }
+
     /// Evaluates the configured slice of the grid, streaming every row
     /// through the attached sinks in grid order.
     ///
@@ -255,7 +267,12 @@ impl<'a> Sweep<'a> {
             .threads
             .unwrap_or_else(|| worker_count(range.len()))
             .clamp(1, range.len().max(1));
-        let ctx = SweepContext::build(self.grid, self.config, Some(workers));
+        let ctx = match self.embodied.take() {
+            Some(embodied) => {
+                SweepContext::build_with(self.grid, self.config, Some(workers), embodied)
+            }
+            None => SweepContext::build(self.grid, self.config, Some(workers)),
+        };
         let mut acc = SummaryAccumulator::new(self.top);
 
         for sink in self.sinks.iter_mut() {

@@ -1,8 +1,9 @@
 //! `hpcarbon` — command-line front end to the sustainable-hpc framework.
 //!
 //! ```text
-//! hpcarbon estimate --request FILE [--threads N] [--out FILE]
+//! hpcarbon estimate --request FILE [--threads N] [--out FILE] [--catalog DIR]
 //! hpcarbon serve    [--addr A] [--shards N] [--workers N] [--cache N] [--max-body BYTES]
+//!                   [--catalog DIR]
 //! hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]
 //!                   [--grid quick|shifting|default] [--jobs N] [--request FILE]
 //!                   [--wait S] [--connect-retries N] [--out FILE] [--save-response FILE]
@@ -13,8 +14,9 @@
 //! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G | --region R] [--usage F]
 //! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]
 //! hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]
-//!                   [--top K] [--quick | --shifting] [--shard i/N]
+//!                   [--top K] [--quick | --shifting] [--shard i/N] [--catalog DIR]
 //! hpcarbon sweep    --merge DIR... [--out DIR]
+//! hpcarbon catalog  validate|list|show|export   plain-text hardware catalogs
 //! ```
 //!
 //! Argument parsing is hand-rolled (the offline dependency set has no CLI
@@ -47,6 +49,7 @@ fn main() {
         Some("advisor") => cmd_advisor(&args[1..]),
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("catalog") => cmd_catalog(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             0
@@ -63,8 +66,9 @@ fn main() {
 fn print_usage() {
     println!(
         "hpcarbon — carbon footprint estimation for HPC systems (SC'23 reproduction)\n\n\
-         USAGE:\n  hpcarbon estimate --request FILE [--threads N] [--out FILE]\n  \
-         hpcarbon serve    [--addr A] [--shards N] [--workers N] [--cache N] [--max-body BYTES]\n  \
+         USAGE:\n  hpcarbon estimate --request FILE [--threads N] [--out FILE] [--catalog DIR]\n  \
+         hpcarbon serve    [--addr A] [--shards N] [--workers N] [--cache N] [--max-body BYTES]\n                    \
+         [--catalog DIR]\n  \
          hpcarbon loadgen  [--addr A] [--requests N] [--concurrency C] [--seed N]\n                    \
          [--grid quick|shifting|default] [--jobs N] [--request FILE]\n                    \
          [--wait S] [--connect-retries N] [--out FILE] [--save-response FILE]\n  \
@@ -73,8 +77,12 @@ fn print_usage() {
          [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
          hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
          hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]\n                    \
-         [--top K] [--quick | --shifting] [--shard i/N]\n  \
-         hpcarbon sweep    --merge DIR... [--out DIR]\n\n\
+         [--top K] [--quick | --shifting] [--shard i/N] [--catalog DIR]\n  \
+         hpcarbon sweep    --merge DIR... [--out DIR]\n  \
+         hpcarbon catalog  validate [--catalog DIR]\n  \
+         hpcarbon catalog  list     [--catalog DIR]\n  \
+         hpcarbon catalog  show ID  [--catalog DIR]\n  \
+         hpcarbon catalog  export   [--out DIR]\n\n\
          serve puts the same front door behind a std-only epoll event\n\
          loop (--shards readiness loops, cache hits answered in place;\n\
          uncached estimation on --workers threads): POST /v1/estimate\n\
@@ -113,7 +121,15 @@ fn print_usage() {
          region-years.\n\n\
          advisor answers the upgrade question through the API: --intensity\n\
          pins a flat grid (a FlatIntensity provider), --region evaluates\n\
-         at a simulated region's median intensity instead."
+         at a simulated region's median intensity instead.\n\n\
+         catalog manages plain-text hardware catalogs (docs/CATALOG.md):\n\
+         validate loads a directory strictly and prints every\n\
+         line-numbered diagnostic; list and show browse the loaded\n\
+         entities (show traces a system's bill of materials to its\n\
+         entity files); export writes the built-in Table 1/2/3 data as\n\
+         a canonical catalog tree whose reload is bit-identical to the\n\
+         shipped tables. estimate, sweep, and serve accept --catalog DIR\n\
+         to swap that catalog in as the embodied-carbon source."
     );
 }
 
@@ -122,6 +138,25 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Loads `--catalog DIR` as an embodied source; `Ok(None)` when the flag
+/// is absent (the built-in tables apply). A failing load prints every
+/// line-numbered diagnostic — the same strict validation as
+/// `hpcarbon catalog validate`.
+fn catalog_flag(args: &[String]) -> Result<Option<CatalogSource>, i32> {
+    match flag(args, "--catalog") {
+        None => Ok(None),
+        Some(dir) => match CatalogSource::load(&dir) {
+            Ok(source) => Ok(Some(source)),
+            Err(errors) => {
+                let n = errors.0.len();
+                eprintln!("{errors}");
+                eprintln!("{dir}: {n} catalog error(s)");
+                Err(1)
+            }
+        },
+    }
 }
 
 fn cmd_estimate(args: &[String]) -> i32 {
@@ -154,6 +189,11 @@ fn cmd_estimate(args: &[String]) -> i32 {
                 return 2;
             }
         }
+    }
+    match catalog_flag(args) {
+        Ok(Some(source)) => builder = builder.embodied(source),
+        Ok(None) => {}
+        Err(c) => return c,
     }
     let results = builder.build().estimate_batch(&requests);
     let json = batch_to_json(&results);
@@ -226,7 +266,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         Err(c) => return c,
     }
 
-    let server = match Server::bind(&addr, config.clone()) {
+    let estimator = match catalog_flag(args) {
+        Ok(Some(source)) => Estimator::builder().embodied(source).build(),
+        Ok(None) => Estimator::builder().build(),
+        Err(c) => return c,
+    };
+    let server = match Server::bind_with(&addr, config.clone(), estimator) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -651,6 +696,10 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .unwrap_or(5);
     let out = flag(args, "--out").unwrap_or_else(|| "out/sweep".into());
     let dir = std::path::Path::new(&out);
+    let catalog = match catalog_flag(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
 
     let fingerprint = grid_fingerprint(&grid, &config);
     if let Some(spec) = shard {
@@ -698,6 +747,9 @@ fn cmd_sweep(args: &[String]) -> i32 {
         .top(top)
         .sink(&mut csv)
         .sink(&mut json);
+    if let Some(source) = catalog {
+        sweep = sweep.embodied(std::sync::Arc::new(source));
+    }
     if let Some(t) = threads {
         sweep = sweep.threads(t);
     }
@@ -881,4 +933,141 @@ fn cmd_schedule(args: &[String]) -> i32 {
         sustainable_hpc::report::tables::shifting_comparison(&rows)
     );
     0
+}
+
+/// `hpcarbon catalog validate|list|show|export` — manage plain-text
+/// hardware catalogs (format spec: docs/CATALOG.md).
+fn cmd_catalog(args: &[String]) -> i32 {
+    use sustainable_hpc::catalog::{export_builtin, node_slug, part_slug, region_slug};
+
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("catalog requires a subcommand (valid values: validate, list, show, export)");
+        return 2;
+    };
+    let rest = &args[1..];
+
+    // export writes the built-in tables; it does not read a catalog.
+    if sub == "export" {
+        let out = flag(rest, "--out").unwrap_or_else(|| "catalog".into());
+        return match export_builtin(&out) {
+            Ok(()) => {
+                println!(
+                    "exported the built-in tables to {out}/ (13 parts, 5 process nodes, 3 systems, 7 regions)"
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("cannot write {out}: {e}");
+                1
+            }
+        };
+    }
+
+    let dir = flag(rest, "--catalog").unwrap_or_else(|| "catalog".into());
+    let catalog = match Catalog::load(&dir) {
+        Ok(c) => c,
+        Err(errors) => {
+            let n = errors.0.len();
+            eprintln!("{errors}");
+            eprintln!("{dir}: {n} catalog error(s)");
+            return 1;
+        }
+    };
+
+    match sub {
+        "validate" => {
+            println!(
+                "{dir}: OK ({} parts, {} process nodes, {} systems, {} regions)",
+                catalog.parts().len(),
+                catalog.nodes().len(),
+                catalog.systems().len(),
+                catalog.regions().len()
+            );
+            0
+        }
+        "list" => {
+            for p in catalog.parts() {
+                println!("part          {:<22} {}", part_slug(p.spec.id), p.source);
+            }
+            for n in catalog.nodes() {
+                println!("process-node  {:<22} {}", node_slug(n.node), n.source);
+            }
+            for s in catalog.systems() {
+                println!("system        {:<22} {}", s.id, s.source);
+            }
+            for r in catalog.regions() {
+                println!("region        {:<22} {}", region_slug(r.id), r.source);
+            }
+            0
+        }
+        "show" => {
+            let Some(id) = rest.first().filter(|a| !a.starts_with("--")) else {
+                eprintln!("show requires an entity id (try `hpcarbon catalog list`)");
+                return 2;
+            };
+            if let Some(p) = catalog.parts().iter().find(|p| part_slug(p.spec.id) == *id) {
+                let spec = &p.spec;
+                println!("part {id} ({})", p.source);
+                println!("  part-name : {}", spec.part_name);
+                println!("  component : {}", spec.component);
+                println!(
+                    "  class     : {:<6} release {:04}-{:02}",
+                    spec.class.label(),
+                    spec.release.0,
+                    spec.release.1
+                );
+                println!(
+                    "  embodied  : {:.2} kgCO2 (packaging {:.1}%)",
+                    spec.embodied().total().as_kg(),
+                    spec.embodied().packaging_share().percent()
+                );
+            } else if let Some(n) = catalog.nodes().iter().find(|n| node_slug(n.node) == *id) {
+                println!("process-node {id} ({})", n.source);
+                println!("  label : {}", n.label);
+                println!(
+                    "  fab densities : fpa {} / gpa {} / mpa {} gCO2 per cm2",
+                    n.densities.fpa.as_g_per_cm2(),
+                    n.densities.gpa.as_g_per_cm2(),
+                    n.densities.mpa.as_g_per_cm2()
+                );
+            } else if let Some(s) = catalog.systems().iter().find(|s| s.id == *id) {
+                let sys = &s.system;
+                println!("system {id} ({})", s.source);
+                println!("  name     : {} — {}", sys.name, sys.location);
+                println!("  cores    : {}  deployed {}", sys.cores, sys.year);
+                println!("  bill of materials ({} link lines):", s.links.len());
+                for link in &s.links {
+                    let each = catalog
+                        .part(link.part)
+                        .expect("loaded catalogs resolve every link")
+                        .embodied()
+                        .total();
+                    println!(
+                        "    {}:{:<3} {:<22} x {:>6} = {:>8.1} tCO2",
+                        s.source,
+                        link.line,
+                        part_slug(link.part),
+                        link.count,
+                        each.as_t() * link.count as f64
+                    );
+                }
+                println!("  embodied total : {:.1} tCO2", sys.embodied_total().as_t());
+            } else if let Some(r) = catalog.regions().iter().find(|r| region_slug(r.id) == *id) {
+                println!("region {id} ({})", r.source);
+                println!("  short   : {}", r.short);
+                println!("  name    : {}", r.name);
+                println!("  country : {} ({})", r.country, r.region);
+            } else {
+                eprintln!("{dir}: no entity with id \"{id}\" (try `hpcarbon catalog list`)");
+                return 1;
+            }
+            0
+        }
+        other => {
+            eprintln!(
+                "unknown catalog subcommand \"{other}\" (valid values: validate, list, show, export)"
+            );
+            2
+        }
+    }
 }

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub use hpcarbon_api as api;
+pub use hpcarbon_catalog as catalog;
 pub use hpcarbon_core as core;
 pub use hpcarbon_grid as grid;
 pub use hpcarbon_power as power;
@@ -99,6 +100,7 @@ pub mod prelude {
         FootprintReport, IntensityProvider, PueProvider, PueSpec, StorageVariant, SystemId,
         UpgradePath,
     };
+    pub use hpcarbon_catalog::{Catalog, CatalogSource};
     pub use hpcarbon_core::db::{PartId, PartSpec};
     pub use hpcarbon_core::embodied::{ComponentClass, EmbodiedBreakdown};
     pub use hpcarbon_core::lifecycle::total_carbon;

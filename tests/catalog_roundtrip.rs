@@ -1,0 +1,139 @@
+//! Catalog integration: the byte-identity guarantee through the full
+//! estimator, and the golden malformed fixtures under
+//! `tests/fixtures/catalogs/` asserting the exact line-numbered
+//! diagnostics documented in `docs/CATALOG.md`.
+
+use sustainable_hpc::api::batch_to_json;
+use sustainable_hpc::catalog::export_builtin;
+use sustainable_hpc::prelude::*;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/catalogs")
+        .join(name)
+}
+
+/// Loads a malformed fixture and returns every diagnostic as a string.
+fn load_errors(name: &str) -> Vec<String> {
+    match Catalog::load(fixture(name)) {
+        Ok(_) => panic!("fixture {name} must not validate"),
+        Err(errors) => errors.0.iter().map(|e| e.to_string()).collect(),
+    }
+}
+
+// The tentpole acceptance: estimates through an exported catalog are
+// byte-identical to the built-in tables — same requests, same report
+// JSON, byte for byte.
+#[test]
+fn exported_catalog_estimates_are_byte_identical_to_builtin() {
+    let dir = std::env::temp_dir().join(format!("hpcarbon-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    export_builtin(&dir).unwrap();
+
+    let requests: Vec<EstimateRequest> = SystemId::ALL
+        .into_iter()
+        .map(|sys| EstimateRequest::paper_baseline(sys, OperatorId::Eso))
+        .collect();
+    let builtin = Estimator::builder().build().estimate_batch(&requests);
+    let catalog = Estimator::builder()
+        .embodied(CatalogSource::load(&dir).unwrap())
+        .build()
+        .estimate_batch(&requests);
+    assert_eq!(
+        batch_to_json(&builtin).into_bytes(),
+        batch_to_json(&catalog).into_bytes()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// Every malformed fixture fails strictly, leading with the exact
+// line-numbered diagnostic the format spec documents.
+#[test]
+fn missing_field_fixture_reports_the_omitted_key() {
+    let errors = load_errors("missing_field");
+    assert_eq!(
+        errors[0],
+        "parts/gpu-a100-pcie-40.ent:2: missing required field \"vendor\""
+    );
+}
+
+#[test]
+fn bad_unit_fixture_reports_the_unparsable_number() {
+    let errors = load_errors("bad_unit");
+    assert_eq!(
+        errors[0],
+        "parts/dram-64gb.ent:9: field \"epc-g-per-gb\" must be a finite number (got \"sixty-five\")"
+    );
+}
+
+#[test]
+fn dangling_link_fixture_reports_the_missing_part_file() {
+    let errors = load_errors("dangling_link");
+    assert_eq!(
+        errors[0],
+        "systems/frontier.ent:8: link references part \"gpu-mi250x\" which has no entity file in this catalog"
+    );
+}
+
+#[test]
+fn duplicate_id_fixture_reports_both_definitions() {
+    let errors = load_errors("duplicate_id");
+    assert_eq!(
+        errors[0],
+        "regions/eso2.ent:3: duplicate id \"eso\" (first defined in regions/eso.ent)"
+    );
+}
+
+// Incomplete catalogs are load-time errors, not estimate-time panics:
+// every fixture also trips the estimation-grade completeness checks.
+#[test]
+fn fixtures_fail_completeness_too() {
+    let errors = load_errors("dangling_link");
+    assert!(errors.iter().any(|e| e
+        == "catalog is missing part \"gpu-a100-pcie-40\" (an estimation-grade catalog defines all 13 built-in parts)"));
+    assert!(errors.iter().any(|e| e
+        == "catalog is missing system \"lumi\" (an estimation-grade catalog defines frontier, lumi, perlmutter)"));
+}
+
+// The CLI front end: `hpcarbon catalog validate` exits nonzero on a
+// malformed fixture and prints the same leading diagnostic to stderr.
+#[test]
+fn cli_validate_exits_nonzero_with_the_documented_error() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_hpcarbon"))
+        .args(["catalog", "validate", "--catalog"])
+        .arg(fixture("bad_unit"))
+        .output()
+        .expect("hpcarbon runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.starts_with(
+            "parts/dram-64gb.ent:9: field \"epc-g-per-gb\" must be a finite number (got \"sixty-five\")"
+        ),
+        "stderr was: {stderr}"
+    );
+}
+
+// The committed catalog/ tree at the repository root stays loadable and
+// canonical: re-exporting the built-ins reproduces it byte for byte.
+#[test]
+fn committed_catalog_tree_is_the_canonical_export() {
+    let committed = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("catalog");
+    let exported = std::env::temp_dir().join(format!("hpcarbon-canon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&exported);
+    export_builtin(&exported).unwrap();
+    for kind in ["parts", "nodes", "systems", "regions"] {
+        let mut names: Vec<String> = std::fs::read_dir(exported.join(kind))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        for name in names {
+            let want = std::fs::read(exported.join(kind).join(&name)).unwrap();
+            let got = std::fs::read(committed.join(kind).join(&name))
+                .unwrap_or_else(|e| panic!("catalog/{kind}/{name}: {e}"));
+            assert_eq!(got, want, "catalog/{kind}/{name} drifted from the export");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&exported);
+}

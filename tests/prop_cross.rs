@@ -118,7 +118,7 @@ proptest! {
             location: "nowhere",
             cores: 0,
             year: 2023,
-            inventory: vec![(PartId::GpuMi250x, count)],
+            inventory: vec![(PartId::GpuMi250x.spec(), count)],
         };
         let total = sys.embodied_total().as_g();
         prop_assert!((total - unit * count as f64).abs() < total * 1e-12 + 1e-9);
