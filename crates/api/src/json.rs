@@ -91,7 +91,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -124,7 +124,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -138,7 +138,7 @@ impl<'a> Parser<'a> {
                 return Err(self.err(format!("duplicate key \"{key}\"")));
             }
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -155,7 +155,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, ParseError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -178,7 +178,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -247,9 +247,12 @@ impl<'a> Parser<'a> {
                         _ => 4,
                     };
                     let bytes = &self.bytes[self.pos..self.pos + len];
-                    let s = std::str::from_utf8(bytes).expect("input came from &str");
-                    let ch = s.chars().next().expect("non-empty scalar");
-                    out.push(ch);
+                    // The byte stream came from a &str, so this is
+                    // already-valid UTF-8: lossy decoding borrows it
+                    // unchanged and the fallbacks are unreachable — this
+                    // path cannot panic.
+                    let s = String::from_utf8_lossy(bytes);
+                    out.push(s.chars().next().unwrap_or(char::REPLACEMENT_CHARACTER));
                     self.pos += len;
                 }
             }
@@ -307,7 +310,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        // The scanned span holds only ASCII sign/digit/dot/exponent
+        // bytes, so lossy decoding borrows it verbatim — no panic path.
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         // Rust's f64 parse never fails on valid JSON number syntax — it
         // returns ±inf on overflow. JSON cannot represent non-finite
         // values, and letting one in would make every emitter downstream

@@ -390,13 +390,13 @@ fn policy_from_json(j: &Json) -> Result<Policy, ParseError> {
         }
     };
     let get_num = |key: &'static str, default: f64| -> Result<f64, ParseError> {
-        match j.get(key.split('.').next_back().expect("non-empty key")) {
+        match j.get(key.split('.').next_back().unwrap_or(key)) {
             Some(v) => as_num(key, v),
             None => Ok(default),
         }
     };
     let get_u32 = |key: &'static str, default: u32| -> Result<u32, ParseError> {
-        match j.get(key.split('.').next_back().expect("non-empty key")) {
+        match j.get(key.split('.').next_back().unwrap_or(key)) {
             Some(v) => as_u32(key, v),
             None => Ok(default),
         }

@@ -9,17 +9,24 @@
 //! [`crate::CatalogSource`]) and the intern table deduplicates across
 //! reloads, so repeated loads of the same catalog allocate nothing new.
 
-use std::collections::HashSet;
-use std::sync::{Mutex, OnceLock};
+use std::collections::BTreeSet;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
-static TABLE: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+// An ordered set rather than a hash set: the table is never iterated
+// today, but `hash-iteration-order` (docs/LINTS.md) bans hash-ordered
+// collections from deterministic crates outright so one can never
+// *start* being iterated.
+static TABLE: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
 
 /// Returns a `'static` copy of `s`, allocating only on first sight.
 pub(crate) fn intern(s: &str) -> &'static str {
+    // Poison recovery is sound here: the only mutation is `insert` of a
+    // fully-leaked string, so a panicking peer can never leave a
+    // half-built entry behind.
     let mut table = TABLE
-        .get_or_init(|| Mutex::new(HashSet::new()))
+        .get_or_init(|| Mutex::new(BTreeSet::new()))
         .lock()
-        .expect("intern table lock");
+        .unwrap_or_else(PoisonError::into_inner);
     if let Some(found) = table.get(s) {
         return found;
     }

@@ -6,15 +6,17 @@ use hpcarbon_api::providers::EmbodiedSource;
 use hpcarbon_api::SystemId;
 use hpcarbon_core::db::{PartId, PartSpec};
 use hpcarbon_core::systems::HpcSystem;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Loaded catalogs, memoized per canonical directory path. Estimators,
 /// sweeps, and server shards asking for the same `--catalog DIR` share
 /// one parsed [`Catalog`] — loading is strict and eager, so the cost
-/// is paid once and every later lookup is a map read.
-static LOADED: OnceLock<Mutex<HashMap<PathBuf, Arc<Catalog>>>> = OnceLock::new();
+/// is paid once and every later lookup is a map read. Ordered map by
+/// policy (`hash-iteration-order`, docs/LINTS.md): deterministic crates
+/// carry no hash-ordered collections.
+static LOADED: OnceLock<Mutex<BTreeMap<PathBuf, Arc<Catalog>>>> = OnceLock::new();
 
 /// An [`EmbodiedSource`] backed by a plain-text catalog directory.
 ///
@@ -49,8 +51,15 @@ impl CatalogSource {
         // cache slot; an unresolvable path falls through to `load`,
         // which reports it as a catalog error.
         let key = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
-        let cache = LOADED.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(found) = cache.lock().expect("catalog cache lock").get(&key) {
+        // Poison recovery is sound for this map: entries are inserted
+        // fully built (`Arc<Catalog>`), so a panicking peer can at worst
+        // cost a redundant reload, never expose a partial catalog.
+        let cache = LOADED.get_or_init(|| Mutex::new(BTreeMap::new()));
+        if let Some(found) = cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&key)
+        {
             return Ok(CatalogSource {
                 catalog: Arc::clone(found),
             });
@@ -58,7 +67,7 @@ impl CatalogSource {
         let loaded = Arc::new(Catalog::load(dir)?);
         cache
             .lock()
-            .expect("catalog cache lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(key, Arc::clone(&loaded));
         Ok(CatalogSource { catalog: loaded })
     }
@@ -78,6 +87,7 @@ impl EmbodiedSource for CatalogSource {
     fn build_system(&self, system: SystemId) -> HpcSystem {
         self.catalog
             .system(system.label())
+            // lint: allow(panic-in-library) -- Catalog::load's completeness check rejects any catalog missing a required SystemId, so a constructed CatalogSource always resolves every label
             .expect("estimation-grade catalogs define every SystemId")
             .system
             .clone()
@@ -87,6 +97,7 @@ impl EmbodiedSource for CatalogSource {
         *self
             .catalog
             .part(part)
+            // lint: allow(panic-in-library) -- Catalog::load's completeness check requires all 13 PartIds, so a constructed CatalogSource always resolves every part
             .expect("estimation-grade catalogs define every PartId")
     }
 }

@@ -126,6 +126,7 @@ impl PartSpec {
             EmbodiedInputs::MemoryStorage { epc } => {
                 let cap = self
                     .capacity
+                    // lint: allow(panic-in-library) -- table invariant, asserted by the db unit tests: every MemoryStorage part row sets `capacity`
                     .expect("memory/storage parts always declare capacity");
                 memory_manufacturing(epc, cap)
             }

@@ -87,17 +87,20 @@ pub fn rank(candidates: &[PartId], weights: RfpWeights) -> Vec<RfpScore> {
         .map(|p| {
             p.spec()
                 .fp64_peak
+                // lint: allow(panic-in-library) -- documented "# Panics" contract: rank() only accepts processor candidates, which all declare FP64 ratings
                 .expect("RFP candidates must have FP64 ratings")
                 .as_tflops()
         })
         .collect();
     let em_per: Vec<f64> = candidates
         .iter()
+        // lint: allow(panic-in-library) -- same documented contract: embodied_per_tflops is Some whenever fp64_peak is, checked just above
         .map(|p| p.spec().embodied_per_tflops().expect("has FP64"))
         .collect();
     let pw_per: Vec<f64> = candidates
         .iter()
         .zip(&perf)
+        // lint: allow(panic-in-library) -- same documented contract: every processor PartSpec in the built-in table declares a TDP
         .map(|(p, tf)| p.spec().tdp.expect("candidates declare TDP").as_w() / tf)
         .collect();
 
@@ -129,7 +132,9 @@ pub fn rank(candidates: &[PartId], weights: RfpWeights) -> Vec<RfpScore> {
             }
         })
         .collect();
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("scores are finite"));
+    // `Fraction` values are finite by construction, so `total_cmp` on the
+    // raw values orders exactly as `partial_cmp` did — minus the panic arm.
+    scores.sort_by(|a, b| b.score.value().total_cmp(&a.score.value()));
     scores
 }
 

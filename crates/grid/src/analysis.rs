@@ -58,12 +58,11 @@ pub fn regional_summary(traces: &[IntensityTrace]) -> Vec<RegionSummary> {
 pub fn lowest_median_region(summaries: &[RegionSummary]) -> OperatorId {
     summaries
         .iter()
-        .min_by(|a, b| {
-            a.boxplot
-                .median
-                .partial_cmp(&b.boxplot.median)
-                .expect("medians are finite")
-        })
+        // Medians come out of `BoxplotStats::compute`, which rejects
+        // non-finite samples, so `total_cmp` orders them identically to
+        // the old `partial_cmp(..).expect(..)` without the panic arm.
+        .min_by(|a, b| a.boxplot.median.total_cmp(&b.boxplot.median))
+        // lint: allow(panic-in-library) -- callers pass the fixed compared-region set (asserted ≥ 2 at trace load); an empty slice is a caller bug worth a loud stop
         .expect("non-empty summary list")
         .operator
 }
@@ -96,6 +95,7 @@ impl WinnerCounts {
             .iter()
             .enumerate()
             .max_by_key(|(_, c)| c[hour])
+            // lint: allow(panic-in-library) -- WinnerCounts is only constructed by winner_counts(), which requires ≥ 2 traces, so `counts` is never empty
             .expect("non-empty")
             .0;
         self.operators[idx]
@@ -107,6 +107,7 @@ impl WinnerCounts {
             .operators
             .iter()
             .position(|o| *o == op)
+            // lint: allow(panic-in-library) -- asking for a region that was not part of the comparison is a caller bug; silently returning 0 would fabricate a result
             .expect("operator present");
         self.counts[idx].iter().sum()
     }
@@ -125,6 +126,7 @@ impl WinnerCounts {
 pub fn winner_counts(traces: &[IntensityTrace], tz: TimeZone) -> WinnerCounts {
     match try_winner_counts(traces, tz) {
         Ok(w) => w,
+        // lint: allow(panic-in-library) -- documented "# Panics" convenience wrapper; try_winner_counts is the typed-error form
         Err(e) => panic!("{e}"),
     }
 }
@@ -299,6 +301,7 @@ pub fn seasonal_summary(trace: &IntensityTrace) -> Vec<SeasonalSummary> {
         let idx = Season::ALL
             .iter()
             .position(|s| *s == season)
+            // lint: allow(panic-in-library) -- Season::ALL is exhaustive over the Season enum by definition, so the position always exists
             .expect("season in ALL");
         buckets[idx].push(v);
     }
@@ -307,6 +310,7 @@ pub fn seasonal_summary(trace: &IntensityTrace) -> Vec<SeasonalSummary> {
         .zip(buckets)
         .map(|(season, values)| SeasonalSummary {
             season: *season,
+            // lint: allow(panic-in-library) -- a year-long hourly trace puts ≥ 2000 samples in every season bucket, so compute never sees an empty slice
             boxplot: BoxplotStats::compute(&values).expect("every season has hours"),
         })
         .collect()

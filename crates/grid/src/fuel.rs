@@ -154,6 +154,7 @@ impl GenerationMix {
         Fuel::ALL
             .iter()
             .position(|f| *f == fuel)
+            // lint: allow(panic-in-library) -- Fuel::ALL is exhaustive over the Fuel enum by definition, so the position always exists
             .expect("fuel in ALL")
     }
 }

@@ -58,6 +58,7 @@ impl IntensityTrace {
 
     /// Fig. 6(a)'s box-plot summary of the annual distribution.
     pub fn boxplot(&self) -> BoxplotStats {
+        // lint: allow(panic-in-library) -- IntensityTrace construction rejects empty series, so compute always has samples
         BoxplotStats::compute(self.series.values()).expect("trace is non-empty")
     }
 

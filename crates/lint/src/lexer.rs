@@ -1,0 +1,547 @@
+//! A hand-rolled, string/char/comment-aware Rust token scanner.
+//!
+//! This is deliberately **not** a parser: every rule hpclint enforces
+//! (see [`crate::rules`]) is expressible over a flat token stream plus
+//! the comment text, so a full grammar — and with it a `syn` dependency
+//! the vendored-only policy forbids — buys nothing. The scanner's one
+//! job is to never confuse the inside of a string, char literal, or
+//! comment with code: `let s = "unsafe { panic!() }";` must produce a
+//! single string token, and `// HashMap is fine to mention here` must
+//! land in the comment list, not the token stream.
+//!
+//! Coverage includes the literal forms real workspace code uses: line
+//! and (nested) block comments, doc comments, string / raw string
+//! (`r"…"`, `r#"…"#`, any hash depth) / byte string / raw byte string
+//! literals, char and byte-char literals with escapes, lifetimes
+//! (disambiguated from char literals), numeric literals with suffixes,
+//! and multi-byte identifiers.
+
+/// One lexed token. Whitespace and comments never appear here —
+/// comments are reported separately as [`Comment`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `expect`, …).
+    Ident {
+        /// 1-based source line.
+        line: usize,
+        /// The identifier text.
+        text: String,
+    },
+    /// A single punctuation byte (`.`, `:`, `!`, `(`, `{`, …).
+    /// Multi-byte operators arrive as consecutive tokens; the rules
+    /// match sequences, so `::` is simply two `:` tokens.
+    Punct {
+        /// 1-based source line.
+        line: usize,
+        /// The punctuation character.
+        ch: char,
+    },
+    /// A string literal (any flavor), with the raw source text
+    /// including quotes and any `r#` framing.
+    Str {
+        /// 1-based source line the literal starts on.
+        line: usize,
+        /// The literal as written, quotes included.
+        raw: String,
+    },
+    /// A char or byte-char literal.
+    Char {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A lifetime (`'a`, `'static`).
+    Lifetime {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A numeric literal (integers, floats, any radix or suffix).
+    Num {
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+impl Tok {
+    /// The 1-based source line this token starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tok::Ident { line, .. }
+            | Tok::Punct { line, .. }
+            | Tok::Str { line, .. }
+            | Tok::Char { line }
+            | Tok::Lifetime { line }
+            | Tok::Num { line } => *line,
+        }
+    }
+
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident { text, .. } => Some(text.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True when this is the punctuation character `ch`.
+    pub fn is_punct(&self, want: char) -> bool {
+        matches!(self, Tok::Punct { ch, .. } if *ch == want)
+    }
+}
+
+/// One comment (line, block, or doc), with its text as written —
+/// framing (`//`, `///`, `/* */`) included. Block comments spanning
+/// several lines report the line they start on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (equal to `line` for line
+    /// comments).
+    pub end_line: usize,
+    /// The raw comment text.
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. The scanner never fails: byte
+/// sequences it cannot classify become single punctuation tokens, which
+/// at worst makes a rule not match — it cannot make the inside of a
+/// string look like code.
+pub fn lex(src: &str) -> LexedFile {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = LexedFile::default();
+
+    while let Some(b) = s.peek() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek_at(1) == Some(b'/') => line_comment(&mut s, &mut out),
+            b'/' if s.peek_at(1) == Some(b'*') => block_comment(&mut s, &mut out),
+            b'r' | b'b' if starts_prefixed_literal(&s) => prefixed_literal(&mut s, &mut out),
+            b'"' => string_literal(&mut s, &mut out, 0),
+            b'\'' => quote(&mut s, &mut out),
+            b'0'..=b'9' => number(&mut s, &mut out),
+            _ if is_ident_start(b) => ident(&mut s, &mut out),
+            _ => {
+                let line = s.line;
+                s.bump();
+                out.tokens.push(Tok::Punct {
+                    line,
+                    ch: char::from(b),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn line_comment(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    let line = s.line;
+    let start = s.pos;
+    while let Some(b) = s.peek() {
+        if b == b'\n' {
+            break;
+        }
+        s.bump();
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: line,
+        text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+    });
+}
+
+fn block_comment(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    let line = s.line;
+    let start = s.pos;
+    s.bump();
+    s.bump(); // consume "/*"
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (s.peek(), s.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                s.bump();
+                s.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                s.bump();
+                s.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                s.bump();
+            }
+            (None, _) => break, // unterminated: tolerate, rustc will complain
+        }
+    }
+    out.comments.push(Comment {
+        line,
+        end_line: s.line,
+        text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+    });
+}
+
+/// Does the scanner sit on `r"`, `r#`, `b"`, `b'`, `br"`, or `br#`?
+fn starts_prefixed_literal(s: &Scanner<'_>) -> bool {
+    let b0 = s.peek();
+    let b1 = s.peek_at(1);
+    match (b0, b1) {
+        (Some(b'r'), Some(b'"' | b'#')) => true,
+        (Some(b'b'), Some(b'"' | b'\'')) => true,
+        (Some(b'b'), Some(b'r')) => matches!(s.peek_at(2), Some(b'"' | b'#')),
+        _ => false,
+    }
+}
+
+fn prefixed_literal(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    // Consume the prefix letters, then dispatch on what follows.
+    if s.peek() == Some(b'b') {
+        s.bump();
+        if s.peek() == Some(b'\'') {
+            // Byte-char literal b'x'.
+            let line = s.line;
+            char_literal_body(s);
+            out.tokens.push(Tok::Char { line });
+            return;
+        }
+    }
+    if s.peek() == Some(b'r') {
+        s.bump();
+        let mut hashes = 0usize;
+        while s.peek() == Some(b'#') {
+            s.bump();
+            hashes += 1;
+        }
+        // A lone `r#ident` is a raw identifier, not a string.
+        if s.peek() != Some(b'"') {
+            let line = s.line;
+            let start = s.pos;
+            while let Some(b) = s.peek() {
+                if !is_ident_continue(b) {
+                    break;
+                }
+                s.bump();
+            }
+            out.tokens.push(Tok::Ident {
+                line,
+                text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+            });
+            return;
+        }
+        raw_string_body(s, out, hashes);
+        return;
+    }
+    // Plain b"…" byte string.
+    string_literal(s, out, 0);
+}
+
+fn raw_string_body(s: &mut Scanner<'_>, out: &mut LexedFile, hashes: usize) {
+    let line = s.line;
+    let start = s.pos.saturating_sub(hashes + 1); // include r##… framing
+    s.bump(); // opening quote
+    loop {
+        match s.bump() {
+            None => break,
+            Some(b'"') => {
+                let mut seen = 0usize;
+                while seen < hashes && s.peek() == Some(b'#') {
+                    s.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    out.tokens.push(Tok::Str {
+        line,
+        raw: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+    });
+}
+
+fn string_literal(s: &mut Scanner<'_>, out: &mut LexedFile, _hashes: usize) {
+    let line = s.line;
+    let start = s.pos;
+    s.bump(); // opening quote
+    loop {
+        match s.bump() {
+            None | Some(b'"') => break,
+            Some(b'\\') => {
+                s.bump(); // escaped byte, whatever it is
+            }
+            Some(_) => {}
+        }
+    }
+    out.tokens.push(Tok::Str {
+        line,
+        raw: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+    });
+}
+
+/// `'` begins either a char literal or a lifetime. The disambiguation
+/// mirrors rustc's: `'\…'` and `'x'` are chars; `'ident` not followed
+/// by a closing quote is a lifetime.
+fn quote(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    let line = s.line;
+    match (s.peek_at(1), s.peek_at(2)) {
+        (Some(b'\\'), _) => {
+            char_literal_body(s);
+            out.tokens.push(Tok::Char { line });
+        }
+        (Some(c), Some(b'\'')) if c != b'\'' => {
+            // 'x' — a simple one-byte char literal.
+            s.bump();
+            s.bump();
+            s.bump();
+            out.tokens.push(Tok::Char { line });
+        }
+        (Some(c), _) if c >= 0x80 => {
+            // A multi-byte UTF-8 scalar ('é') is a char literal, never a
+            // lifetime — scan to the closing quote.
+            char_literal_body(s);
+            out.tokens.push(Tok::Char { line });
+        }
+        (Some(c), _) if is_ident_start(c) => {
+            // Lifetime: consume the quote + identifier.
+            s.bump();
+            while let Some(b) = s.peek() {
+                if !is_ident_continue(b) {
+                    break;
+                }
+                s.bump();
+            }
+            out.tokens.push(Tok::Lifetime { line });
+        }
+        _ => {
+            // Multi-byte char literal ('\u{1F600}' handled above via the
+            // escape arm; UTF-8 chars like 'é' land here): scan to the
+            // closing quote.
+            char_literal_body(s);
+            out.tokens.push(Tok::Char { line });
+        }
+    }
+}
+
+fn char_literal_body(s: &mut Scanner<'_>) {
+    s.bump(); // opening quote
+    loop {
+        match s.bump() {
+            None | Some(b'\'') => break,
+            Some(b'\\') => {
+                s.bump();
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+fn number(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    let line = s.line;
+    // Consume digits, radix prefixes, underscores, exponents, suffixes,
+    // and a fractional part. `1.method()` must not swallow the dot: only
+    // take `.` when a digit follows.
+    while let Some(b) = s.peek() {
+        match b {
+            b'e' | b'E' => {
+                s.bump();
+                if matches!(s.peek(), Some(b'+' | b'-')) {
+                    s.bump();
+                }
+            }
+            b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'x' | b'o' | b'_' | b'i' | b'u' => {
+                s.bump();
+            }
+            b'.' if matches!(s.peek_at(1), Some(b'0'..=b'9')) => {
+                s.bump();
+            }
+            _ if is_ident_continue(b) => {
+                s.bump(); // suffix tail (f64, usize, …)
+            }
+            _ => break,
+        }
+    }
+    out.tokens.push(Tok::Num { line });
+}
+
+fn ident(s: &mut Scanner<'_>, out: &mut LexedFile) {
+    let line = s.line;
+    let start = s.pos;
+    while let Some(b) = s.peek() {
+        if !is_ident_continue(b) {
+            break;
+        }
+        s.bump();
+    }
+    out.tokens.push(Tok::Ident {
+        line,
+        text: String::from_utf8_lossy(&s.src[start..s.pos]).into_owned(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn code_inside_strings_is_not_tokenized() {
+        let l = lex("let s = \"unsafe { panic!() } HashMap\";");
+        assert_eq!(
+            idents("let s = \"unsafe { panic!() } HashMap\";"),
+            ["let", "s"]
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| matches!(t, Tok::Str { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let src = "let s = r#\"a \"quoted\" unsafe\"#; let t = 1;";
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let src = "// SAFETY: fine\nlet x = 1; /* block\nunsafe */ let y = 2;";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert!(l.comments[0].text.contains("SAFETY:"));
+        assert_eq!(l.comments[1].line, 2);
+        assert_eq!(l.comments[1].end_line, 3);
+        assert!(!idents(src).contains(&"unsafe".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;";
+        assert_eq!(idents(src), ["let", "z"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let l = lex(src);
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t, Tok::Lifetime { .. }))
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t, Tok::Char { .. }))
+            .count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 1);
+    }
+
+    #[test]
+    fn char_escapes_do_not_derail() {
+        let src = "let q = '\\''; let n = '\\n'; let u = '\\u{1F600}'; done();";
+        assert_eq!(idents(src), ["let", "q", "let", "n", "let", "u", "done"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "let a = b'x'; let b2 = b\"bytes\"; let c = br#\"raw \" bytes\"#; end();";
+        assert_eq!(idents(src), ["let", "a", "let", "b2", "let", "c", "end"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let src = "a\nb\n\nc";
+        let l = lex(src);
+        let lines: Vec<usize> = l.tokens.iter().map(Tok::line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_with_method_calls_keep_the_dot() {
+        let src = "let x = 1.max(2); let y = 1.5f64;";
+        let l = lex(src);
+        assert!(l.tokens.iter().any(|t| t.ident() == Some("max")));
+        assert!(l.tokens.iter().any(|t| t.is_punct('.')));
+    }
+
+    #[test]
+    fn string_raw_text_is_preserved_verbatim() {
+        let src = r#"write!(f, "field \"{field}\" must be {expected}")"#;
+        let l = lex(src);
+        let raw = l
+            .tokens
+            .iter()
+            .find_map(|t| match t {
+                Tok::Str { raw, .. } => Some(raw.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        assert_eq!(raw, r#""field \"{field}\" must be {expected}""#);
+    }
+}

@@ -1,0 +1,197 @@
+//! `hpclint` — workspace-invariant static analysis for sustainable-hpc.
+//!
+//! The repo's headline guarantee is *byte-identical output across
+//! thread counts, shards, and cache states*. Golden tests catch a
+//! violation after it ships as wrong bytes; this crate catches the
+//! **causes** at review time, as named, mechanically-checked rules:
+//!
+//! | rule | contract enforced |
+//! |------|-------------------|
+//! | `wall-clock-in-deterministic-crate` | no `Instant::now`/`SystemTime::now` outside server/loadgen/bench |
+//! | `hash-iteration-order` | no `HashMap`/`HashSet` in deterministic crates |
+//! | `unsafe-needs-safety-comment` | `unsafe` only in the audited modules, each site `// SAFETY:`-annotated |
+//! | `panic-in-library` | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` on library paths |
+//! | `frozen-display-drift` | frozen `ApiError`/`CatalogError` `Display` strings match the committed registry |
+//!
+//! Diagnostics follow the house idiom — reported all at once, in
+//! deterministic order, anchored `{file}:{line}: {rule}: {message}` —
+//! and the inline suppression `// lint: allow(<rule>) -- <why>`
+//! *requires* the justification text. The full catalog, with examples,
+//! lives in `docs/LINTS.md`.
+//!
+//! The analysis is a hand-rolled string/char/comment-aware token
+//! scanner ([`lexer`]), not a parser: the vendored-only dependency
+//! policy rules out `syn`, and every invariant above is expressible
+//! over a flat token stream. The linter runs clean on itself — its own
+//! test suite lints `crates/lint` and the whole workspace.
+//!
+//! ```
+//! use hpcarbon_lint::{check_source, DisplayRegistry, FileClass};
+//!
+//! let registry = DisplayRegistry::default();
+//! let diags = check_source(
+//!     &FileClass::standalone("demo.rs"),
+//!     "fn f(x: Option<u32>) -> u32 { x.unwrap() }",
+//!     &registry,
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert!(diags[0].to_string().starts_with("demo.rs:1: panic-in-library:"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod suppress;
+
+pub use context::{FileClass, FileKind, NONDETERMINISTIC_CRATES, UNSAFE_ALLOWLIST};
+pub use diag::{Diagnostic, RuleId, ALL_RULES};
+pub use registry::DisplayRegistry;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Where the committed display registry lives, workspace-relative.
+pub const REGISTRY_PATH: &str = "crates/lint/display_registry.txt";
+
+/// An engine-level failure (I/O, malformed registry) — distinct from
+/// diagnostics, which are findings about the *code under analysis*.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A file or directory could not be read.
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+    /// The display registry file is malformed.
+    Registry(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io { path, err } => write!(f, "{path}: {err}"),
+            EngineError::Registry(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Lints one in-memory source file under the given classification —
+/// the composable core the CLI, the tests, and the fixtures all share.
+pub fn check_source(class: &FileClass, src: &str, registry: &DisplayRegistry) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let mut diags = rules::check_file(class, &lexed, registry);
+    diag::sort(&mut diags);
+    diags
+}
+
+fn read(root: &Path, rel: &str) -> Result<String, EngineError> {
+    let path = root.join(rel);
+    std::fs::read_to_string(&path).map_err(|err| EngineError::Io {
+        path: path.to_string_lossy().into_owned(),
+        err,
+    })
+}
+
+/// Loads the committed display registry from `root`.
+pub fn load_registry(root: &Path) -> Result<DisplayRegistry, EngineError> {
+    let text = read(root, REGISTRY_PATH)?;
+    DisplayRegistry::parse(&text)
+        .map_err(|e| EngineError::Registry(format!("{REGISTRY_PATH}: {e}")))
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file outside
+/// `vendor/`, `target/`, the data `catalog/`, and fixture trees, in
+/// deterministic order. Returns sorted diagnostics.
+pub fn lint_workspace(
+    root: &Path,
+    registry: &DisplayRegistry,
+) -> Result<Vec<Diagnostic>, EngineError> {
+    let files = context::walk_workspace(root).map_err(|err| EngineError::Io {
+        path: root.to_string_lossy().into_owned(),
+        err,
+    })?;
+    let mut diags = Vec::new();
+    for rel in &files {
+        let class = FileClass::classify(rel);
+        if class.kind == FileKind::TestLike {
+            continue;
+        }
+        let src = read(root, rel)?;
+        let lexed = lexer::lex(&src);
+        diags.extend(rules::check_file(&class, &lexed, registry));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Lints explicit paths (relative to `root`), each treated as
+/// **standalone deterministic library code** so every rule is live —
+/// the mode the golden violation fixtures use.
+pub fn lint_paths(
+    root: &Path,
+    rels: &[String],
+    registry: &DisplayRegistry,
+) -> Result<Vec<Diagnostic>, EngineError> {
+    let mut diags = Vec::new();
+    for rel in rels {
+        let class = FileClass::standalone(rel);
+        let src = read(root, rel)?;
+        let lexed = lexer::lex(&src);
+        diags.extend(rules::check_file(&class, &lexed, registry));
+    }
+    diag::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Re-extracts every registered-shape `Display` impl's format strings
+/// from the tree and renders them in registry file format — the
+/// `--dump-display` implementation. Only types already present in
+/// `registry` are emitted, so adding a frozen type is an explicit edit.
+pub fn dump_display(root: &Path, registry: &DisplayRegistry) -> Result<String, EngineError> {
+    let files = context::walk_workspace(root).map_err(|err| EngineError::Io {
+        path: root.to_string_lossy().into_owned(),
+        err,
+    })?;
+    let mut all: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for rel in &files {
+        let class = FileClass::classify(rel);
+        if class.kind == FileKind::TestLike {
+            continue;
+        }
+        let src = read(root, rel)?;
+        rules::extract_display_strings(&src, &mut all);
+    }
+    all.retain(|ty, _| registry.contains(ty) || registry.types().next().is_none());
+    Ok(DisplayRegistry::render(&all))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_source_sorts_and_renders_the_contract() {
+        let reg = DisplayRegistry::default();
+        let src = "fn f(x: Option<u32>) {\n    x.unwrap();\n    let t = Instant::now();\n}\n";
+        let d = check_source(&FileClass::standalone("demo.rs"), src, &reg);
+        assert_eq!(d.len(), 2);
+        // Sorted by line: unwrap on 2 before wall clock on 3.
+        assert_eq!(d[0].line, 2);
+        assert_eq!(d[1].line, 3);
+        assert_eq!(
+            d[1].to_string(),
+            "demo.rs:3: wall-clock-in-deterministic-crate: `Instant::now()` reads the wall \
+             clock in a deterministic crate; take time as an input or move the read into the \
+             server/loadgen/bench layer"
+        );
+    }
+}

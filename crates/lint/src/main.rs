@@ -1,0 +1,181 @@
+//! `hpclint` — the CLI over [`hpcarbon_lint`].
+//!
+//! ```text
+//! hpclint --workspace --deny all          # the CI gate
+//! hpclint tests/fixtures/lints/panic_paths.rs
+//! hpclint --list-rules
+//! hpclint --dump-display > crates/lint/display_registry.txt
+//! ```
+//!
+//! Exit codes: `0` clean, `1` at least one denied diagnostic, `2`
+//! usage or I/O error.
+
+use hpcarbon_lint::{
+    diag, dump_display, lint_paths, lint_workspace, load_registry, Diagnostic, DisplayRegistry,
+    EngineError, RuleId, ALL_RULES,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    workspace: bool,
+    paths: Vec<String>,
+    deny: Vec<RuleId>,
+    registry_override: Option<PathBuf>,
+    list_rules: bool,
+    dump_display: bool,
+}
+
+const USAGE: &str = "usage: hpclint [--root DIR] (--workspace | FILE...) \
+[--deny all|RULE[,RULE...]] [--registry PATH] [--list-rules] [--dump-display]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        workspace: false,
+        paths: Vec::new(),
+        deny: ALL_RULES.to_vec(),
+        registry_override: None,
+        list_rules: false,
+        dump_display: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-rules" => args.list_rules = true,
+            "--dump-display" => args.dump_display = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = PathBuf::from(v);
+            }
+            "--registry" => {
+                let v = it.next().ok_or("--registry needs a path")?;
+                args.registry_override = Some(PathBuf::from(v));
+            }
+            "--deny" => {
+                let v = it.next().ok_or("--deny needs `all` or a rule list")?;
+                args.deny = parse_deny(v)?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}\n{USAGE}"));
+            }
+            path => args.paths.push(path.to_string()),
+        }
+    }
+    if !args.list_rules && !args.dump_display && !args.workspace && args.paths.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    if args.workspace && !args.paths.is_empty() {
+        return Err("pass either --workspace or explicit files, not both".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_deny(v: &str) -> Result<Vec<RuleId>, String> {
+    if v == "all" {
+        return Ok(ALL_RULES.to_vec());
+    }
+    // A malformed suppression is a meta-error, not a finding one can
+    // opt out of — it stays denied under every `--deny` narrowing.
+    let mut out = vec![RuleId::BadSuppression];
+    for name in v.split(',') {
+        let name = name.trim();
+        let found = ALL_RULES.iter().copied().find(|r| r.id() == name);
+        match found {
+            Some(r) => out.push(r),
+            None => {
+                return Err(format!(
+                    "unknown rule \"{name}\" (valid: all, {})",
+                    ALL_RULES.map(|r| r.id()).join(", ")
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn load_effective_registry(args: &Args) -> Result<DisplayRegistry, EngineError> {
+    match &args.registry_override {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|err| EngineError::Io {
+                path: path.to_string_lossy().into_owned(),
+                err,
+            })?;
+            DisplayRegistry::parse(&text)
+                .map_err(|e| EngineError::Registry(format!("{}: {e}", path.display())))
+        }
+        None if args.workspace || args.dump_display => load_registry(&args.root),
+        // Explicit-path mode without --registry: fall back to the
+        // committed registry when present, else an empty one, so a
+        // fixture run doesn't require the workspace layout.
+        None => Ok(load_registry(&args.root).unwrap_or_default()),
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    if args.list_rules {
+        for r in ALL_RULES {
+            println!("{}: {}", r.id(), r.summary());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let registry = load_effective_registry(&args).map_err(|e| e.to_string())?;
+
+    if args.dump_display {
+        let rendered = dump_display(&args.root, &registry).map_err(|e| e.to_string())?;
+        print!("{rendered}");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let diags = if args.workspace {
+        lint_workspace(&args.root, &registry)
+    } else {
+        lint_paths(&args.root, &args.paths, &registry)
+    }
+    .map_err(|e| e.to_string())?;
+
+    let denied = report(&diags, &args.deny);
+    if denied > 0 {
+        eprintln!(
+            "hpclint: {denied} denied diagnostic{} ({} total)",
+            if denied == 1 { "" } else { "s" },
+            diags.len()
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        eprintln!("hpclint: clean");
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Prints every diagnostic (the contract: all at once, sorted) and
+/// returns how many hit a denied rule.
+fn report(diags: &[Diagnostic], deny: &[RuleId]) -> usize {
+    let mut sorted = diags.to_vec();
+    diag::sort(&mut sorted);
+    let mut denied = 0usize;
+    for d in &sorted {
+        println!("{d}");
+        if deny.contains(&d.rule) {
+            denied += 1;
+        }
+    }
+    denied
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("hpclint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

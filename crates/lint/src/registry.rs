@@ -1,0 +1,130 @@
+//! The frozen-`Display` registry.
+//!
+//! `ApiError`, `ParseError`, and `CatalogError` render with **frozen**
+//! format strings: sweep CSV/JSON error cells, server error payloads,
+//! and the catalog fixture tests all pin them byte-for-byte. The
+//! committed registry (`crates/lint/display_registry.txt`) lists every
+//! format string those `Display` impls are allowed to contain, in
+//! source order; the `frozen-display-drift` rule re-extracts them from
+//! the tree on every run and reports any divergence.
+//!
+//! File format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <TypeName> <format string literal exactly as written, quotes included>
+//! ```
+//!
+//! Regenerate with `hpclint --dump-display` after an *intentional*
+//! contract change — and expect the golden tests downstream of the
+//! strings to need the same deliberate update.
+
+use std::collections::BTreeMap;
+
+/// Parsed registry: type name → format strings in impl order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DisplayRegistry {
+    entries: BTreeMap<String, Vec<String>>,
+}
+
+impl DisplayRegistry {
+    /// Parses the registry file. Errors carry the offending 1-based
+    /// line for the CLI to report.
+    pub fn parse(text: &str) -> Result<DisplayRegistry, String> {
+        let mut entries: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((ty, lit)) = line.split_once(' ') else {
+                return Err(format!(
+                    "display registry line {}: expected `<Type> \"<format string>\"`, got \"{line}\"",
+                    i + 1
+                ));
+            };
+            let lit = lit.trim_start();
+            if !lit.starts_with('"') || !lit.ends_with('"') || lit.len() < 2 {
+                return Err(format!(
+                    "display registry line {}: format string must be quoted as written in source",
+                    i + 1
+                ));
+            }
+            entries
+                .entry(ty.to_string())
+                .or_default()
+                .push(lit.to_string());
+        }
+        Ok(DisplayRegistry { entries })
+    }
+
+    /// The registered type names, sorted.
+    pub fn types(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Is `ty` a frozen type?
+    pub fn contains(&self, ty: &str) -> bool {
+        self.entries.contains_key(ty)
+    }
+
+    /// The frozen format strings of `ty`, in impl order.
+    pub fn strings(&self, ty: &str) -> &[String] {
+        self.entries.get(ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Renders extracted strings in registry file format — the
+    /// `--dump-display` output, suitable for committing verbatim.
+    pub fn render(extracted: &BTreeMap<String, Vec<String>>) -> String {
+        let mut out = String::from(
+            "# hpclint display registry — the frozen Display format strings.\n\
+             # One `<Type> <literal>` per line, literals exactly as written in\n\
+             # source (quotes included), in impl order. Regenerate with\n\
+             # `hpclint --dump-display` after an intentional contract change;\n\
+             # see docs/LINTS.md#frozen-display-drift.\n",
+        );
+        for (ty, lits) in extracted {
+            out.push('\n');
+            for lit in lits {
+                out.push_str(ty);
+                out.push(' ');
+                out.push_str(lit);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_types_in_order_and_skips_comments() {
+        let text = "# header\n\nApiError \"a {x}\"\nApiError \"b\"\nCatalogError \"{file}:{line}: {message}\"\n";
+        let r = DisplayRegistry::parse(text).expect("parses");
+        assert_eq!(r.strings("ApiError"), ["\"a {x}\"", "\"b\""]);
+        assert_eq!(r.strings("CatalogError").len(), 1);
+        assert!(r.contains("ApiError"));
+        assert!(!r.contains("SimError"));
+    }
+
+    #[test]
+    fn rejects_unquoted_and_malformed_lines() {
+        assert!(DisplayRegistry::parse("ApiError bare-words").is_err());
+        assert!(DisplayRegistry::parse("JustOneToken").is_err());
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "ApiError".to_string(),
+            vec!["\"x {y}\"".to_string(), "\"z\"".to_string()],
+        );
+        let rendered = DisplayRegistry::render(&m);
+        let parsed = DisplayRegistry::parse(&rendered).expect("round-trips");
+        assert_eq!(parsed.strings("ApiError"), ["\"x {y}\"", "\"z\""]);
+    }
+}

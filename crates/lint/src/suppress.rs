@@ -1,0 +1,206 @@
+//! Inline suppressions: `// lint: allow(<rule>) -- <justification>`.
+//!
+//! A suppression is a *paper trail*, not an off switch: the
+//! justification after `--` is mandatory, because the reviewer of the
+//! next diff needs to know **why** a panic is provably unreachable or a
+//! wall-clock read is the point. A suppression covers its own line and
+//! the line directly below it — trailing on the flagged line, or as a
+//! dedicated comment directly above, both read naturally.
+//!
+//! A comment that invokes the marker but fails to parse (unknown rule,
+//! missing justification) is itself a diagnostic
+//! ([`RuleId::BadSuppression`]) and suppresses nothing — and that rule
+//! is deliberately not nameable in `allow(…)`, so a malformed
+//! suppression can never wave itself through.
+
+use crate::diag::{Diagnostic, RuleId};
+use crate::lexer::Comment;
+
+/// The marker that turns a comment into a suppression attempt.
+const MARKER: &str = "lint: allow";
+
+/// One successfully parsed suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The rule being waved through.
+    pub rule: RuleId,
+    /// First line the suppression covers (the comment's own line).
+    pub from_line: usize,
+    /// Last line the suppression covers (one past the comment's end).
+    pub to_line: usize,
+}
+
+impl Suppression {
+    /// Does this suppression cover `rule` at `line`?
+    pub fn covers(&self, rule: RuleId, line: usize) -> bool {
+        self.rule == rule && (self.from_line..=self.to_line).contains(&line)
+    }
+}
+
+/// Scans a file's comments for suppression attempts. Valid ones land in
+/// the returned list; malformed ones become `bad-suppression`
+/// diagnostics in `diags`.
+pub fn collect(file: &str, comments: &[Comment], diags: &mut Vec<Diagnostic>) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments never suppress: they are rendered documentation
+        // (and legitimately *describe* the syntax), not annotations on
+        // the next line of code.
+        if c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!")
+        {
+            continue;
+        }
+        let Some(at) = c.text.find(MARKER) else {
+            continue;
+        };
+        match parse_one(&c.text[at + MARKER.len()..]) {
+            Ok(rule) => out.push(Suppression {
+                rule,
+                from_line: c.line,
+                to_line: c.end_line + 1,
+            }),
+            Err(msg) => diags.push(Diagnostic::new(file, c.line, RuleId::BadSuppression, msg)),
+        }
+    }
+    out
+}
+
+/// Parses the tail after `lint: allow`, expecting
+/// `(<rule>) -- <justification>`.
+fn parse_one(tail: &str) -> Result<RuleId, String> {
+    let tail = tail.trim_start();
+    let Some(rest) = tail.strip_prefix('(') else {
+        return Err(format!(
+            "malformed suppression: expected `lint: allow(<rule>) -- <justification>`, \
+             valid rules: {}",
+            rule_names()
+        ));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(format!(
+            "malformed suppression: unclosed `allow(` — expected \
+             `lint: allow(<rule>) -- <justification>`, valid rules: {}",
+            rule_names()
+        ));
+    };
+    let name = rest[..close].trim();
+    let Some(rule) = RuleId::parse(name) else {
+        return Err(format!(
+            "suppression names unknown rule \"{name}\" (valid rules: {})",
+            rule_names()
+        ));
+    };
+    let after = rest[close + 1..].trim_start();
+    let Some(justification) = after.strip_prefix("--") else {
+        return Err(format!(
+            "suppression of {} is missing its justification: write \
+             `lint: allow({}) -- <why this is sound>`",
+            rule.id(),
+            rule.id()
+        ));
+    };
+    if justification.trim().is_empty() {
+        return Err(format!(
+            "suppression of {} has an empty justification after `--`",
+            rule.id()
+        ));
+    }
+    Ok(rule)
+}
+
+fn rule_names() -> String {
+    crate::diag::ALL_RULES
+        .iter()
+        .filter(|r| **r != RuleId::BadSuppression)
+        .map(|r| r.id())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+        let lexed = lex(src);
+        let mut diags = Vec::new();
+        let sups = collect("f.rs", &lexed.comments, &mut diags);
+        (sups, diags)
+    }
+
+    #[test]
+    fn valid_suppression_covers_own_and_next_line() {
+        let (sups, diags) = run(
+            "// lint: allow(panic-in-library) -- provably non-empty by construction\nx.unwrap();\n",
+        );
+        assert!(diags.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert!(sups[0].covers(RuleId::PanicInLibrary, 1));
+        assert!(sups[0].covers(RuleId::PanicInLibrary, 2));
+        assert!(!sups[0].covers(RuleId::PanicInLibrary, 3));
+        assert!(!sups[0].covers(RuleId::HashIterationOrder, 2));
+    }
+
+    #[test]
+    fn missing_justification_is_a_diagnostic_and_suppresses_nothing() {
+        let (sups, diags) = run("// lint: allow(panic-in-library)\nx.unwrap();\n");
+        assert!(sups.is_empty());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, RuleId::BadSuppression);
+        assert!(diags[0].message.contains("missing its justification"));
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let (sups, diags) = run("// lint: allow(panic-in-library) --   \nx.unwrap();\n");
+        assert!(sups.is_empty());
+        assert!(diags[0].message.contains("empty justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected_with_the_vocabulary() {
+        let (sups, diags) = run("// lint: allow(made-up-rule) -- because\n");
+        assert!(sups.is_empty());
+        assert!(diags[0]
+            .message
+            .contains("unknown rule \"made-up-rule\" (valid rules: "));
+        assert!(diags[0].message.contains("panic-in-library"));
+    }
+
+    #[test]
+    fn bad_suppression_cannot_suppress_itself() {
+        let (sups, diags) = run("// lint: allow(bad-suppression) -- nice try\n");
+        assert!(sups.is_empty());
+        assert_eq!(diags[0].rule, RuleId::BadSuppression);
+    }
+
+    #[test]
+    fn ordinary_comments_mentioning_lint_are_ignored() {
+        let (sups, diags) = run("// the lint crate checks this\n// clippy::allow is unrelated\n");
+        assert!(sups.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn doc_comments_never_suppress_or_misfire() {
+        // Rendered documentation may describe the syntax without being
+        // a (mis)parsed suppression attempt.
+        let (sups, diags) = run(
+            "/// Suppress with `lint: allow(<rule>)`.\n//! lint: allow syntax docs\nfn f() {}\n",
+        );
+        assert!(sups.is_empty());
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn trailing_suppression_on_the_flagged_line() {
+        let (sups, diags) =
+            run("x.unwrap(); // lint: allow(panic-in-library) -- checked two lines up\n");
+        assert!(diags.is_empty());
+        assert!(sups[0].covers(RuleId::PanicInLibrary, 1));
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of the `hpclint` binary over the golden violation
+//! fixtures in `tests/fixtures/lints/`. Each fixture exists to be
+//! rejected: these tests pin the exact `{file}:{line}:` anchors and the
+//! nonzero exit code, so a rule that silently stops firing turns a
+//! fixture green and fails here.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn hpclint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hpclint"))
+        .arg("--root")
+        .arg(repo_root())
+        .args(args)
+        .output()
+        .expect("spawn hpclint")
+}
+
+fn lines(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Asserts the fixture is rejected (exit 1) and that the diagnostics
+/// carry exactly the expected `line: rule` anchors, in order.
+fn assert_rejected(fixture: &str, expected: &[(u32, &str)]) {
+    let rel = format!("tests/fixtures/lints/{fixture}");
+    let out = hpclint(&[&rel]);
+    assert_eq!(out.status.code(), Some(1), "{fixture} should be denied");
+    let got = lines(&out);
+    assert_eq!(
+        got.len(),
+        expected.len(),
+        "{fixture}: diagnostic count\n{}",
+        got.join("\n")
+    );
+    for (diag, (line, rule)) in got.iter().zip(expected) {
+        let prefix = format!("{rel}:{line}: {rule}:");
+        assert!(
+            diag.starts_with(&prefix),
+            "{fixture}: expected `{prefix}…`, got `{diag}`"
+        );
+    }
+}
+
+#[test]
+fn wall_clock_fixture_is_rejected_at_pinned_lines() {
+    assert_rejected(
+        "wall_clock.rs",
+        &[
+            (6, "wall-clock-in-deterministic-crate"),
+            (7, "wall-clock-in-deterministic-crate"),
+        ],
+    );
+}
+
+#[test]
+fn hash_iteration_fixture_is_rejected_at_pinned_lines() {
+    assert_rejected(
+        "hash_iteration.rs",
+        &[(5, "hash-iteration-order"), (8, "hash-iteration-order")],
+    );
+}
+
+#[test]
+fn unsafe_fixture_is_rejected_for_location_and_missing_comment() {
+    assert_rejected(
+        "unsafe_no_comment.rs",
+        &[
+            (8, "unsafe-needs-safety-comment"),
+            (8, "unsafe-needs-safety-comment"),
+            (13, "unsafe-needs-safety-comment"),
+        ],
+    );
+}
+
+#[test]
+fn panic_fixture_catches_all_five_forms() {
+    assert_rejected(
+        "panic_paths.rs",
+        &[
+            (6, "panic-in-library"),
+            (7, "panic-in-library"),
+            (9, "panic-in-library"),
+            (11, "panic-in-library"),
+            (15, "panic-in-library"),
+        ],
+    );
+}
+
+#[test]
+fn display_drift_fixture_reports_first_divergence() {
+    let rel = "tests/fixtures/lints/display_drift.rs";
+    let out = hpclint(&[rel]);
+    assert_eq!(out.status.code(), Some(1));
+    let got = lines(&out);
+    assert_eq!(got.len(), 1, "{}", got.join("\n"));
+    assert!(got[0].starts_with(&format!("{rel}:9: frozen-display-drift:")));
+    assert!(got[0].contains("expected \"storage what-if: {e}\""));
+    assert!(got[0].contains("--dump-display"));
+}
+
+#[test]
+fn bad_suppression_fixture_rejects_all_three_shapes() {
+    assert_rejected(
+        "bad_suppression.rs",
+        &[
+            (8, "bad-suppression"),
+            (9, "panic-in-library"), // the malformed suppression waves nothing through
+            (12, "bad-suppression"),
+            (16, "bad-suppression"),
+        ],
+    );
+}
+
+#[test]
+fn deny_filter_narrows_but_bad_suppressions_always_deny() {
+    // Denying only wall-clock lets the panic fixture pass…
+    let out = hpclint(&[
+        "--deny",
+        "wall-clock-in-deterministic-crate",
+        "tests/fixtures/lints/panic_paths.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "narrowed deny should pass");
+    // …but a malformed suppression is an error in any configuration.
+    let out = hpclint(&[
+        "--deny",
+        "wall-clock-in-deterministic-crate",
+        "tests/fixtures/lints/bad_suppression.rs",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn list_rules_names_every_rule() {
+    let out = hpclint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for rule in [
+        "wall-clock-in-deterministic-crate",
+        "hash-iteration-order",
+        "unsafe-needs-safety-comment",
+        "panic-in-library",
+        "frozen-display-drift",
+        "bad-suppression",
+    ] {
+        assert!(text.contains(rule), "--list-rules missing {rule}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = hpclint(&["--deny", "no-such-rule", "--workspace"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = hpclint(&["tests/fixtures/lints/does_not_exist.rs"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,63 @@
+//! The linter's own contracts, enforced by the linter.
+//!
+//! Three gates ride here: `crates/lint` lints itself clean (a linter
+//! that can't pass its own rules has no authority), the whole
+//! workspace lints clean (the CI invariant, testable without CI), and
+//! the committed display registry matches what `--dump-display`
+//! re-extracts from the tree (so the frozen-string list can't rot).
+
+use hpcarbon_lint::{lint_workspace, load_registry, RuleId};
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn the_linter_lints_itself_clean() {
+    let root = repo_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let diags = lint_workspace(&root, &registry).expect("workspace lints");
+    let own: Vec<_> = diags
+        .iter()
+        .filter(|d| d.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(own.is_empty(), "hpclint flagged its own sources:\n{own:?}");
+}
+
+#[test]
+fn the_whole_workspace_lints_clean() {
+    let root = repo_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let diags = lint_workspace(&root, &registry).expect("workspace lints");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn committed_registry_matches_dump_display() {
+    let root = repo_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let regenerated = hpcarbon_lint::dump_display(&root, &registry).expect("dump");
+    let committed = std::fs::read_to_string(root.join(hpcarbon_lint::REGISTRY_PATH))
+        .expect("committed registry");
+    assert_eq!(
+        committed, regenerated,
+        "display_registry.txt is stale; regenerate with `hpclint --dump-display`"
+    );
+}
+
+#[test]
+fn every_workspace_suppression_parses() {
+    // The workspace being clean (above) already implies no
+    // bad-suppression diagnostics, but assert it by name so a future
+    // relaxation of the clean gate can't silently drop this guarantee.
+    let root = repo_root();
+    let registry = load_registry(&root).expect("registry loads");
+    let diags = lint_workspace(&root, &registry).expect("workspace lints");
+    assert!(diags.iter().all(|d| d.rule != RuleId::BadSuppression));
+}

@@ -57,6 +57,7 @@ impl PowerSampler {
         let worker_state = Arc::clone(&state);
         let worker_stop = Arc::clone(&stop);
         let handle = std::thread::spawn(move || {
+            // lint: allow(wall-clock-in-deterministic-crate) -- this daemon *is* the wall-clock sampler for live hosts; VirtualSampler is its deterministic twin for scenarios and tests
             let t0 = Instant::now();
             loop {
                 let now = TimeSpan::from_seconds(t0.elapsed().as_secs_f64());

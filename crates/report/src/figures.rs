@@ -38,6 +38,7 @@ pub fn fig1() -> Artifact {
                 p.label().to_string(),
                 p.spec()
                     .embodied_per_tflops()
+                    // lint: allow(panic-in-library) -- the figure iterates the fixed processor part list, every entry of which declares an FP64 rating
                     .expect("processors have FP64"),
             )
         })
@@ -75,6 +76,7 @@ pub fn fig2() -> Artifact {
                 p.label().to_string(),
                 p.spec()
                     .embodied_per_bandwidth()
+                    // lint: allow(panic-in-library) -- the figure iterates the fixed storage part list, every entry of which declares a bandwidth
                     .expect("storage parts declare bandwidth"),
             )
         })

@@ -73,9 +73,10 @@ impl CarbonBudgetLedger {
     pub fn priority_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.users()).collect();
         order.sort_by(|a, b| {
+            // Remaining fractions are finite by construction, so
+            // `total_cmp` orders them identically without the panic arm.
             self.remaining_fraction(*b)
-                .partial_cmp(&self.remaining_fraction(*a))
-                .expect("fractions are finite")
+                .total_cmp(&self.remaining_fraction(*a))
                 .then(a.cmp(b))
         });
         order

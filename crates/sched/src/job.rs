@@ -77,11 +77,15 @@ impl JobTraceGenerator {
     pub fn generate(&self, n: usize, seed: u64) -> Vec<Job> {
         assert!(self.arrival_rate_per_hour > 0.0);
         let mut rng = SimRng::seed_from(seed).substream("jobs");
+        // lint: allow(panic-in-library) -- rate positivity is asserted two lines up, so the constructor cannot fail
         let inter = Exponential::new(self.arrival_rate_per_hour).expect("positive rate");
-        let runtime =
-            LogNormal::from_median(self.median_runtime_hours, self.runtime_sigma).expect("valid");
+        let runtime = LogNormal::from_median(self.median_runtime_hours, self.runtime_sigma)
+            // lint: allow(panic-in-library) -- workload presets carry positive medians and sigmas; a bad hand-built preset should stop loudly at generation time
+            .expect("valid");
+        // lint: allow(panic-in-library) -- mean_defer_tolerance_hours is positive in every preset, so the rate 1/mean is positive and finite
         let defer = Exponential::new(1.0 / self.mean_defer_tolerance_hours).expect("positive");
         let weights: Vec<f64> = self.gpu_sizes.iter().map(|(_, w)| *w).collect();
+        // lint: allow(panic-in-library) -- gpu_sizes presets always carry at least one positive weight, the only way WeightedIndex::new fails
         let size_dist = WeightedIndex::new(&weights).expect("valid weights");
 
         let mut t = 0.0;

@@ -146,7 +146,10 @@ impl Policy {
                     .min_by(|a, b| {
                         let ia = clusters[*a].mean_intensity_over(now_hours, job.runtime_hours);
                         let ib = clusters[*b].mean_intensity_over(now_hours, job.runtime_hours);
-                        ia.partial_cmp(&ib).expect("intensities are finite")
+                        // Trace intensities are finite by construction, so
+                        // `total_cmp` orders them identically without the
+                        // panic arm.
+                        ia.total_cmp(&ib)
                     })
                     .unwrap_or(arrival_cluster);
                 Placement {

@@ -51,7 +51,7 @@ use std::io::{self, ErrorKind, Read};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Shutdown-poll cadence; also bounds deadline-sweep latency.
@@ -119,10 +119,14 @@ impl Mailbox {
         })
     }
 
+    // Mailbox lock recovery: each critical section is a single
+    // push/pop on a `VecDeque`, which never exposes a half-written
+    // entry, so a poisoned lock is safe to keep using — dropping
+    // queued connections on a peer's panic would be strictly worse.
     fn push_incoming(&self, stream: TcpStream) {
         self.incoming
             .lock()
-            .expect("mailbox poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push_back(stream);
         self.wake.ring();
     }
@@ -130,7 +134,7 @@ impl Mailbox {
     fn push_done(&self, completion: Completion) {
         self.done
             .lock()
-            .expect("mailbox poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push_back(completion);
         self.wake.ring();
     }
@@ -163,6 +167,7 @@ pub(crate) fn run(
             std::thread::Builder::new()
                 .name(format!("estimate-{i}"))
                 .spawn(move || worker_loop(&rx, &service, &mailboxes))
+                // lint: allow(panic-in-library) -- thread spawn fails only on OS resource exhaustion at startup; a loud stop beats serving with a silently smaller pool
                 .expect("spawn worker")
         })
         .collect();
@@ -202,6 +207,7 @@ pub(crate) fn run(
                     }
                     result
                 })
+                // lint: allow(panic-in-library) -- thread spawn fails only on OS resource exhaustion at startup; a loud stop beats running with missing shards
                 .expect("spawn shard")
         })
         .collect();
@@ -406,7 +412,7 @@ impl Shard {
                 .mailbox
                 .incoming
                 .lock()
-                .expect("mailbox poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .is_empty()
     }
 
@@ -417,7 +423,7 @@ impl Shard {
                 .mailbox
                 .incoming
                 .lock()
-                .expect("mailbox poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .pop_front();
             let Some(stream) = next else { return };
             let generation = self.next_generation;
@@ -447,7 +453,7 @@ impl Shard {
                 .mailbox
                 .done
                 .lock()
-                .expect("mailbox poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .pop_front();
             let Some(done) = next else { return };
             let Some(conn) = self.slab.get_mut(done.token) else {

@@ -17,7 +17,7 @@ use crate::http::HttpError;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One load run's shape.
@@ -232,11 +232,13 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
                 std::thread::Builder::new()
                     .stack_size(WORKER_STACK)
                     .spawn_scoped(scope, || load_worker(cfg, &cursor, &first_body))
+                    // lint: allow(panic-in-library) -- thread spawn fails only on OS resource exhaustion; the load run is worthless at reduced concurrency, so stop loudly
                     .expect("spawn load worker")
             })
             .collect();
         handles
             .into_iter()
+            // lint: allow(panic-in-library) -- re-raising a worker panic on the harness thread is the point: a partial summary would silently undercount
             .map(|h| h.join().expect("load worker panicked"))
             .collect()
     });
@@ -277,7 +279,12 @@ pub fn run(cfg: &LoadGenConfig) -> std::io::Result<(LoadSummary, Option<Vec<u8>>
         p99_us: pct(99.0),
         max_us: latencies.last().copied().unwrap_or(0),
     };
-    let first = first_body.into_inner().expect("first-body lock poisoned");
+    // A panicking worker has already been re-raised by join() above, so
+    // recovering the value from a poisoned lock here is unreachable
+    // belt-and-braces, not data-loss masking.
+    let first = first_body
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     Ok((summary, first))
 }
 
@@ -331,6 +338,7 @@ fn load_worker(
                 }
             }
         }
+        // lint: allow(panic-in-library) -- `conn` was set to Some by the reconnect block directly above; every `continue` path re-enters that block first
         let reader = conn.as_mut().expect("connection just established");
         let body = cfg.bodies[i % cfg.bodies.len()].as_bytes();
         let head = format!(
@@ -359,7 +367,10 @@ fn load_worker(
                     out.non_2xx += 1;
                 }
                 if i == 0 {
-                    *first_body.lock().expect("first-body lock poisoned") = Some(resp_body);
+                    // Writing a complete body over Option is atomic from
+                    // readers' view; poison recovery cannot expose a
+                    // half-written value.
+                    *first_body.lock().unwrap_or_else(PoisonError::into_inner) = Some(resp_body);
                 }
             }
             Err(_) => {

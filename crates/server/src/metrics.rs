@@ -100,6 +100,7 @@ impl Metrics {
     /// [`init_shards`](Self::init_shards) — a programming error, not a
     /// runtime condition.
     pub fn shard(&self, i: usize) -> &ShardStats {
+        // lint: allow(panic-in-library) -- documented panic on a wiring bug (event loop must call init_shards first); there is no sane fallback stat block
         &self.shards.get().expect("init_shards not called")[i]
     }
 

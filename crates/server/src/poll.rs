@@ -148,7 +148,9 @@ pub struct Poller {
 impl Poller {
     /// Creates the epoll instance.
     pub fn new() -> io::Result<Poller> {
-        // SAFETY: plain syscall; the returned fd is owned by the Poller.
+        // SAFETY: `epoll_create1` takes no pointers (no memory to
+        // mis-describe); failure comes back as -1, checked below. The
+        // fd is owned (and closed) by the Poller, never duplicated.
         let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
         if epfd < 0 {
             return Err(io::Error::last_os_error());
@@ -236,7 +238,9 @@ pub struct EventFd {
 impl EventFd {
     /// Creates the eventfd (counter semantics, nonblocking).
     pub fn new() -> io::Result<EventFd> {
-        // SAFETY: plain syscall; the fd is owned by the EventFd.
+        // SAFETY: `eventfd` takes no pointers, so there is no memory to
+        // mis-describe; a failure comes back as -1 and is checked below.
+        // The returned fd is owned (and closed) by the EventFd.
         let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
         if fd < 0 {
             return Err(io::Error::last_os_error());

@@ -215,7 +215,9 @@ impl WeightedIndex {
             }
         }
         while !small.is_empty() && !large.is_empty() {
+            // lint: allow(panic-in-library) -- both stacks are checked non-empty by the loop condition on the line above; a while-let tuple would pop (and drop) from one stack when the other is empty
             let s = small.pop().expect("checked non-empty");
+            // lint: allow(panic-in-library) -- same loop-condition guarantee as the pop above
             let l = large.pop().expect("checked non-empty");
             prob[s] = scaled[s];
             alias[s] = l;

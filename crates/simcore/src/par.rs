@@ -87,10 +87,12 @@ where
                 });
             }
         })
+        // lint: allow(panic-in-library) -- re-raising a worker panic on the caller is the point: returning partial results would silently corrupt the sweep
         .expect("parallel worker panicked");
     }
     results
         .into_iter()
+        // lint: allow(panic-in-library) -- the cursor hands out each index exactly once and the scope join guarantees every worker finished, so every slot is Some
         .map(|r| r.expect("every slot written exactly once"))
         .collect()
 }
@@ -127,8 +129,10 @@ mod parking_lot_free {
         /// would indicate a work-distribution bug.
         pub fn write(&self, value: R) {
             if self.written.swap(true, Ordering::AcqRel) {
+                // lint: allow(panic-in-library) -- documented panic on a work-distribution bug; overwriting a finished result would corrupt the sweep silently
                 panic!("output slot written twice");
             }
+            // lint: allow(panic-in-library) -- the slot mutex is per-writer and uncontended (the swap above admits exactly one write), so poisoning is unreachable
             **self.slot.lock().expect("slot lock poisoned") = Some(value);
         }
     }

@@ -58,7 +58,7 @@ use std::io;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::sync_channel;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// Per-scenario workload knobs shared by every grid point.
 #[derive(Debug, Clone, Copy)]
@@ -391,7 +391,9 @@ impl ReorderBuffer {
             .peek()
             .is_some_and(|Reverse(p)| p.0 == self.expected)
         {
-            let Reverse(Pending(_, row)) = self.pending.pop().expect("peeked");
+            // `?` is unreachable here (the heap was just peeked Some)
+            // but keeps this path panic-free.
+            let Reverse(Pending(_, row)) = self.pending.pop()?;
             self.expected += 1;
             Some(row)
         } else {
@@ -445,9 +447,12 @@ fn stream(
                     break;
                 }
                 {
-                    let mut fwd = forwarded.lock().expect("gate lock poisoned");
+                    // The gate guards a plain u64 watermark that is
+                    // written in one store, so recovering a poisoned
+                    // lock can never observe torn state.
+                    let mut fwd = forwarded.lock().unwrap_or_else(PoisonError::into_inner);
                     while !abort.load(Ordering::Relaxed) && id - start >= *fwd + window {
-                        fwd = gate.wait(fwd).expect("gate lock poisoned");
+                        fwd = gate.wait(fwd).unwrap_or_else(PoisonError::into_inner);
                     }
                     if abort.load(Ordering::Relaxed) {
                         break;
@@ -483,7 +488,7 @@ fn stream(
                 }
             }
             if merge.expected() != before {
-                let mut fwd = forwarded.lock().expect("gate lock poisoned");
+                let mut fwd = forwarded.lock().unwrap_or_else(PoisonError::into_inner);
                 *fwd = merge.expected() - start;
                 drop(fwd);
                 gate.notify_all();
@@ -494,7 +499,7 @@ fn stream(
         // receiver to unblock senders. On the success path every worker
         // has already exited via cursor exhaustion.
         {
-            let _fwd = forwarded.lock().expect("gate lock poisoned");
+            let _fwd = forwarded.lock().unwrap_or_else(PoisonError::into_inner);
             abort.store(true, Ordering::Relaxed);
         }
         gate.notify_all();
@@ -551,6 +556,7 @@ impl SweepExecutor {
         if let Some(threads) = self.threads {
             sweep = sweep.threads(threads);
         }
+        // lint: allow(panic-in-library) -- CollectSink::deliver is infallible (it only pushes into a Vec), so the only Err source of run() cannot fire
         sweep.run().expect("in-memory collection cannot fail");
         collect.into_results()
     }

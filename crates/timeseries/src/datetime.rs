@@ -284,6 +284,7 @@ impl HourStamp {
             index < hours_in_year(year),
             "hour index {index} out of range for year {year}"
         );
+        // lint: allow(panic-in-library) -- January 1 is a valid civil date in every year, so the constructor cannot fail
         let jan1 = CivilDate::new(year, 1, 1).expect("Jan 1 is always valid");
         HourStamp {
             date: jan1.plus_days(i64::from(index / 24)),

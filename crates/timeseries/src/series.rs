@@ -202,8 +202,10 @@ impl HourlySeries {
         // Prefix sums for O(n) rolling windows over 8760 points.
         let mut prefix = Vec::with_capacity(n + 1);
         prefix.push(0.0);
+        let mut acc = 0.0;
         for v in &self.values {
-            prefix.push(prefix.last().unwrap() + v);
+            acc += v;
+            prefix.push(acc);
         }
         for i in 0..n {
             let lo = i.saturating_sub(half);

@@ -60,6 +60,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
+    // lint: allow(panic-in-library) -- deliberate panic-on-NaN contract: samples are finite by construction, and a total_cmp sort would silently place a stray NaN instead of flagging the upstream bug
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     quantile_sorted(&sorted, q)
 }
@@ -118,6 +119,7 @@ impl BoxplotStats {
             return None;
         }
         let mut sorted: Vec<f64> = xs.to_vec();
+        // lint: allow(panic-in-library) -- same deliberate panic-on-NaN contract as quantile(): a NaN sample is an upstream bug, not data to summarize
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in boxplot input"));
         let q1 = quantile_sorted(&sorted, 0.25);
         let med = quantile_sorted(&sorted, 0.5);
@@ -139,6 +141,7 @@ impl BoxplotStats {
             .rev()
             .copied()
             .find(|x| *x <= hi_fence)
+            // lint: allow(panic-in-library) -- the empty-input case returned None at the top of compute(), so `sorted` has a last element
             .unwrap_or(*sorted.last().expect("non-empty"))
             .max(q3);
         Some(BoxplotStats {
@@ -148,6 +151,7 @@ impl BoxplotStats {
             median: med,
             q3,
             whisker_hi,
+            // lint: allow(panic-in-library) -- same non-empty guarantee as the whisker computation above
             max: *sorted.last().expect("non-empty"),
             mean: mean(xs),
         })

@@ -87,8 +87,10 @@ impl WindowIndex {
         assert!(!values.is_empty(), "cannot index an empty series");
         let mut prefix = Vec::with_capacity(values.len() + 1);
         prefix.push(0.0);
+        let mut acc = 0.0;
         for v in values {
-            prefix.push(prefix.last().expect("non-empty") + v);
+            acc += v;
+            prefix.push(acc);
         }
         WindowIndex { prefix }
     }

@@ -38,6 +38,7 @@ impl Fraction {
     /// If `v` is outside `[0, 1]` or not finite.
     #[inline]
     pub fn new_unchecked(v: f64) -> Fraction {
+        // lint: allow(panic-in-library) -- documented panicking constructor for compile-time-known constants; the fallible form is `Fraction::new`
         Self::new(v).unwrap_or_else(|| panic!("fraction out of range: {v}"))
     }
 

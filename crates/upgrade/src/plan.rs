@@ -60,6 +60,7 @@ impl UpgradePlan {
         first: (NodeGen, TimeSpan),
         second: (NodeGen, TimeSpan),
     ) -> UpgradePlan {
+        // lint: allow(panic-in-library) -- documented "# Panics" convenience wrapper; try_double is the fail-soft form
         Self::try_double(initial, first, second).expect("steps must be in time order")
     }
 
@@ -159,7 +160,9 @@ pub fn compare_p100_plans(
             (p, c)
         })
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite carbon"));
+    // Carbon totals are finite sums of finite per-step masses, so
+    // `total_cmp` on the raw kg orders identically without the panic arm.
+    scored.sort_by(|a, b| a.1.as_kg().total_cmp(&b.1.as_kg()));
     scored
 }
 

@@ -187,6 +187,7 @@ pub struct SavingsCurve {
 impl SavingsCurve {
     /// The last sampled saving (the curve's right edge).
     pub fn final_savings(&self) -> f64 {
+        // lint: allow(panic-in-library) -- curves are only built by savings_curve(), which always pushes at least the horizon-end sample
         self.samples.last().expect("non-empty").1
     }
 

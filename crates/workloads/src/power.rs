@@ -29,7 +29,9 @@ pub fn node_active_power(node: NodeGen, _suite: Suite) -> Power {
 
     let cpu_spec = c.cpus.0.spec();
     let cpu_model = DevicePowerModel::new(
+        // lint: allow(panic-in-library) -- table invariant, asserted by the db unit tests: every CPU part row declares idle power
         cpu_spec.idle_power.expect("CPUs declare idle power"),
+        // lint: allow(panic-in-library) -- table invariant, asserted by the db unit tests: every CPU part row declares a TDP
         cpu_spec.tdp.expect("CPUs declare TDP"),
     );
     let cpus = cpu_model.power_at(CPU_FEED_UTILIZATION) * f64::from(c.cpus.1);
@@ -42,6 +44,7 @@ pub fn node_active_power(node: NodeGen, _suite: Suite) -> Power {
 pub fn node_idle_power(node: NodeGen) -> Power {
     let c = node.config();
     let gpus = c.gpu.spec().idle * f64::from(c.gpu_count);
+    // lint: allow(panic-in-library) -- same CPU table invariant as node_active_power
     let cpus = c.cpus.0.spec().idle_power.expect("CPUs declare idle power") * f64::from(c.cpus.1);
     let dram = Power::from_w(DRAM_ACTIVE_W / 2.0) * f64::from(c.dram.1);
     gpus + cpus + dram

@@ -1,0 +1,21 @@
+// Golden violation fixture for `bad-suppression`.
+// Linted standalone, never compiled. Expected diagnostics:
+//   line 8  — missing justification (and the unwrap on 9 stays live)
+//   line 12 — unknown rule name
+//   line 16 — bad-suppression cannot suppress itself
+
+fn sloppy(x: Option<u32>) -> u32 {
+    // lint: allow(panic-in-library)
+    x.unwrap()
+}
+
+// lint: allow(no-such-rule) -- the vocabulary check should reject this
+
+fn decoy() {}
+
+// lint: allow(bad-suppression) -- nice try
+
+fn justified(x: Option<u32>) -> u32 {
+    // lint: allow(panic-in-library) -- fixture shows a VALID suppression parses silently
+    x.unwrap()
+}

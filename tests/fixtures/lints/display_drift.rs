@@ -1,0 +1,11 @@
+// Golden violation fixture for `frozen-display-drift`.
+// Linted standalone against the committed registry, never compiled.
+// `ApiError`'s first frozen string is "storage what-if: {e}"; this
+// impl renders something else, so the first divergence is reported
+// on line 9.
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "storage what-if went sideways: {e}")
+    }
+}

@@ -1,0 +1,12 @@
+// Golden violation fixture for `hash-iteration-order`.
+// Linted standalone (deterministic library), never compiled.
+// Expected diagnostics: lines 5 and 8 (one per offending identifier).
+
+use std::collections::HashMap;
+
+fn tally(keys: &[String]) {
+    let mut seen: HashSet<&str> = Default::default();
+    for k in keys {
+        seen.insert(k);
+    }
+}

@@ -1,0 +1,24 @@
+// Golden violation fixture for `panic-in-library`.
+// Linted standalone (library path), never compiled.
+// Expected diagnostics: lines 6, 7, 9, 11, and 15 — all five forms.
+
+fn all_five(x: Option<u32>, y: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = y.expect("present");
+    if a > b {
+        panic!("order");
+    }
+    todo!()
+}
+
+fn later() {
+    unimplemented!()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_here_are_fine() {
+        None::<u32>.unwrap();
+    }
+}

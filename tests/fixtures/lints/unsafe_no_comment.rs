@@ -1,0 +1,16 @@
+// Golden violation fixture for `unsafe-needs-safety-comment`.
+// Linted standalone, so this path is outside the audited-module
+// allowlist AND the block has no `// SAFETY:` comment — two
+// diagnostics on line 8, plus one location diagnostic on line 13
+// (commented, but still not an audited module).
+
+fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+fn poke(p: *mut u8) {
+    // SAFETY: caller guarantees `p` is valid for writes.
+    unsafe {
+        *p = 0;
+    }
+}

@@ -1,0 +1,10 @@
+// Golden violation fixture for `wall-clock-in-deterministic-crate`.
+// Linted standalone (deterministic library), never compiled.
+// Expected diagnostics: lines 6 and 7.
+
+fn elapsed_wrong() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let _ = (t0, wall);
+    0
+}

@@ -1,0 +1,89 @@
+//! Tier-1 coverage of the `hpclint` invariants from the repo root.
+//!
+//! The lint crate's own suite drives the binary; this file drives the
+//! library the way CI's `--workspace --deny all` gate does, so a bare
+//! `cargo test` at the root fails on the same violations CI would —
+//! and pins that every golden fixture under `tests/fixtures/lints/`
+//! still trips its rule at the committed line.
+
+use hpcarbon_lint::{lint_paths, lint_workspace, load_registry, FileClass, RuleId};
+use std::path::Path;
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let registry = load_registry(root()).expect("registry loads");
+    let diags = lint_workspace(root(), &registry).expect("workspace lints");
+    let rendered: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has lint violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_fixture_trips_its_rule_at_the_pinned_line() {
+    let expected: &[(&str, RuleId, &[u32])] = &[
+        (
+            "wall_clock.rs",
+            RuleId::WallClockInDeterministicCrate,
+            &[6, 7],
+        ),
+        ("hash_iteration.rs", RuleId::HashIterationOrder, &[5, 8]),
+        (
+            "unsafe_no_comment.rs",
+            RuleId::UnsafeNeedsSafetyComment,
+            &[8, 8, 13],
+        ),
+        ("panic_paths.rs", RuleId::PanicInLibrary, &[6, 7, 9, 11, 15]),
+        ("display_drift.rs", RuleId::FrozenDisplayDrift, &[9]),
+    ];
+    let registry = load_registry(root()).expect("registry loads");
+    for (fixture, rule, lines) in expected {
+        let rel = format!("tests/fixtures/lints/{fixture}");
+        let diags =
+            lint_paths(root(), std::slice::from_ref(&rel), &registry).expect("fixture lints");
+        let hits: Vec<u32> = diags
+            .iter()
+            .filter(|d| d.rule == *rule)
+            .map(|d| d.line as u32)
+            .collect();
+        assert_eq!(&hits, lines, "{fixture}: {rule:?} anchors moved");
+        assert!(
+            diags.iter().all(|d| d.rule == *rule),
+            "{fixture}: unexpected extra rules fired: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_suppression_fixture_rejects_malformed_and_self_referential() {
+    let registry = load_registry(root()).expect("registry loads");
+    let rel = "tests/fixtures/lints/bad_suppression.rs".to_string();
+    let diags = lint_paths(root(), &[rel], &registry).expect("fixture lints");
+    let bad: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.rule == RuleId::BadSuppression)
+        .map(|d| d.line as u32)
+        .collect();
+    assert_eq!(bad, [8, 12, 16]);
+    // The malformed suppression on line 8 must not cover the unwrap
+    // on line 9; the valid one at the bottom must.
+    assert!(diags
+        .iter()
+        .any(|d| d.rule == RuleId::PanicInLibrary && d.line == 9));
+    assert_eq!(diags.len(), 4, "{diags:?}");
+}
+
+#[test]
+fn fixtures_lint_as_standalone_deterministic_library_code() {
+    // The classification the fixtures rely on: standalone paths get
+    // every rule (deterministic + library + unsafe location checks).
+    let class = FileClass::standalone("tests/fixtures/lints/wall_clock.rs");
+    assert!(class.deterministic());
+    assert!(!class.unsafe_allowlisted());
+}
