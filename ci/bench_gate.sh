@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Bench-regression gate.
 #
-# Runs the window-index, sweep, and serve bench suites, records each
-# benchmark's median ns/iter as machine-readable JSON
-# (BENCH_window_index.json, BENCH_sweep.json, BENCH_serve.json — uploaded
-# as CI artifacts), and compares against the committed baseline:
+# Runs the window-index, sweep, serve, and trace bench suites, records
+# each benchmark's median ns/iter as machine-readable JSON
+# (BENCH_window_index.json, BENCH_sweep.json, BENCH_serve.json,
+# BENCH_trace.json — uploaded as CI artifacts), and compares against the
+# committed baseline:
 #
 #   * a benchmark slower than baseline × BENCH_GATE_MAX_RATIO fails the
 #     gate (regression);
@@ -45,7 +46,7 @@ MIN_CACHE_SPEEDUP="${BENCH_GATE_MIN_CACHE_SPEEDUP:-5}"
 MIN_SWEEP_SPEEDUP="${BENCH_GATE_MIN_SWEEP_SPEEDUP:-2}"
 OUT_DIR="${BENCH_GATE_OUT_DIR:-ci/out}"
 BASELINE="${BENCH_GATE_BASELINE:-ci/bench_baseline.json}"
-SUITES=(bench_window_index bench_sweep bench_serve)
+SUITES=(bench_window_index bench_sweep bench_serve bench_trace)
 mkdir -p "$OUT_DIR"
 
 # --- run one suite and emit its JSON ---------------------------------------

@@ -190,7 +190,14 @@ impl EstimateContext {
         jobs: &dyn JobSource,
         threads: Option<usize>,
     ) -> EstimateContext {
-        let keys: Vec<TraceKey> = trace_keys.into_iter().collect();
+        // File-sourced keys never consult a provider: the estimator
+        // resolves them from its registered trace files (which are
+        // already parsed and indexed — there is nothing to precompute),
+        // so they are simply absent from the context and miss through.
+        let keys: Vec<TraceKey> = trace_keys
+            .into_iter()
+            .filter(|&(_, source, _, _)| source != TraceSource::File)
+            .collect();
         let workers = threads
             .map(|n| n.max(1))
             .unwrap_or_else(|| worker_count(keys.len()));
@@ -339,6 +346,23 @@ mod tests {
             assert_eq!(serial.trace_stats(key), parallel.trace_stats(key));
         }
         assert_eq!(serial.jobs.len(), parallel.jobs.len());
+    }
+
+    #[test]
+    fn file_keys_are_never_sent_to_the_provider() {
+        // DispatchIntensity panics on File keys by contract; the build
+        // must filter them rather than forward them.
+        let mut file_req = req(7);
+        file_req.source = TraceSource::File;
+        let ctx = EstimateContext::build(
+            &[file_req.clone(), req(9)],
+            &DispatchIntensity,
+            &CatalogEmbodied,
+            &GeneratedJobs,
+            Some(1),
+        );
+        assert_eq!(ctx.trace_count(), 1);
+        assert!(ctx.trace(&RequestKeys::of(&file_req).trace).is_none());
     }
 
     #[test]

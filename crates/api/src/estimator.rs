@@ -30,18 +30,25 @@ use crate::providers::{
 };
 use crate::report::{FootprintReport, Verdict};
 use crate::request::{EstimateRequest, ValidRequest};
-use crate::types::{PueSpec, StorageVariant};
+use crate::types::{ForecastModel, PueSpec, StorageVariant, TraceSource};
 use hpcarbon_core::db::PartId;
 use hpcarbon_core::operational::Pue;
 use hpcarbon_core::systems::HpcSystem;
 use hpcarbon_core::whatif::swap_storage_tier;
+use hpcarbon_grid::forecast::{
+    day_ahead_harmonic_forecast, noisy_oracle_forecast, persistence_forecast,
+};
+use hpcarbon_grid::regions::OperatorId;
+use hpcarbon_grid::trace::IntensityTrace;
 use hpcarbon_power::pue_model::{account_with_seasonal_pue, SeasonalPue};
 use hpcarbon_sched::{shift_savings, summarize_shift_savings, Cluster, Simulation};
 use hpcarbon_sim::par::{par_map_workers, worker_count};
+use hpcarbon_sim::rng::SimRng;
 use hpcarbon_units::{CarbonIntensity, TimeSpan};
 use hpcarbon_upgrade::savings::UpgradeScenario;
 use hpcarbon_upgrade::{Recommendation, UpgradeAdvisor};
 use hpcarbon_workloads::power::node_active_power;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Assembles an [`Estimator`] from providers; every axis defaults to the
@@ -53,6 +60,7 @@ pub struct EstimatorBuilder {
     jobs: Box<dyn JobSource>,
     context: Option<Arc<EstimateContext>>,
     threads: Option<usize>,
+    trace_files: BTreeMap<OperatorId, Arc<IntensityTrace>>,
 }
 
 impl EstimatorBuilder {
@@ -96,6 +104,22 @@ impl EstimatorBuilder {
         self
     }
 
+    /// Registers a measured trace (typically loaded with
+    /// [`hpcarbon_grid::load_trace_file`]) as the region's
+    /// [`TraceSource::File`] trace. Requests asking for `"trace": "file"`
+    /// in this region resolve to it — bypassing the intensity provider —
+    /// and requests for regions without a registered file fail with a
+    /// typed error. Registering a region twice replaces the earlier
+    /// trace.
+    pub fn trace_file(
+        mut self,
+        region: OperatorId,
+        trace: impl Into<Arc<IntensityTrace>>,
+    ) -> EstimatorBuilder {
+        self.trace_files.insert(region, trace.into());
+        self
+    }
+
     /// Finishes the build.
     pub fn build(self) -> Estimator {
         Estimator {
@@ -105,6 +129,7 @@ impl EstimatorBuilder {
             jobs: self.jobs,
             context: self.context,
             threads: self.threads,
+            trace_files: self.trace_files,
         }
     }
 }
@@ -128,6 +153,7 @@ pub struct Estimator {
     jobs: Box<dyn JobSource>,
     context: Option<Arc<EstimateContext>>,
     threads: Option<usize>,
+    trace_files: BTreeMap<OperatorId, Arc<IntensityTrace>>,
 }
 
 impl Estimator {
@@ -141,6 +167,7 @@ impl Estimator {
             jobs: Box::new(GeneratedJobs),
             context: None,
             threads: None,
+            trace_files: BTreeMap::new(),
         }
     }
 
@@ -214,14 +241,38 @@ impl Estimator {
         })
     }
 
-    /// The trace for `key`: a context hit, or the intensity provider.
+    /// The trace for `key`: file-sourced keys resolve from the registered
+    /// trace files (never a provider); everything else is a context hit
+    /// or the intensity provider.
+    ///
+    /// # Errors
+    /// [`ApiError::InvalidRequest`] when a file-sourced key has no
+    /// registered trace for its region, or the registered trace covers a
+    /// different year than the request asks for.
     fn trace_for(
         &self,
         ctx: Option<&EstimateContext>,
         key: &crate::context::TraceKey,
-    ) -> Arc<hpcarbon_grid::trace::IntensityTrace> {
-        ctx.and_then(|c| c.trace(key))
-            .unwrap_or_else(|| self.intensity.year_trace(key.0, key.1, key.2, key.3))
+    ) -> Result<Arc<IntensityTrace>, ApiError> {
+        if key.1 == TraceSource::File {
+            let trace = self
+                .trace_files
+                .get(&key.0)
+                .ok_or(ApiError::InvalidRequest {
+                    field: "trace",
+                    reason: "no trace file registered for this region",
+                })?;
+            if trace.series().year() != key.2 {
+                return Err(ApiError::InvalidRequest {
+                    field: "year",
+                    reason: "does not match the registered trace file's year",
+                });
+            }
+            return Ok(Arc::clone(trace));
+        }
+        Ok(ctx
+            .and_then(|c| c.trace(key))
+            .unwrap_or_else(|| self.intensity.year_trace(key.0, key.1, key.2, key.3)))
     }
 
     /// The five-layer pipeline. Mirrors the historical
@@ -260,7 +311,7 @@ impl Estimator {
         };
 
         // Layer 2: the regional grid year, from this request's own stream.
-        let trace = self.trace_for(ctx, &keys.trace);
+        let trace = self.trace_for(ctx, &keys.trace)?;
         let stats = ctx
             .and_then(|c| c.trace_stats(&keys.trace))
             .unwrap_or_else(|| TraceStats::of(&trace));
@@ -281,7 +332,7 @@ impl Estimator {
         // the estimate stays a pure function of the request and the
         // providers. `RequestKeys::of` encodes both rules.
         if let Some(pk) = keys.partner_trace {
-            let partner_trace = self.trace_for(ctx, &pk);
+            let partner_trace = self.trace_for(ctx, &pk)?;
             let mut partner = Cluster::new(pk.0.info().short, partner_trace, r.cluster_gpus);
             partner.pue = pue.mean_value();
             clusters.push(partner);
@@ -289,8 +340,33 @@ impl Estimator {
         let jobs = ctx
             .and_then(|c| c.job_trace(&keys.jobs))
             .unwrap_or_else(|| self.jobs.job_trace(keys.jobs.0, keys.jobs.1));
-        let sim = Simulation::multi_region(clusters.clone(), r.policy, &jobs).try_run()?;
-        let savings = summarize_shift_savings(&shift_savings(&sim, &jobs, &clusters));
+        // The oracle run: policies plan on the actual trace — perfect
+        // future knowledge, the numbers the paper reports.
+        let oracle_sim = Simulation::multi_region(clusters.clone(), r.policy, &jobs).try_run()?;
+        let oracle_savings = summarize_shift_savings(&shift_savings(&oracle_sim, &jobs, &clusters));
+        // Under a forecast, decisions re-run against the planning trace
+        // while carbon stays realized against the actual trace, and the
+        // oracle numbers ride along for the realized-vs-oracle columns.
+        // Each cluster forecasts its own grid off the request's
+        // `forecast` substream, forked per cluster position so the
+        // partner's noise is independent of the primary's.
+        let (sim, savings, oracle) = match r.forecast {
+            None => (oracle_sim, oracle_savings, None),
+            Some(model) => {
+                let base = SimRng::seed_from(r.seed).substream("forecast");
+                let planned: Vec<Cluster> = clusters
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let f = forecast_trace(model, &c.trace, base.fork(i as u64).seed());
+                        c.clone().with_forecast(f)
+                    })
+                    .collect();
+                let sim = Simulation::multi_region(planned.clone(), r.policy, &jobs).try_run()?;
+                let savings = summarize_shift_savings(&shift_savings(&sim, &jobs, &planned));
+                (sim, savings, Some(oracle_savings))
+            }
+        };
 
         // Layer 4: PUE-adjusted annual accounting of one reference node.
         let usage = r.usage;
@@ -339,6 +415,8 @@ impl Estimator {
             shift: crate::report::ShiftSection {
                 saved_kg: savings.saved_kg,
                 saved_pct: savings.saved_pct,
+                oracle_saved_kg: oracle.as_ref().map(|o| o.saved_kg),
+                oracle_saved_pct: oracle.as_ref().map(|o| o.saved_pct),
             },
             upgrade: crate::report::UpgradeSection {
                 node_annual_kg,
@@ -347,6 +425,24 @@ impl Estimator {
                 verdict,
             },
         })
+    }
+}
+
+/// Builds the planning trace for one cluster's actual grid under
+/// `model`. The oracle shares the actual trace's `Arc`, so its planned
+/// run is bit-for-bit the perfect-knowledge run.
+fn forecast_trace(
+    model: ForecastModel,
+    actual: &Arc<IntensityTrace>,
+    seed: u64,
+) -> Arc<IntensityTrace> {
+    match model {
+        ForecastModel::Oracle => Arc::clone(actual),
+        ForecastModel::Persistence => Arc::new(persistence_forecast(actual)),
+        ForecastModel::DayAhead => Arc::new(day_ahead_harmonic_forecast(actual)),
+        ForecastModel::Noisy { error_pct } => {
+            Arc::new(noisy_oracle_forecast(actual, error_pct, seed))
+        }
     }
 }
 
@@ -360,7 +456,7 @@ impl Default for Estimator {
 mod tests {
     use super::*;
     use crate::providers::FlatIntensity;
-    use crate::types::{SystemId, TraceSource, UpgradePath};
+    use crate::types::{SystemId, UpgradePath};
     use hpcarbon_grid::regions::OperatorId;
     use hpcarbon_sched::{Job, Policy};
     use hpcarbon_workloads::benchmarks::Suite;
@@ -515,6 +611,101 @@ mod tests {
             .estimate(&reqs[0])
             .unwrap();
         assert_eq!(Some(&single), with_ctx[0].as_ref().ok());
+    }
+
+    #[test]
+    fn oracle_forecast_realizes_the_oracle_numbers() {
+        // The acceptance property of the whole forecast layer: perfect
+        // knowledge through the forecast plumbing must reproduce the
+        // forecast-free run exactly, with the oracle columns echoing the
+        // realized ones.
+        let est = Estimator::default();
+        let mut shifted = req();
+        shifted.policy = Policy::TemporalShift { slack_hours: 24 };
+        let plain = est.estimate(&shifted).unwrap();
+        assert_eq!(plain.shift.oracle_saved_kg, None);
+        assert_eq!(plain.shift.oracle_saved_pct, None);
+        let mut oracle = shifted.clone();
+        oracle.forecast = Some(ForecastModel::Oracle);
+        let rep = est.estimate(&oracle).unwrap();
+        assert_eq!(rep.operational, plain.operational);
+        assert_eq!(rep.shift.saved_kg, plain.shift.saved_kg);
+        assert_eq!(rep.shift.saved_pct, plain.shift.saved_pct);
+        assert_eq!(rep.shift.oracle_saved_kg, Some(plain.shift.saved_kg));
+        assert_eq!(rep.shift.oracle_saved_pct, Some(plain.shift.saved_pct));
+    }
+
+    #[test]
+    fn imperfect_forecasts_realize_at_most_the_oracle() {
+        let est = Estimator::default();
+        let mut r = req();
+        r.policy = Policy::TemporalShift { slack_hours: 24 };
+        for model in [
+            ForecastModel::Persistence,
+            ForecastModel::DayAhead,
+            ForecastModel::Noisy { error_pct: 50 },
+        ] {
+            r.forecast = Some(model);
+            let rep = est.estimate(&r).unwrap();
+            let oracle = rep.shift.oracle_saved_kg.unwrap();
+            // Planning on an imperfect forecast cannot beat perfect
+            // knowledge (up to the greedy argmin's queueing tolerance).
+            let slack = 0.01 * oracle.abs() + 1e-6;
+            assert!(
+                rep.shift.saved_kg <= oracle + slack,
+                "{model:?}: realized {} > oracle {oracle}",
+                rep.shift.saved_kg
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_estimates_are_deterministic() {
+        let est = Estimator::default();
+        let mut r = req();
+        r.policy = Policy::TemporalShift { slack_hours: 24 };
+        r.forecast = Some(ForecastModel::Noisy { error_pct: 20 });
+        let a = est.estimate(&r).unwrap();
+        let b = est.estimate(&r).unwrap();
+        assert_eq!(a, b);
+        // A different request seed moves the noise stream.
+        let mut reseeded = r.clone();
+        reseeded.seed = 7;
+        let c = est.estimate(&reseeded).unwrap();
+        assert_ne!(a.shift.saved_kg, c.shift.saved_kg);
+    }
+
+    #[test]
+    fn file_source_resolves_from_registered_traces() {
+        let measured = hpcarbon_grid::synth::synthesize_year(OperatorId::Eso, 2021, 5);
+        let expected_median = measured.boxplot().median;
+        let est = Estimator::builder()
+            .trace_file(OperatorId::Eso, measured)
+            .build();
+        let mut r = req();
+        r.source = TraceSource::File;
+        let rep = est.estimate(&r).unwrap();
+        assert_eq!(rep.grid.median_g_per_kwh, expected_median);
+        // A region without a registered file is a typed request error.
+        let mut miss = r.clone();
+        miss.region = OperatorId::Ciso;
+        assert!(matches!(
+            est.estimate(&miss).unwrap_err(),
+            ApiError::InvalidRequest { field: "trace", .. }
+        ));
+        // A year the registered trace does not cover is rejected, not
+        // silently served from the wrong year.
+        let mut wrong_year = r.clone();
+        wrong_year.year = 2022;
+        assert!(matches!(
+            est.estimate(&wrong_year).unwrap_err(),
+            ApiError::InvalidRequest { field: "year", .. }
+        ));
+        // File requests never consult the provider (DispatchIntensity
+        // would panic), including in batches with a hoisted context.
+        let out = est.estimate_batch(&[r.clone(), miss]);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
     }
 
     #[test]

@@ -84,4 +84,4 @@ pub use report::{
     OperationalSection, ShiftSection, UpgradeSection, Verdict,
 };
 pub use request::{EstimateRequest, ValidRequest, POLICY_VALUES, SCHEMA_VERSION};
-pub use types::{PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};
+pub use types::{ForecastModel, PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};

@@ -9,7 +9,7 @@
 //! canonical lowercase form.
 
 use crate::error::ParseError;
-use crate::types::{node_label, StorageVariant, SystemId, TraceSource};
+use crate::types::{node_label, ForecastModel, StorageVariant, SystemId, TraceSource};
 use hpcarbon_grid::regions::OperatorId;
 use hpcarbon_workloads::benchmarks::Suite;
 use hpcarbon_workloads::nodes::NodeGen;
@@ -21,7 +21,9 @@ pub const STORAGE_VALUES: [&str; 2] = ["baseline", "all-flash"];
 /// Accepted `region` values (lowercase Table 3 short codes).
 pub const REGION_VALUES: [&str; 7] = ["kn", "tk", "eso", "ciso", "pjm", "miso", "ercot"];
 /// Accepted `trace` values.
-pub const TRACE_VALUES: [&str; 2] = ["paper", "synthetic"];
+pub const TRACE_VALUES: [&str; 3] = ["paper", "synthetic", "file"];
+/// Accepted `forecast` values (`noisy:<pct>` takes a whole-percent error).
+pub const FORECAST_VALUES: [&str; 4] = ["oracle", "persistence", "day-ahead", "noisy:<pct>"];
 /// Accepted node-generation values.
 pub const NODE_VALUES: [&str; 3] = ["p100", "v100", "a100"];
 /// Accepted benchmark-suite values.
@@ -86,8 +88,34 @@ pub fn trace_source(field: &'static str, s: &str) -> Result<TraceSource, ParseEr
     match s.to_ascii_lowercase().as_str() {
         "paper" => Ok(TraceSource::Paper),
         "synthetic" => Ok(TraceSource::Synthetic),
+        "file" => Ok(TraceSource::File),
         _ => Err(unknown(field, s, &TRACE_VALUES)),
     }
+}
+
+/// Parses a forecast-model name (`oracle`, `persistence`, `day-ahead`,
+/// or `noisy:<pct>` with a whole-percent error, e.g. `noisy:15`).
+pub fn forecast_model(field: &'static str, s: &str) -> Result<ForecastModel, ParseError> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(pct) = lower.strip_prefix("noisy:") {
+        return match pct.parse::<u32>() {
+            Ok(error_pct) if pct.chars().all(|c| c.is_ascii_digit()) => {
+                Ok(ForecastModel::Noisy { error_pct })
+            }
+            _ => Err(unknown(field, s, &FORECAST_VALUES)),
+        };
+    }
+    match lower.as_str() {
+        "oracle" => Ok(ForecastModel::Oracle),
+        "persistence" => Ok(ForecastModel::Persistence),
+        "day-ahead" => Ok(ForecastModel::DayAhead),
+        _ => Err(unknown(field, s, &FORECAST_VALUES)),
+    }
+}
+
+/// The canonical lowercase JSON value of a forecast model.
+pub fn forecast_name(f: ForecastModel) -> String {
+    f.label()
 }
 
 /// Parses a node-generation name (`p100`, `v100`, `a100`).
@@ -148,6 +176,23 @@ mod tests {
         for s in SUITE_VALUES {
             assert_eq!(suite_name(suite("suite", s).unwrap()), s);
         }
+        // The noisy entry in FORECAST_VALUES is a template, so the
+        // forecast vocabulary round-trips through concrete labels.
+        for s in ["oracle", "persistence", "day-ahead", "noisy:15"] {
+            assert_eq!(forecast_name(forecast_model("forecast", s).unwrap()), s);
+        }
+    }
+
+    #[test]
+    fn forecast_parser_rejects_malformed_noisy() {
+        assert!(forecast_model("forecast", "noisy:").is_err());
+        assert!(forecast_model("forecast", "noisy:-5").is_err());
+        assert!(forecast_model("forecast", "noisy:1.5").is_err());
+        assert!(forecast_model("forecast", "fortune-teller").is_err());
+        assert_eq!(
+            forecast_model("--forecast", "noisy:abc").unwrap_err().to_string(),
+            "unknown --forecast \"noisy:abc\" (valid values: oracle, persistence, day-ahead, noisy:<pct>)"
+        );
     }
 
     #[test]

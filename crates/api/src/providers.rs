@@ -107,7 +107,9 @@ pub trait PueProvider: Send + Sync {
 
 /// Default intensity provider: the paper's calibrated dispatch simulator
 /// for [`TraceSource::Paper`], the synthetic harmonic generator for
-/// [`TraceSource::Synthetic`].
+/// [`TraceSource::Synthetic`]. [`TraceSource::File`] traces are resolved
+/// by the estimator from its registered trace files *before* any
+/// provider is consulted, so this provider never sees them.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DispatchIntensity;
 
@@ -122,6 +124,14 @@ impl IntensityProvider for DispatchIntensity {
         Arc::new(match source {
             TraceSource::Paper => simulate_year(region, year, seed),
             TraceSource::Synthetic => synthesize_year(region, year, seed),
+            // lint: allow(panic-in-library) -- file traces are resolved
+            // from the estimator's registry before providers run; hitting
+            // this arm means an estimator-side interception bug, not a
+            // user input error, so surfacing it loudly beats fabricating
+            // a generated trace for a request that asked for measured data.
+            TraceSource::File => unreachable!(
+                "TraceSource::File must be resolved from the estimator's trace-file registry"
+            ),
         })
     }
 }

@@ -84,12 +84,23 @@ pub struct OperationalSection {
 }
 
 /// Carbon-aware shifting savings versus running every job at arrival.
+///
+/// Without a forecast on the request, `saved_*` are the perfect-knowledge
+/// (oracle) numbers and the `oracle_*` fields are `None` — emission omits
+/// them, so pre-forecast documents keep their exact bytes. With a
+/// forecast, `saved_*` are the *realized* savings (decisions planned on
+/// the forecast, carbon paid on the actual trace) and `oracle_*` carry
+/// the perfect-knowledge numbers for comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShiftSection {
     /// Carbon saved, kgCO₂ (negative when deferral backfired).
     pub saved_kg: f64,
     /// The same savings as a percentage of the baseline.
     pub saved_pct: f64,
+    /// Perfect-knowledge savings, kgCO₂ (`None` without a forecast).
+    pub oracle_saved_kg: Option<f64>,
+    /// Perfect-knowledge savings, % (`None` without a forecast).
+    pub oracle_saved_pct: Option<f64>,
 }
 
 /// The upgrade question at the region's median intensity.
@@ -135,6 +146,22 @@ impl FootprintReport {
 
     fn to_json_padded(&self, pad: &str) -> String {
         let m = fmt_metric;
+        // The oracle columns appear only when the request engaged a
+        // forecast, so forecast-free reports keep their exact bytes.
+        let shift = match (self.shift.oracle_saved_kg, self.shift.oracle_saved_pct) {
+            (None, None) => format!(
+                "{{\"saved_kg\": {}, \"saved_pct\": {}}}",
+                m(Some(self.shift.saved_kg)),
+                m(Some(self.shift.saved_pct)),
+            ),
+            (kg, pct) => format!(
+                "{{\"saved_kg\": {}, \"saved_pct\": {}, \"oracle_saved_kg\": {}, \"oracle_saved_pct\": {}}}",
+                m(Some(self.shift.saved_kg)),
+                m(Some(self.shift.saved_pct)),
+                m(kg),
+                m(pct),
+            ),
+        };
         format!(
             "{pad}{{\n\
              {pad}  \"schema_version\": {},\n\
@@ -142,7 +169,7 @@ impl FootprintReport {
              {pad}  \"embodied\": {{\"total_t\": {}, \"storage_delta_pct\": {}}},\n\
              {pad}  \"grid\": {{\"median_g_per_kwh\": {}, \"cov_pct\": {}}},\n\
              {pad}  \"operational\": {{\"sched_kg\": {}, \"sched_kwh\": {}, \"mean_wait_h\": {}, \"max_wait_h\": {}}},\n\
-             {pad}  \"shift\": {{\"saved_kg\": {}, \"saved_pct\": {}}},\n\
+             {pad}  \"shift\": {},\n\
              {pad}  \"upgrade\": {{\"node_annual_kg\": {}, \"break_even_y\": {}, \"asymptotic_pct\": {}, \"verdict\": {}}}\n\
              {pad}}}",
             self.schema_version,
@@ -155,8 +182,7 @@ impl FootprintReport {
             m(Some(self.operational.sched_kwh)),
             m(Some(self.operational.mean_wait_h)),
             m(Some(self.operational.max_wait_h)),
-            m(Some(self.shift.saved_kg)),
-            m(Some(self.shift.saved_pct)),
+            shift,
             m(Some(self.upgrade.node_annual_kg)),
             m(self.upgrade.break_even_y),
             m(Some(self.upgrade.asymptotic_pct)),
@@ -240,10 +266,26 @@ impl FootprintReport {
         };
 
         let shift = section("shift")?;
-        reject_unknown(as_object(shift, "shift")?, &["saved_kg", "saved_pct"])?;
+        reject_unknown(
+            as_object(shift, "shift")?,
+            &[
+                "saved_kg",
+                "saved_pct",
+                "oracle_saved_kg",
+                "oracle_saved_pct",
+            ],
+        )?;
         let shift = ShiftSection {
             saved_kg: num(shift, "shift.saved_kg", "saved_kg")?,
             saved_pct: num(shift, "shift.saved_pct", "saved_pct")?,
+            oracle_saved_kg: match shift.get("oracle_saved_kg") {
+                Some(v) => as_opt_num("shift.oracle_saved_kg", v)?,
+                None => None,
+            },
+            oracle_saved_pct: match shift.get("oracle_saved_pct") {
+                Some(v) => as_opt_num("shift.oracle_saved_pct", v)?,
+                None => None,
+            },
         };
 
         let up = section("upgrade")?;
@@ -381,6 +423,27 @@ mod tests {
             .map(|r| r.clone().map(std::sync::Arc::new))
             .collect();
         assert_eq!(batch_to_json(&owned), batch_to_json(&arced));
+    }
+
+    #[test]
+    fn forecast_reports_round_trip_with_oracle_columns() {
+        // Forecast-free reports must not mention the oracle columns…
+        let plain = report();
+        assert!(!plain.to_json().contains("oracle_saved"));
+        // …and forecast-engaged reports carry and round-trip them.
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 40;
+        r.policy = hpcarbon_sched::Policy::TemporalShift { slack_hours: 24 };
+        r.forecast = Some(crate::types::ForecastModel::Persistence);
+        let rep = Estimator::default().estimate(&r).unwrap();
+        let json = rep.to_json();
+        assert!(json.contains("\"oracle_saved_kg\": "));
+        assert!(json.contains("\"oracle_saved_pct\": "));
+        let back = FootprintReport::from_json(&json).unwrap();
+        assert!(back.shift.oracle_saved_kg.is_some());
+        assert!(back.shift.oracle_saved_pct.is_some());
+        // Byte-stable round trip (values re-emit at the wire precision).
+        assert_eq!(back.to_json(), json);
     }
 
     #[test]

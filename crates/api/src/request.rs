@@ -25,7 +25,7 @@ use crate::json::{
     reject_unknown, require_str, Json,
 };
 use crate::parse;
-use crate::types::{PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};
+use crate::types::{ForecastModel, PueSpec, StorageVariant, SystemId, TraceSource, UpgradePath};
 use hpcarbon_grid::regions::OperatorId;
 use hpcarbon_sched::Policy;
 use hpcarbon_units::Fraction;
@@ -70,6 +70,12 @@ pub struct EstimateRequest {
     /// `Some(true)` / `Some(false)` force it either way, so a policy
     /// comparison can hold the topology fixed across rows.
     pub partner: Option<bool>,
+    /// Which forecast the scheduler plans on. `None` (the default) is
+    /// perfect knowledge — policies argmin over the actual trace;
+    /// `Some` makes them argmin over the forecast while carbon is
+    /// realized against the actual trace, and the report gains
+    /// realized-vs-oracle columns.
+    pub forecast: Option<ForecastModel>,
     /// Upgrade question evaluated at the region's median intensity.
     pub upgrade: UpgradePath,
     /// Fraction of time the reference node is busy serving work.
@@ -99,6 +105,7 @@ impl EstimateRequest {
             pue: PueSpec::Constant(1.2),
             policy: Policy::Fifo,
             partner: None,
+            forecast: None,
             upgrade: UpgradePath {
                 from: NodeGen::V100Node,
                 to: NodeGen::A100Node,
@@ -171,7 +178,7 @@ impl EstimateRequest {
                 supported: SCHEMA_VERSION,
             });
         }
-        const KNOWN: [&str; 14] = [
+        const KNOWN: [&str; 15] = [
             "schema_version",
             "system",
             "storage",
@@ -180,6 +187,7 @@ impl EstimateRequest {
             "pue",
             "policy",
             "partner",
+            "forecast",
             "upgrade",
             "usage",
             "seed",
@@ -216,6 +224,9 @@ impl EstimateRequest {
                     .into())
                 }
             };
+        }
+        if let Some(v) = j.get("forecast") {
+            req.forecast = Some(parse::forecast_model("forecast", as_str("forecast", v)?)?);
         }
         if let Some(v) = j.get("upgrade") {
             req.upgrade = upgrade_from_json(v)?;
@@ -267,10 +278,15 @@ impl EstimateRequest {
             format!("\"pue\": {}", pue_to_json(self.pue)),
             format!("\"policy\": {}", policy_to_json(self.policy)),
         ];
-        // `partner` is tri-state: the policy-decides default is encoded
-        // by the field's absence, so parse → emit stays byte-stable.
+        // `partner` and `forecast` are tri-state: their perfect-knowledge
+        // / policy-decides defaults are encoded by the field's absence,
+        // so parse → emit stays byte-stable and pre-forecast documents
+        // keep their exact canonical bytes.
         if let Some(p) = self.partner {
             parts.push(format!("\"partner\": {p}"));
+        }
+        if let Some(f) = self.forecast {
+            parts.push(format!("\"forecast\": {}", esc(&f.label())));
         }
         parts.extend([
             format!("\"upgrade\": {}", upgrade_to_json(self.upgrade)),
@@ -682,6 +698,39 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn forecast_field_is_tristate_and_round_trips() {
+        // Absent = None = perfect knowledge; emission omits the field,
+        // so pre-forecast documents keep their canonical bytes.
+        let r = EstimateRequest::from_json(
+            r#"{"schema_version": 1, "system": "frontier", "region": "eso"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.forecast, None);
+        assert!(!r.to_json().contains("forecast"));
+        // Every forecast shape round-trips through emission.
+        for (name, model) in [
+            ("oracle", ForecastModel::Oracle),
+            ("persistence", ForecastModel::Persistence),
+            ("day-ahead", ForecastModel::DayAhead),
+            ("noisy:15", ForecastModel::Noisy { error_pct: 15 }),
+        ] {
+            let src = format!(
+                r#"{{"schema_version": 1, "system": "frontier", "region": "eso", "forecast": "{name}"}}"#
+            );
+            let r = EstimateRequest::from_json(&src).unwrap();
+            assert_eq!(r.forecast, Some(model));
+            let emitted = r.to_json();
+            assert!(emitted.contains(&format!("\"forecast\": \"{name}\"")));
+            assert_eq!(EstimateRequest::from_json(&emitted).unwrap(), r);
+        }
+        // Unknown forecast names are typed errors.
+        assert!(EstimateRequest::from_json(
+            r#"{"schema_version": 1, "system": "frontier", "region": "eso", "forecast": "crystal-ball"}"#,
+        )
+        .is_err());
     }
 
     #[test]

@@ -130,10 +130,17 @@ pub enum TraceSource {
     /// ([`hpcarbon_grid::synth::synthesize_year`]) — cheap deterministic
     /// region-years beyond the shipped traces.
     Synthetic,
+    /// A measured region-year ingested from a trace file
+    /// ([`hpcarbon_grid::tracefile`]) and registered with the estimator
+    /// up front. Requests with this source fail if no file was loaded
+    /// for their region.
+    File,
 }
 
 impl TraceSource {
-    /// Both sources, paper first.
+    /// The *generated* sources, paper first. [`TraceSource::File`] is
+    /// deliberately absent: it needs an out-of-band file registration, so
+    /// sweep grids and vocabulary loops must opt into it explicitly.
     pub const ALL: [TraceSource; 2] = [TraceSource::Paper, TraceSource::Synthetic];
 
     /// Display label (also the JSON value).
@@ -141,6 +148,45 @@ impl TraceSource {
         match self {
             TraceSource::Paper => "paper",
             TraceSource::Synthetic => "synthetic",
+            TraceSource::File => "file",
+        }
+    }
+}
+
+/// Which forecast model the scheduler plans on. `None` in a request means
+/// perfect knowledge (policies argmin over the actual trace — the oracle
+/// numbers the paper reports); `Some` makes policies argmin over the
+/// forecast while carbon is still realized against the actual trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ForecastModel {
+    /// Perfect knowledge, run through the forecast plumbing: the planning
+    /// trace is the actual trace, so realized savings must equal oracle
+    /// savings byte-for-byte. Exists to validate the machinery.
+    Oracle,
+    /// 24-hour persistence: tomorrow looks like today
+    /// ([`hpcarbon_grid::forecast::persistence_forecast`]).
+    Persistence,
+    /// Day-ahead harmonic fit
+    /// ([`hpcarbon_grid::forecast::day_ahead_harmonic_forecast`]).
+    DayAhead,
+    /// Noisy oracle with multiplicative Gaussian error
+    /// ([`hpcarbon_grid::forecast::noisy_oracle_forecast`]), seeded from
+    /// the request's forecast substream.
+    Noisy {
+        /// Relative error σ, in whole percent.
+        error_pct: u32,
+    },
+}
+
+impl ForecastModel {
+    /// Display label (also the JSON value): `oracle`, `persistence`,
+    /// `day-ahead`, or `noisy:<pct>`.
+    pub fn label(self) -> String {
+        match self {
+            ForecastModel::Oracle => "oracle".to_string(),
+            ForecastModel::Persistence => "persistence".to_string(),
+            ForecastModel::DayAhead => "day-ahead".to_string(),
+            ForecastModel::Noisy { error_pct } => format!("noisy:{error_pct}"),
         }
     }
 }
@@ -186,7 +232,21 @@ mod tests {
         assert_eq!(SystemId::Frontier.label(), "frontier");
         assert_eq!(StorageVariant::AllFlash.label(), "all-flash");
         assert_eq!(TraceSource::Synthetic.label(), "synthetic");
+        assert_eq!(TraceSource::File.label(), "file");
         assert_eq!(node_label(NodeGen::V100Node), "v100");
+    }
+
+    #[test]
+    fn forecast_labels() {
+        assert_eq!(ForecastModel::Oracle.label(), "oracle");
+        assert_eq!(ForecastModel::Persistence.label(), "persistence");
+        assert_eq!(ForecastModel::DayAhead.label(), "day-ahead");
+        assert_eq!(ForecastModel::Noisy { error_pct: 15 }.label(), "noisy:15");
+    }
+
+    #[test]
+    fn file_source_stays_out_of_the_grid_vocabulary() {
+        assert!(!TraceSource::ALL.contains(&TraceSource::File));
     }
 
     #[test]

@@ -39,7 +39,11 @@
 //!   (actual + forecast with horizon-dependent error, intensity index
 //!   bands) used by the carbon-aware scheduler;
 //! - [`analysis`]: the Fig. 6/Fig. 7 analyses (per-region summaries,
-//!   winner-per-JST-hour counts).
+//!   winner-per-JST-hour counts);
+//! - [`tracefile`]: strict ElectricityMaps/EIA-style CSV ingestion of
+//!   *measured* region-years into the same [`trace::IntensityTrace`];
+//! - [`forecast`]: planning traces (persistence, day-ahead harmonic,
+//!   seeded noisy oracle) for uncertainty-aware shifting.
 //!
 //! # Example
 //!
@@ -57,16 +61,20 @@
 
 pub mod analysis;
 pub mod api;
+pub mod forecast;
 pub mod fuel;
 pub mod regions;
 pub mod sim;
 pub mod synth;
 pub mod trace;
+pub mod tracefile;
 
+pub use forecast::ForecastProvider;
 pub use regions::OperatorId;
 pub use sim::{simulate_all_regions, simulate_year};
 pub use synth::{synthesize_year, SyntheticSpec};
 pub use trace::IntensityTrace;
+pub use tracefile::{load_trace_file, parse_trace_csv, write_trace_csv, GapPolicy, ParsedTrace};
 
 use hpcarbon_units::CarbonIntensity;
 

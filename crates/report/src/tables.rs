@@ -239,29 +239,72 @@ pub struct ShiftingRow {
     pub mean_wait_h: f64,
     /// Max queue wait, hours.
     pub max_wait_h: f64,
+    /// What perfect knowledge would have saved, kgCO₂ — `None` when
+    /// the run planned on the actual trace (no forecast engaged).
+    pub oracle_saved_kg: Option<f64>,
+    /// Oracle savings in percent of the baseline.
+    pub oracle_saved_pct: Option<f64>,
+}
+
+impl ShiftingRow {
+    /// A forecast-free row (the historical constructor shape): realized
+    /// and oracle savings coincide, so no oracle columns are carried.
+    pub fn new(
+        policy: impl Into<String>,
+        carbon_kg: f64,
+        saved_kg: f64,
+        saved_pct: f64,
+        mean_wait_h: f64,
+        max_wait_h: f64,
+    ) -> ShiftingRow {
+        ShiftingRow {
+            policy: policy.into(),
+            carbon_kg,
+            saved_kg,
+            saved_pct,
+            mean_wait_h,
+            max_wait_h,
+            oracle_saved_kg: None,
+            oracle_saved_pct: None,
+        }
+    }
 }
 
 /// Renders the shifting comparison as an aligned Markdown table — the
 /// terminal view of "what does each policy buy, and what does it cost in
 /// queue time" used by `hpcarbon schedule` and the shifting example.
+/// When any row carries oracle savings (a forecast run), two extra
+/// columns show what perfect knowledge would have bought; forecast-free
+/// tables keep the historical six-column layout.
 pub fn shifting_comparison(rows: &[ShiftingRow]) -> String {
-    let mut md = MarkdownTable::new(&[
+    let oracle = rows.iter().any(|r| r.oracle_saved_kg.is_some());
+    let mut headers = vec![
         "policy",
         "kgCO2",
         "saved kg",
         "saved %",
         "mean wait h",
         "max wait h",
-    ]);
+    ];
+    if oracle {
+        headers.extend(["oracle kg", "oracle %"]);
+    }
+    let mut md = MarkdownTable::new(&headers);
+    let opt = |v: Option<f64>| v.map(|v| format!("{v:.1}")).unwrap_or_default();
     for r in rows {
-        md.row([
+        let mut cells = vec![
             r.policy.clone(),
             format!("{:.1}", r.carbon_kg),
             format!("{:.1}", r.saved_kg),
             format!("{:.1}", r.saved_pct),
             format!("{:.1}", r.mean_wait_h),
             format!("{:.1}", r.max_wait_h),
-        ]);
+        ];
+        if oracle {
+            cells.push(opt(r.oracle_saved_kg));
+            cells.push(opt(r.oracle_saved_pct));
+        }
+        md.row(cells);
     }
     md.finish()
 }
@@ -333,26 +376,31 @@ mod tests {
     #[test]
     fn shifting_comparison_renders_every_row() {
         let rows = vec![
-            ShiftingRow {
-                policy: "FIFO (carbon-unaware)".into(),
-                carbon_kg: 1200.0,
-                saved_kg: 0.0,
-                saved_pct: 0.0,
-                mean_wait_h: 0.0,
-                max_wait_h: 0.0,
-            },
-            ShiftingRow {
-                policy: "temporal shift".into(),
-                carbon_kg: 800.0,
-                saved_kg: 400.0,
-                saved_pct: 33.3,
-                mean_wait_h: 6.2,
-                max_wait_h: 24.0,
-            },
+            ShiftingRow::new("FIFO (carbon-unaware)", 1200.0, 0.0, 0.0, 0.0, 0.0),
+            ShiftingRow::new("temporal shift", 800.0, 400.0, 33.3, 6.2, 24.0),
         ];
         let t = shifting_comparison(&rows);
         assert!(t.contains("temporal shift"));
         assert!(t.contains("400.0"));
         assert_eq!(t.lines().count(), 2 + rows.len()); // header + rule + rows
+                                                       // Forecast-free tables keep the historical layout.
+        assert!(!t.contains("oracle"));
+    }
+
+    #[test]
+    fn shifting_comparison_grows_oracle_columns_under_a_forecast() {
+        let mut realized = ShiftingRow::new("temporal shift", 820.0, 380.0, 31.6, 6.4, 24.0);
+        realized.oracle_saved_kg = Some(400.0);
+        realized.oracle_saved_pct = Some(33.3);
+        let rows = vec![
+            ShiftingRow::new("FIFO (carbon-unaware)", 1200.0, 0.0, 0.0, 0.0, 0.0),
+            realized,
+        ];
+        let t = shifting_comparison(&rows);
+        assert!(t.contains("oracle kg") && t.contains("oracle %"));
+        assert!(t.contains("400.0") && t.contains("380.0"));
+        // Rows without oracle data render empty cells, not zeros.
+        let fifo_line = t.lines().find(|l| l.contains("FIFO")).unwrap();
+        assert!(!fifo_line.contains("400.0"));
     }
 }

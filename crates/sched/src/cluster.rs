@@ -36,8 +36,13 @@ pub fn fitting_cluster(preferred: usize, job: &Job, clusters: &[Cluster]) -> usi
 pub struct Cluster {
     /// Site name.
     pub name: String,
-    /// The regional hourly intensity trace (shared, immutable).
+    /// The regional hourly intensity trace (shared, immutable). This is
+    /// what jobs *pay*: carbon accounting always integrates this series.
     pub trace: Arc<IntensityTrace>,
+    /// The planning trace policies argmin over, when scheduling under a
+    /// forecast instead of perfect knowledge. `None` (the default) plans
+    /// on [`Cluster::trace`] itself — the oracle.
+    pub forecast: Option<Arc<IntensityTrace>>,
     /// Total schedulable GPUs.
     pub capacity_gpus: u32,
     /// Facility PUE.
@@ -56,9 +61,33 @@ impl Cluster {
         Cluster {
             name: name.into(),
             trace: trace.into(),
+            forecast: None,
             capacity_gpus,
             pue: 1.2,
         }
+    }
+
+    /// Attaches a planning forecast. Policies will argmin over it while
+    /// carbon is still realized against the actual trace.
+    ///
+    /// # Panics
+    /// If the forecast covers a different number of hours than the
+    /// actual trace (they must index the same year).
+    pub fn with_forecast(mut self, forecast: impl Into<Arc<IntensityTrace>>) -> Cluster {
+        let forecast = forecast.into();
+        assert_eq!(
+            forecast.series().len(),
+            self.trace.series().len(),
+            "forecast must cover the same year as the actual trace"
+        );
+        self.forecast = Some(forecast);
+        self
+    }
+
+    /// The trace scheduling decisions are made against: the forecast when
+    /// one is attached, else the actual trace.
+    pub fn planning_trace(&self) -> &IntensityTrace {
+        self.forecast.as_deref().unwrap_or(&self.trace)
     }
 
     /// Operational carbon of drawing `power` (IT) from this cluster for
@@ -87,36 +116,38 @@ impl Cluster {
         (power * duration) * self.pue
     }
 
-    /// Average intensity over a window (used by forecast-free policies):
-    /// one `O(1)` lookup in the trace's window index, wrapping past year
-    /// end. Durations beyond one trace year are approximated by the
-    /// full-year mean — the clamp ignores the extra weight a partial
-    /// second cycle would put on its hours, which only matters for
-    /// runtimes far outside the workload model (log-normal, median 3 h).
+    /// Average *planning* intensity over a window (what policies decide
+    /// on): one `O(1)` lookup in the planning trace's window index,
+    /// wrapping past year end. Durations beyond one trace year are
+    /// approximated by the full-year mean — the clamp ignores the extra
+    /// weight a partial second cycle would put on its hours, which only
+    /// matters for runtimes far outside the workload model (log-normal,
+    /// median 3 h).
     pub fn mean_intensity_over(&self, start_hours: f64, duration_hours: f64) -> f64 {
-        let len = self.trace.series().len() as u32;
+        let planning = self.planning_trace();
+        let len = planning.series().len() as u32;
         let w = (duration_hours.ceil().max(1.0) as u32).min(len);
         let start = (start_hours.floor() as u64 % u64::from(len)) as u32;
-        self.trace.window_index().window_mean(start, w)
+        planning.window_index().window_mean(start, w)
     }
 
     /// The indexed greenest shift for a `duration_hours` run on this
     /// cluster: the deferral `d ∈ [0, slack_hours]` minimizing the mean
-    /// intensity of the (wrapped) run window, plus that mean. `O(slack)`
-    /// via the trace's window index; ties break toward the smallest
-    /// shift.
+    /// *planning* intensity of the (wrapped) run window, plus that mean.
+    /// `O(slack)` via the planning trace's window index; ties break
+    /// toward the smallest shift.
     pub fn greenest_shift_for(
         &self,
         start_hours: f64,
         duration_hours: f64,
         slack_hours: u32,
     ) -> (u32, f64) {
-        let len = self.trace.series().len() as u32;
+        let planning = self.planning_trace();
+        let len = planning.series().len() as u32;
         let w = (duration_hours.ceil().max(1.0) as u32).min(len);
         let start = (start_hours.floor() as u64 % u64::from(len)) as u32;
-        let shift = self.trace.greenest_shift(start, slack_hours, w);
-        let mean = self
-            .trace
+        let shift = planning.greenest_shift(start, slack_hours, w);
+        let mean = planning
             .window_index()
             .window_mean((start + shift) % len, w);
         (shift, mean)
@@ -217,5 +248,44 @@ mod tests {
     #[should_panic(expected = "cluster needs capacity")]
     fn rejects_zero_capacity() {
         let _ = Cluster::new("t", step_trace(), 0);
+    }
+
+    #[test]
+    fn forecast_drives_planning_but_not_carbon() {
+        // The forecast inverts the diurnal pattern: it predicts clean
+        // afternoons where the actual grid is dirty.
+        let inverted = IntensityTrace::new(
+            OperatorId::Eso,
+            HourlySeries::from_fn(2021, |st| if st.hour() < 12 { 300.0 } else { 100.0 }),
+        );
+        let c = Cluster::new("t", step_trace(), 8).with_forecast(inverted);
+        // Planning follows the (wrong) forecast into the afternoon.
+        let (shift, mean) = c.greenest_shift_for(10.0, 4.0, 12);
+        assert_eq!(shift, 2);
+        assert!((mean - 100.0).abs() < 1e-9);
+        assert!((c.mean_intensity_over(12.0, 4.0) - 100.0).abs() < 1e-9);
+        // Carbon still integrates the actual trace (hour 12 is 300 g/kWh).
+        let m = Cluster { pue: 1.0, ..c }.carbon_for(
+            12.0,
+            TimeSpan::from_hours(1.0),
+            Power::from_kw(1.0),
+        );
+        assert!((m.as_g() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_forecast_plans_on_the_actual() {
+        let c = Cluster::new("t", step_trace(), 8);
+        assert_eq!(
+            c.planning_trace().series().values(),
+            c.trace.series().values()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "forecast must cover the same year")]
+    fn rejects_mismatched_forecast() {
+        let leap = IntensityTrace::new(OperatorId::Eso, HourlySeries::constant(2020, 100.0));
+        let _ = Cluster::new("t", step_trace(), 8).with_forecast(leap);
     }
 }

@@ -115,14 +115,17 @@ impl Policy {
                 threshold_g_per_kwh,
             } => {
                 let c = &clusters[arrival_cluster];
+                // Decide on the planning trace: a threshold crossing a
+                // forecast predicts may not materialize in the actual.
+                let planning = c.planning_trace();
                 let limit = now_hours + job.max_defer_hours;
-                let len = c.trace.series().len() as f64;
+                let len = planning.series().len() as f64;
                 let mut t = now_hours;
                 // Scan forward hour by hour until the threshold is met or
                 // tolerance runs out.
                 while t < limit {
                     let idx = (t.floor() as u64 % len as u64) as u32;
-                    if c.trace.at_index(idx).as_g_per_kwh() <= threshold_g_per_kwh {
+                    if planning.at_index(idx).as_g_per_kwh() <= threshold_g_per_kwh {
                         break;
                     }
                     t = t.floor() + 1.0;

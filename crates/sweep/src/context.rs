@@ -75,6 +75,27 @@ impl SweepContext {
         threads: Option<usize>,
         embodied: Arc<dyn EmbodiedSource>,
     ) -> SweepContext {
+        Self::build_full(grid, config, threads, embodied, Vec::new())
+    }
+
+    /// [`SweepContext::build_with`] plus registered trace files — the
+    /// `--trace-file` path. Each `(region, trace)` pair backs that
+    /// region's [`hpcarbon_api::TraceSource::File`] scenarios; regions
+    /// without a registered file fail those rows soft with the API's
+    /// "no trace file registered" error. File keys are measured data,
+    /// not simulator output, so they are deliberately excluded from the
+    /// precomputed provider context (the estimator resolves them from
+    /// its own registry).
+    pub fn build_full(
+        grid: &ScenarioGrid,
+        config: SweepConfig,
+        threads: Option<usize>,
+        embodied: Arc<dyn EmbodiedSource>,
+        trace_files: Vec<(
+            hpcarbon_grid::regions::OperatorId,
+            Arc<hpcarbon_grid::trace::IntensityTrace>,
+        )>,
+    ) -> SweepContext {
         let mut trace_keys: BTreeSet<TraceKey> = BTreeSet::new();
         let mut job_keys: BTreeSet<JobKey> = BTreeSet::new();
         // The sweep translates scenarios with `partner: None`, so a
@@ -109,10 +130,13 @@ impl SweepContext {
             &GeneratedJobs,
             threads,
         ));
-        let estimator = Estimator::builder()
+        let mut builder = Estimator::builder()
             .context(Arc::clone(&context))
-            .embodied(embodied)
-            .build();
+            .embodied(embodied);
+        for (region, trace) in trace_files {
+            builder = builder.trace_file(region, trace);
+        }
+        let estimator = builder.build();
         SweepContext {
             config,
             estimator,

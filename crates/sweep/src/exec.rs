@@ -50,6 +50,7 @@ use crate::sink::{CollectSink, RowSink, SinkDigest};
 use crate::summary::SummaryAccumulator;
 use crate::table::{summary_markdown, MetricSummary, SweepRow};
 use hpcarbon_api::providers::EmbodiedSource;
+use hpcarbon_api::ForecastModel;
 use hpcarbon_sim::par::worker_count;
 use std::cmp::{Ordering as CmpOrdering, Reverse};
 use std::collections::BinaryHeap;
@@ -69,6 +70,10 @@ pub struct SweepConfig {
     pub jobs_per_scenario: usize,
     /// GPUs in each scenario's cluster.
     pub cluster_gpus: u32,
+    /// Forecast model driving shifting decisions. `None` plans on the
+    /// actual trace (perfect knowledge), the historical behaviour — and
+    /// keeps every emitted byte identical to pre-forecast sweeps.
+    pub forecast: Option<ForecastModel>,
 }
 
 impl SweepConfig {
@@ -78,6 +83,7 @@ impl SweepConfig {
             year: 2021,
             jobs_per_scenario: 120,
             cluster_gpus: 96,
+            forecast: None,
         }
     }
 
@@ -87,6 +93,7 @@ impl SweepConfig {
             year: 2021,
             jobs_per_scenario: 40,
             cluster_gpus: 96,
+            forecast: None,
         }
     }
 }
@@ -186,6 +193,10 @@ pub struct Sweep<'a> {
     top: usize,
     sinks: Vec<&'a mut dyn RowSink>,
     embodied: Option<Arc<dyn EmbodiedSource>>,
+    trace_files: Vec<(
+        hpcarbon_grid::regions::OperatorId,
+        Arc<hpcarbon_grid::trace::IntensityTrace>,
+    )>,
 }
 
 impl<'a> Sweep<'a> {
@@ -200,6 +211,7 @@ impl<'a> Sweep<'a> {
             top: 5,
             sinks: Vec::new(),
             embodied: None,
+            trace_files: Vec::new(),
         }
     }
 
@@ -244,6 +256,20 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Registers an ingested trace file as `region`'s
+    /// [`hpcarbon_api::TraceSource::File`] trace — the
+    /// `hpcarbon sweep --trace-file` path. Repeatable, one file per
+    /// region; `file` rows for regions without a registration fail soft
+    /// with the API's "no trace file registered" error.
+    pub fn trace_file(
+        mut self,
+        region: hpcarbon_grid::regions::OperatorId,
+        trace: Arc<hpcarbon_grid::trace::IntensityTrace>,
+    ) -> Sweep<'a> {
+        self.trace_files.push((region, trace));
+        self
+    }
+
     /// Evaluates the configured slice of the grid, streaming every row
     /// through the attached sinks in grid order.
     ///
@@ -267,12 +293,17 @@ impl<'a> Sweep<'a> {
             .threads
             .unwrap_or_else(|| worker_count(range.len()))
             .clamp(1, range.len().max(1));
-        let ctx = match self.embodied.take() {
-            Some(embodied) => {
-                SweepContext::build_with(self.grid, self.config, Some(workers), embodied)
-            }
-            None => SweepContext::build(self.grid, self.config, Some(workers)),
-        };
+        let embodied = self
+            .embodied
+            .take()
+            .unwrap_or_else(|| Arc::new(hpcarbon_api::CatalogEmbodied));
+        let ctx = SweepContext::build_full(
+            self.grid,
+            self.config,
+            Some(workers),
+            embodied,
+            std::mem::take(&mut self.trace_files),
+        );
         let mut acc = SummaryAccumulator::new(self.top);
 
         for sink in self.sinks.iter_mut() {
@@ -697,6 +728,76 @@ mod tests {
         match err {
             SweepError::Sink(e) => assert!(e.to_string().contains("quota")),
             other => panic!("expected sink error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn forecast_sweeps_are_deterministic_and_fill_the_oracle_columns() {
+        let grid = ScenarioGrid::shifting();
+        let mut cfg = SweepConfig::fast();
+        cfg.forecast = Some(ForecastModel::Noisy { error_pct: 20 });
+        let run = |threads| {
+            let mut csv = CsvSink::new(Vec::new()).forecast_columns();
+            let mut collect = CollectSink::new();
+            Sweep::over(&grid)
+                .config(cfg)
+                .threads(threads)
+                .sink(&mut csv)
+                .sink(&mut collect)
+                .run()
+                .unwrap();
+            (csv.into_inner(), collect)
+        };
+        let (csv1, rows) = run(1);
+        let (csv4, _) = run(4);
+        // Noisy forecasts fork from the scenario seed, never thread
+        // state: emitted bytes are thread-count independent.
+        assert_eq!(csv1, csv4);
+        let mut engaged = 0;
+        for r in rows.rows() {
+            let o = r.outcome.as_ref().unwrap();
+            let (kg, oracle_kg) = (o.shift_saved_kg, o.oracle_saved_kg.unwrap());
+            assert!(o.oracle_saved_pct.is_some());
+            // An imperfect planner never beats perfect knowledge
+            // (within float formatting noise).
+            assert!(kg <= oracle_kg + 1e-9, "{kg} > {oracle_kg}");
+            if kg < oracle_kg {
+                engaged += 1;
+            }
+        }
+        assert!(engaged > 0, "the noisy forecast never cost anything");
+    }
+
+    #[test]
+    fn registered_trace_files_back_the_file_source_dimension() {
+        use hpcarbon_grid::regions::OperatorId;
+        let grid = ScenarioGrid::quick().sources([crate::TraceSource::File]);
+        let trace = Arc::new(hpcarbon_grid::synth::synthesize_year(
+            OperatorId::Eso,
+            2021,
+            99,
+        ));
+        let mut collect = CollectSink::new();
+        Sweep::over(&grid)
+            .config(SweepConfig::fast())
+            .threads(2)
+            .trace_file(OperatorId::Eso, Arc::clone(&trace))
+            .sink(&mut collect)
+            .run()
+            .unwrap();
+        for r in collect.rows() {
+            match r.scenario.region {
+                // Registered region: rows evaluate against the file.
+                OperatorId::Eso => {
+                    let o = r.outcome.as_ref().unwrap();
+                    assert_eq!(o.median_g_per_kwh, trace.boxplot().median);
+                }
+                // Unregistered region: soft error rows, batch completes.
+                _ => {
+                    let e = r.outcome.as_ref().unwrap_err().to_string();
+                    assert!(e.contains("no trace file registered"), "{e}");
+                }
+            }
         }
     }
 

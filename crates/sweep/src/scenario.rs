@@ -81,6 +81,7 @@ impl Scenario {
             pue: self.pue,
             policy: self.policy,
             partner: None, // the sweep keeps the policy-decides topology
+            forecast: cfg.forecast,
             upgrade: self.upgrade,
             usage: UsageLevel::Medium.fraction(),
             seed: self.seed,
@@ -116,6 +117,12 @@ pub struct ScenarioOutcome {
     pub shift_saved_kg: f64,
     /// The same savings as a percentage of the run-at-arrival baseline.
     pub shift_saved_pct: f64,
+    /// What a perfect-knowledge planner would have saved, kgCO₂ —
+    /// `None` unless the sweep ran under a forecast model, in which case
+    /// `shift_saved_kg` is the *realized* savings against this oracle.
+    pub oracle_saved_kg: Option<f64>,
+    /// Oracle savings as a percentage of the run-at-arrival baseline.
+    pub oracle_saved_pct: Option<f64>,
     /// Annual carbon of one `upgrade.from` node serving the reference
     /// workload under this scenario's PUE model, kgCO₂. Seasonal PUE
     /// models are integrated hour by hour against the trace.
@@ -142,6 +149,8 @@ impl From<FootprintReport> for ScenarioOutcome {
             max_wait_hours: r.operational.max_wait_h,
             shift_saved_kg: r.shift.saved_kg,
             shift_saved_pct: r.shift.saved_pct,
+            oracle_saved_kg: r.shift.oracle_saved_kg,
+            oracle_saved_pct: r.shift.oracle_saved_pct,
             node_annual_kg: r.upgrade.node_annual_kg,
             break_even_years: r.upgrade.break_even_y,
             asymptotic_savings_pct: r.upgrade.asymptotic_pct,

@@ -31,7 +31,7 @@
 //! it wrote, which shard manifests embed and `--merge` re-validates.
 
 use crate::scenario::Scenario;
-use crate::table::{SweepRow, COLUMNS};
+use crate::table::{SweepRow, COLUMNS, FORECAST_COLUMNS};
 use std::io::{self, Write};
 
 /// FNV-1a 64 offset basis.
@@ -179,14 +179,25 @@ fn csv_escape(cell: &str) -> String {
 
 /// The CSV header line (with trailing newline).
 pub(crate) fn csv_header() -> String {
+    csv_header_with(false)
+}
+
+/// The CSV header line, optionally extended with the forecast columns.
+pub(crate) fn csv_header_with(forecast: bool) -> String {
     let mut line = COLUMNS.join(",");
+    if forecast {
+        line.push(',');
+        line.push_str(&FORECAST_COLUMNS.join(","));
+    }
     line.push('\n');
     line
 }
 
 /// One row as an RFC-4180 CSV line (with trailing newline). Error rows
-/// carry the error message and empty metric cells.
-pub(crate) fn csv_line(r: &SweepRow) -> String {
+/// carry the error message and empty metric cells. `forecast` appends
+/// the extension columns (empty on error rows and forecast-free
+/// outcomes, like the other optional metrics).
+pub(crate) fn csv_line_with(r: &SweepRow, forecast: bool) -> String {
     let dims = dimension_cells(&r.scenario);
     let (status, error, metrics) = match &r.outcome {
         Ok(o) => (
@@ -215,13 +226,24 @@ pub(crate) fn csv_line(r: &SweepRow) -> String {
             std::array::from_fn(|_| String::new()),
         ),
     };
+    let extra = forecast.then(|| {
+        let o = r.outcome.as_ref().ok();
+        [
+            opt(o.and_then(|o| o.oracle_saved_kg)),
+            opt(o.and_then(|o| o.oracle_saved_pct)),
+        ]
+    });
     let cells: Vec<String> = dims
         .into_iter()
         .chain([status, error])
         .chain(metrics)
+        .chain(extra.into_iter().flatten())
         .map(|c| csv_escape(&c))
         .collect();
-    debug_assert_eq!(cells.len(), COLUMNS.len());
+    debug_assert_eq!(
+        cells.len(),
+        COLUMNS.len() + if forecast { FORECAST_COLUMNS.len() } else { 0 }
+    );
     let mut line = cells.join(",");
     line.push('\n');
     line
@@ -233,7 +255,7 @@ pub(crate) fn csv_line(r: &SweepRow) -> String {
 /// numbers; the other dimensions are strings; `error` and `verdict` are
 /// strings or `null`; metrics are numbers or `null` (always `null` on
 /// error rows, mirroring the CSV's empty cells).
-pub(crate) fn json_object(r: &SweepRow) -> String {
+pub(crate) fn json_object_with(r: &SweepRow, forecast: bool) -> String {
     let dims = dimension_cells(&r.scenario);
     let mut obj = String::from("  {");
     let push = |obj: &mut String, key: &str, value: String| {
@@ -330,6 +352,18 @@ pub(crate) fn json_object(r: &SweepRow) -> String {
             None => "null".to_string(),
         },
     );
+    if forecast {
+        push(
+            &mut obj,
+            "oracle_saved_kg",
+            json_num(o.ok().and_then(|o| o.oracle_saved_kg)),
+        );
+        push(
+            &mut obj,
+            "oracle_saved_pct",
+            json_num(o.ok().and_then(|o| o.oracle_saved_pct)),
+        );
+    }
     obj.push('}');
     obj
 }
@@ -342,6 +376,7 @@ pub(crate) fn json_object(r: &SweepRow) -> String {
 pub struct CsvSink<W: Write> {
     out: DigestWriter<W>,
     header: bool,
+    forecast: bool,
 }
 
 impl<W: Write> CsvSink<W> {
@@ -350,6 +385,7 @@ impl<W: Write> CsvSink<W> {
         CsvSink {
             out: DigestWriter::new(w),
             header: true,
+            forecast: false,
         }
     }
 
@@ -358,7 +394,17 @@ impl<W: Write> CsvSink<W> {
         CsvSink {
             out: DigestWriter::new(w),
             header: false,
+            forecast: false,
         }
+    }
+
+    /// Opts into the forecast extension columns (`oracle_saved_kg`,
+    /// `oracle_saved_pct`), appended after `verdict`. Without this the
+    /// emission is byte-identical to the frozen 25-column contract,
+    /// whether or not the sweep ran under a forecast model.
+    pub fn forecast_columns(mut self) -> CsvSink<W> {
+        self.forecast = true;
+        self
     }
 
     /// Consumes the sink, returning the inner writer.
@@ -370,13 +416,15 @@ impl<W: Write> CsvSink<W> {
 impl<W: Write> RowSink for CsvSink<W> {
     fn begin(&mut self) -> io::Result<()> {
         if self.header {
-            self.out.write_all(csv_header().as_bytes())?;
+            self.out
+                .write_all(csv_header_with(self.forecast).as_bytes())?;
         }
         Ok(())
     }
 
     fn row(&mut self, row: &SweepRow) -> io::Result<()> {
-        self.out.write_all(csv_line(row).as_bytes())
+        self.out
+            .write_all(csv_line_with(row, self.forecast).as_bytes())
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -402,6 +450,7 @@ pub struct JsonSink<W: Write> {
     /// Whether the next row needs a leading `,\n` separator.
     separate: bool,
     rows: u64,
+    forecast: bool,
 }
 
 impl<W: Write> JsonSink<W> {
@@ -412,6 +461,7 @@ impl<W: Write> JsonSink<W> {
             brackets: true,
             separate: false,
             rows: 0,
+            forecast: false,
         }
     }
 
@@ -424,7 +474,16 @@ impl<W: Write> JsonSink<W> {
             brackets: false,
             separate: continues,
             rows: 0,
+            forecast: false,
         }
+    }
+
+    /// Opts into the forecast extension keys (`oracle_saved_kg`,
+    /// `oracle_saved_pct`) on every row object. Without this the
+    /// emission is byte-identical to the frozen schema.
+    pub fn forecast_columns(mut self) -> JsonSink<W> {
+        self.forecast = true;
+        self
     }
 
     /// Consumes the sink, returning the inner writer.
@@ -447,7 +506,8 @@ impl<W: Write> RowSink for JsonSink<W> {
         }
         self.separate = true;
         self.rows += 1;
-        self.out.write_all(json_object(row).as_bytes())
+        self.out
+            .write_all(json_object_with(row, self.forecast).as_bytes())
     }
 
     fn finish(&mut self) -> io::Result<()> {
@@ -590,6 +650,64 @@ mod tests {
         let mut buf = Vec::new();
         drive(&mut JsonSink::new(&mut buf), &[]);
         assert_eq!(buf, b"[\n]\n");
+    }
+
+    fn ok_row(id: usize, oracle: Option<(f64, f64)>) -> SweepRow {
+        let mut r = row(id);
+        r.outcome = Ok(crate::scenario::ScenarioOutcome {
+            embodied_t: 1234.5,
+            storage_delta_pct: None,
+            median_g_per_kwh: 200.0,
+            cov_percent: 30.0,
+            sched_carbon_kg: 50.0,
+            sched_energy_kwh: 400.0,
+            mean_wait_hours: 1.0,
+            max_wait_hours: 4.0,
+            shift_saved_kg: 2.5,
+            shift_saved_pct: 5.0,
+            oracle_saved_kg: oracle.map(|(kg, _)| kg),
+            oracle_saved_pct: oracle.map(|(_, pct)| pct),
+            node_annual_kg: 900.0,
+            break_even_years: Some(3.0),
+            asymptotic_savings_pct: 40.0,
+            verdict: "upgrade",
+        });
+        r
+    }
+
+    #[test]
+    fn forecast_columns_are_strictly_additive() {
+        // Default sinks ignore the oracle fields entirely: a
+        // forecast-run row emits the frozen bytes.
+        let rows = [ok_row(0, Some((4.0, 8.0))), row(1)];
+        let plain_rows = [ok_row(0, None), row(1)];
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        drive(&mut CsvSink::new(&mut a), &rows);
+        drive(&mut CsvSink::new(&mut b), &plain_rows);
+        assert_eq!(a, b);
+        assert!(!String::from_utf8(a).unwrap().contains("oracle"));
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        drive(&mut JsonSink::new(&mut a), &rows);
+        drive(&mut JsonSink::new(&mut b), &plain_rows);
+        assert_eq!(a, b);
+
+        // Opted-in sinks append the two columns after `verdict` — on
+        // every row, empty/null when the value is undefined.
+        let mut csv = Vec::new();
+        drive(&mut CsvSink::new(&mut csv).forecast_columns(), &rows);
+        let csv = String::from_utf8(csv).unwrap();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with("verdict,oracle_saved_kg,oracle_saved_pct"));
+        assert!(lines[1].ends_with("upgrade,4.0000,8.0000"));
+        assert!(lines[2].ends_with(",,")); // error row: empty cells
+        for line in &lines {
+            assert_eq!(line.split(',').count(), COLUMNS.len() + 2, "{line}");
+        }
+        let mut json = Vec::new();
+        drive(&mut JsonSink::new(&mut json).forecast_columns(), &rows);
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.contains("\"oracle_saved_kg\": 4.0000, \"oracle_saved_pct\": 8.0000"));
+        assert!(json.contains("\"oracle_saved_kg\": null, \"oracle_saved_pct\": null"));
     }
 
     #[test]

@@ -228,6 +228,8 @@ mod tests {
                 max_wait_hours: 2.0,
                 shift_saved_kg: 1.0,
                 shift_saved_pct: 2.0,
+                oracle_saved_kg: None,
+                oracle_saved_pct: None,
                 node_annual_kg: 3.0,
                 break_even_years: if id.is_multiple_of(2) {
                     Some(4.0)

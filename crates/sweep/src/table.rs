@@ -66,6 +66,12 @@ pub(crate) const COLUMNS: [&str; 25] = [
     "verdict",
 ];
 
+/// The forecast-mode extension columns. Appended **after** `verdict`
+/// only when a sink opts in ([`crate::CsvSink::forecast_columns`] /
+/// [`crate::JsonSink::forecast_columns`]); the default emission stays
+/// byte-identical to the frozen 25-column contract.
+pub(crate) const FORECAST_COLUMNS: [&str; 2] = ["oracle_saved_kg", "oracle_saved_pct"];
+
 /// Renders metric summaries as an aligned Markdown table.
 pub(crate) fn summary_markdown(summaries: &[MetricSummary]) -> String {
     let num = |v: f64| format!("{v:.4}");

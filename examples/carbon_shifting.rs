@@ -49,17 +49,17 @@ fn main() {
         for policy in policies {
             let out = Simulation::multi_region(cs.clone(), policy, &jobs).run();
             let savings = summarize_shift_savings(&shift_savings(&out, &jobs, &cs));
-            rows.push(ShiftingRow {
-                policy: match policy.shift_slack_hours() {
+            rows.push(ShiftingRow::new(
+                match policy.shift_slack_hours() {
                     Some(s) => format!("{} (slack {s} h)", policy.label()),
                     None => policy.label().to_string(),
                 },
-                carbon_kg: out.total_carbon.as_kg(),
-                saved_kg: savings.saved_kg,
-                saved_pct: savings.saved_pct,
-                mean_wait_h: out.mean_wait_hours,
-                max_wait_h: out.max_wait_hours,
-            });
+                out.total_carbon.as_kg(),
+                savings.saved_kg,
+                savings.saved_pct,
+                out.mean_wait_hours,
+                out.max_wait_hours,
+            ));
         }
         println!("{}", shifting_comparison(&rows));
     }

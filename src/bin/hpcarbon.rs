@@ -12,10 +12,12 @@
 //! hpcarbon systems                               Fig. 5 composition of Table 2 systems
 //! hpcarbon regions  [--seed N]                   Fig. 6 regional intensity summary
 //! hpcarbon advisor  --from <node> --to <node> [--suite S] [--intensity G | --region R] [--usage F]
-//! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]
+//! hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic] [--forecast M]
 //! hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]
 //!                   [--top K] [--quick | --shifting] [--shard i/N] [--catalog DIR]
+//!                   [--trace-file FILE]... [--forecast M] [--gaps P]
 //! hpcarbon sweep    --merge DIR... [--out DIR]
+//! hpcarbon trace    validate|stats|import       real-trace CSV ingestion
 //! hpcarbon catalog  validate|list|show|export   plain-text hardware catalogs
 //! ```
 //!
@@ -49,6 +51,7 @@ fn main() {
         Some("advisor") => cmd_advisor(&args[1..]),
         Some("schedule") => cmd_schedule(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
@@ -75,10 +78,14 @@ fn print_usage() {
          hpcarbon figures  [--seed N] [--out DIR]\n  hpcarbon parts\n  \
          hpcarbon systems\n  hpcarbon regions  [--seed N]\n  hpcarbon advisor  --from <p100|v100|a100> --to <p100|v100|a100>\n                    \
          [--suite nlp|vision|candle] [--intensity G | --region R] [--usage F]\n  \
-         hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic]\n  \
+         hpcarbon schedule [--jobs N] [--seed N] [--slack H] [--synthetic] [--forecast M]\n  \
          hpcarbon sweep    [--seed N] [--seeds N] [--jobs N] [--threads N] [--out DIR]\n                    \
-         [--top K] [--quick | --shifting] [--shard i/N] [--catalog DIR]\n  \
+         [--top K] [--quick | --shifting] [--shard i/N] [--catalog DIR]\n                    \
+         [--trace-file FILE]... [--forecast M] [--gaps reject|interpolate|hold]\n  \
          hpcarbon sweep    --merge DIR... [--out DIR]\n  \
+         hpcarbon trace    validate FILE [--gaps P]\n  \
+         hpcarbon trace    stats    FILE [--gaps P]\n  \
+         hpcarbon trace    import   FILE --out FILE [--gaps P]\n  \
          hpcarbon catalog  validate [--catalog DIR]\n  \
          hpcarbon catalog  list     [--catalog DIR]\n  \
          hpcarbon catalog  show ID  [--catalog DIR]\n  \
@@ -119,6 +126,16 @@ fn print_usage() {
          rows differ only by policy) and reports per-policy carbon savings\n\
          vs the run-at-arrival baseline; --synthetic swaps in synthetic\n\
          region-years.\n\n\
+         trace ingests real hourly carbon-intensity CSVs (ElectricityMaps/\n\
+         EIA-style; format spec docs/TRACES.md): validate prints every\n\
+         {{file}}:{{line}}: diagnostic at once, stats prints a deterministic\n\
+         summary, import re-emits the canonical normalized form. sweep and\n\
+         schedule accept --forecast oracle|persistence|day-ahead|noisy:<pct>\n\
+         to plan shifting on a forecast instead of the actual trace (the\n\
+         output then adds realized-vs-oracle savings columns), and sweep\n\
+         accepts repeatable --trace-file FILE to evaluate the file source\n\
+         dimension against ingested measured data (--gaps picks the gap\n\
+         policy: reject, interpolate, or hold).\n\n\
          advisor answers the upgrade question through the API: --intensity\n\
          pins a flat grid (a FlatIntensity provider), --region evaluates\n\
          at a simulated region's median intensity instead.\n\n\
@@ -138,6 +155,64 @@ fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Reads every occurrence of a repeatable `--flag value`.
+fn flags(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| *a == name)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parses `--gaps reject|interpolate|hold` (default reject).
+fn gaps_flag(args: &[String]) -> Result<sustainable_hpc::grid::tracefile::GapPolicy, i32> {
+    use sustainable_hpc::grid::tracefile::GapPolicy;
+    match flag(args, "--gaps") {
+        None => Ok(GapPolicy::Reject),
+        Some(s) => match GapPolicy::parse(&s) {
+            Some(p) => Ok(p),
+            None => {
+                eprintln!("unknown --gaps \"{s}\" (valid values: reject, interpolate, hold)");
+                Err(2)
+            }
+        },
+    }
+}
+
+/// Parses `--forecast oracle|persistence|day-ahead|noisy:<pct>`;
+/// `Ok(None)` when absent (plan on the actual trace, the historical
+/// behaviour).
+fn forecast_flag(args: &[String]) -> Result<Option<sustainable_hpc::api::ForecastModel>, i32> {
+    match flag(args, "--forecast") {
+        None => Ok(None),
+        Some(s) => match api_parse::forecast_model("forecast", &s) {
+            Ok(m) => Ok(Some(m)),
+            Err(e) => {
+                eprintln!("{e}");
+                Err(2)
+            }
+        },
+    }
+}
+
+/// Loads one trace file, printing every `{file}:{line}:` diagnostic and
+/// the validate-style summary line on failure — the shared ingestion
+/// path of `trace validate|stats|import` and `--trace-file`.
+fn load_trace_cli(
+    path: &str,
+    gaps: sustainable_hpc::grid::tracefile::GapPolicy,
+) -> Result<sustainable_hpc::grid::tracefile::ParsedTrace, i32> {
+    match sustainable_hpc::grid::tracefile::load_trace_file(path, gaps) {
+        Ok(p) => Ok(p),
+        Err(errors) => {
+            let n = errors.0.len();
+            eprintln!("{errors}");
+            eprintln!("{path}: {n} trace error(s)");
+            Err(1)
+        }
+    }
 }
 
 /// Loads `--catalog DIR` as an embodied source; `Ok(None)` when the flag
@@ -680,6 +755,27 @@ fn cmd_sweep(args: &[String]) -> i32 {
     if let Some(jobs) = flag(args, "--jobs").and_then(|s| s.parse().ok()) {
         config.jobs_per_scenario = jobs;
     }
+    config.forecast = match forecast_flag(args) {
+        Ok(f) => f,
+        Err(c) => return c,
+    };
+    // Ingested trace files swap the grid onto the `file` source
+    // dimension: each file backs its own zone's region; rows for
+    // regions without a file fail soft as error rows.
+    let gaps = match gaps_flag(args) {
+        Ok(g) => g,
+        Err(c) => return c,
+    };
+    let mut trace_files = Vec::new();
+    for path in flags(args, "--trace-file") {
+        match load_trace_cli(&path, gaps) {
+            Ok(p) => trace_files.push((p.operator, std::sync::Arc::new(p.trace))),
+            Err(c) => return c,
+        }
+    }
+    if !trace_files.is_empty() {
+        grid = grid.sources([TraceSource::File]);
+    }
     let shard = match flag(args, "--shard") {
         Some(s) => match ShardSpec::parse(&s) {
             Ok(spec) => Some(spec),
@@ -741,12 +837,21 @@ fn cmd_sweep(args: &[String]) -> i32 {
         Some(spec) => JsonSink::fragment(json_file, spec.range(grid.len()).start > 0),
         None => JsonSink::new(json_file),
     };
+    // A forecast run grows the realized-vs-oracle columns; without the
+    // flag the documents keep the frozen 25-column contract.
+    if config.forecast.is_some() {
+        csv = csv.forecast_columns();
+        json = json.forecast_columns();
+    }
 
     let mut sweep = Sweep::over(&grid)
         .config(config)
         .top(top)
         .sink(&mut csv)
         .sink(&mut json);
+    for (region, trace) in trace_files {
+        sweep = sweep.trace_file(region, trace);
+    }
     if let Some(source) = catalog {
         sweep = sweep.embodied(std::sync::Arc::new(source));
     }
@@ -867,6 +972,91 @@ fn cmd_sweep_merge(args: &[String], pos: usize) -> i32 {
     }
 }
 
+/// `hpcarbon trace validate|stats|import` — ingest real hourly
+/// carbon-intensity CSVs (format spec: docs/TRACES.md).
+///
+/// - `validate FILE` loads the file strictly and prints **every**
+///   `{file}:{line}:` diagnostic at once (exit 1 on any error);
+/// - `stats FILE` prints a deterministic summary of the normalized
+///   trace, suitable for golden `cmp` in CI;
+/// - `import FILE --out FILE` re-emits the canonical CSV form
+///   (UTC stamps, gCO2/kWh, sorted hours) after validation.
+fn cmd_trace(args: &[String]) -> i32 {
+    let Some(sub) = args.first().map(String::as_str) else {
+        eprintln!("trace requires a subcommand (valid values: validate, stats, import)");
+        return 2;
+    };
+    let rest = &args[1..];
+    let Some(path) = rest.first().filter(|a| !a.starts_with("--")).cloned() else {
+        eprintln!("trace {sub} requires a FILE argument");
+        return 2;
+    };
+    let gaps = match gaps_flag(rest) {
+        Ok(g) => g,
+        Err(c) => return c,
+    };
+    let parsed = match load_trace_cli(&path, gaps) {
+        Ok(p) => p,
+        Err(c) => return c,
+    };
+    let zone = sustainable_hpc::grid::tracefile::zone_label(parsed.operator);
+    match sub {
+        "validate" => {
+            println!(
+                "{path}: ok — zone {zone}, year {}, {} hours ({} filled)",
+                parsed.year,
+                parsed.trace.series().len(),
+                parsed.filled_hours
+            );
+            0
+        }
+        "stats" => {
+            let b = parsed.trace.boxplot();
+            println!("zone       : {zone}");
+            println!("year       : {}", parsed.year);
+            println!("hours      : {}", parsed.trace.series().len());
+            println!("filled     : {}", parsed.filled_hours);
+            println!("min        : {:.4}", b.min);
+            println!("q1         : {:.4}", b.q1);
+            println!("median     : {:.4}", b.median);
+            println!("mean       : {:.4}", b.mean);
+            println!("q3         : {:.4}", b.q3);
+            println!("max        : {:.4}", b.max);
+            println!("cov %      : {:.4}", parsed.trace.cov_percent());
+            0
+        }
+        "import" => {
+            let Some(out) = flag(rest, "--out") else {
+                eprintln!("trace import requires --out FILE");
+                return 2;
+            };
+            let canonical = sustainable_hpc::grid::tracefile::write_trace_csv(&parsed.trace);
+            if let Some(parent) = std::path::Path::new(&out).parent() {
+                if !parent.as_os_str().is_empty() {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("cannot create {}: {e}", parent.display());
+                        return 1;
+                    }
+                }
+            }
+            if let Err(e) = std::fs::write(&out, &canonical) {
+                eprintln!("cannot write {out}: {e}");
+                return 1;
+            }
+            println!(
+                "wrote {out} — zone {zone}, year {}, {} hours (canonical form)",
+                parsed.year,
+                parsed.trace.series().len()
+            );
+            0
+        }
+        other => {
+            eprintln!("unknown trace subcommand: {other} (valid values: validate, stats, import)");
+            2
+        }
+    }
+}
+
 fn cmd_schedule(args: &[String]) -> i32 {
     let jobs_n: usize = flag(args, "--jobs")
         .and_then(|s| s.parse().ok())
@@ -881,6 +1071,10 @@ fn cmd_schedule(args: &[String]) -> i32 {
         TraceSource::Synthetic
     } else {
         TraceSource::Paper
+    };
+    let forecast = match forecast_flag(args) {
+        Ok(f) => f,
+        Err(c) => return c,
     };
     // One API batch: the same GB-anchored request under every policy,
     // with the CA partner site forced for ALL rows (`partner: true`) so
@@ -904,6 +1098,7 @@ fn cmd_schedule(args: &[String]) -> i32 {
             r.policy = policy;
             r.partner = Some(true);
             r.source = source;
+            r.forecast = forecast;
             r.seed = seed;
             r.jobs = jobs_n;
             r
@@ -926,6 +1121,8 @@ fn cmd_schedule(args: &[String]) -> i32 {
             saved_pct: report.shift.saved_pct,
             mean_wait_h: report.operational.mean_wait_h,
             max_wait_h: report.operational.max_wait_h,
+            oracle_saved_kg: report.shift.oracle_saved_kg,
+            oracle_saved_pct: report.shift.oracle_saved_pct,
         });
     }
     print!(

@@ -1,0 +1,135 @@
+//! Property tests for the trace-file and forecast layers: the canonical
+//! CSV emitter round-trips through the strict parser bit-for-bit, an
+//! imperfect planner never beats perfect knowledge on the argmin
+//! policies, and noisy-oracle forecasts depend only on the request seed
+//! — never on thread scheduling.
+
+use proptest::prelude::*;
+use sustainable_hpc::api::{EstimateRequest, Estimator, ForecastModel, SystemId, TraceSource};
+use sustainable_hpc::grid::synth::synthesize_year;
+use sustainable_hpc::grid::tracefile::{parse_trace_csv, write_trace_csv, GapPolicy};
+use sustainable_hpc::prelude::{OperatorId, Policy};
+use sustainable_hpc::sweep::{CsvSink, ScenarioGrid, Sweep, SweepConfig};
+
+fn any_operator() -> impl Strategy<Value = OperatorId> {
+    prop_oneof![
+        Just(OperatorId::Kansai),
+        Just(OperatorId::Tokyo),
+        Just(OperatorId::Eso),
+        Just(OperatorId::Ciso),
+        Just(OperatorId::Pjm),
+        Just(OperatorId::Miso),
+        Just(OperatorId::Ercot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Emit → parse is the identity: any synthesized year survives a
+    /// trip through the canonical CSV form with every hour bit-equal,
+    /// and the canonical form is a fixed point of re-emission.
+    #[test]
+    fn trace_csv_roundtrip_is_identity(
+        operator in any_operator(),
+        seed in 0u64..1000,
+    ) {
+        let trace = synthesize_year(operator, 2021, seed);
+        let csv = write_trace_csv(&trace);
+        let parsed = parse_trace_csv("mem.csv", &csv, GapPolicy::Reject)
+            .expect("canonical emission must parse cleanly");
+        prop_assert_eq!(parsed.operator, operator);
+        prop_assert_eq!(parsed.year, 2021);
+        prop_assert_eq!(parsed.filled_hours, 0);
+        for h in 0..8760u32 {
+            prop_assert_eq!(
+                parsed.trace.at_index(h).as_g_per_kwh(),
+                trace.at_index(h).as_g_per_kwh()
+            );
+        }
+        // Shortest-round-trip floats make the canonical form stable.
+        prop_assert_eq!(write_trace_csv(&parsed.trace), csv);
+    }
+
+    /// On the argmin shifting policies, planning against an imperfect
+    /// forecast never realizes more savings than perfect knowledge
+    /// (up to the greedy argmin's queueing tolerance).
+    #[test]
+    fn realized_savings_never_exceed_oracle(
+        seed in 0u64..500,
+        slack in prop_oneof![Just(12u32), Just(24), Just(48)],
+        error_pct in 5u32..60,
+        spatial in prop_oneof![Just(false), Just(true)],
+    ) {
+        let mut r = EstimateRequest::paper_baseline(SystemId::Frontier, OperatorId::Eso);
+        r.jobs = 40;
+        r.seed = seed;
+        r.policy = if spatial {
+            Policy::SpatioTemporal { slack_hours: slack }
+        } else {
+            Policy::TemporalShift { slack_hours: slack }
+        };
+        r.forecast = Some(ForecastModel::Noisy { error_pct });
+        let rep = Estimator::default().estimate(&r).unwrap();
+        let oracle = rep.shift.oracle_saved_kg.expect("forecast engaged");
+        let tolerance = 0.01 * oracle.abs() + 1e-6;
+        prop_assert!(
+            rep.shift.saved_kg <= oracle + tolerance,
+            "seed {}: realized {} > oracle {}", seed, rep.shift.saved_kg, oracle
+        );
+    }
+}
+
+proptest! {
+    // Each case runs a small sweep twice; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Noisy-oracle forecasts fork from the request seed, never thread
+    /// state: for any seed the swept bytes are identical on one worker
+    /// and on several.
+    #[test]
+    fn noisy_forecasts_are_byte_deterministic_across_threads(
+        seed in 0u64..100,
+        error_pct in 5u32..60,
+    ) {
+        let grid = ScenarioGrid::quick().seeds([seed]);
+        let mut cfg = SweepConfig::fast();
+        cfg.forecast = Some(ForecastModel::Noisy { error_pct });
+        let run = |threads: usize| {
+            let mut csv = CsvSink::new(Vec::new()).forecast_columns();
+            Sweep::over(&grid)
+                .config(cfg)
+                .threads(threads)
+                .sink(&mut csv)
+                .run()
+                .unwrap();
+            csv.into_inner()
+        };
+        let single = run(1);
+        prop_assert!(!single.is_empty());
+        prop_assert_eq!(run(3), single);
+    }
+}
+
+/// Registered trace files feed the `File` sweep dimension and inherit
+/// every determinism guarantee — one fixed spot check alongside the
+/// properties so the workspace test owns the end-to-end path.
+#[test]
+fn trace_file_sweeps_are_byte_deterministic_across_threads() {
+    let grid = ScenarioGrid::quick().sources([TraceSource::File]);
+    let trace = std::sync::Arc::new(synthesize_year(OperatorId::Eso, 2021, 42));
+    let run = |threads: usize| {
+        let mut csv = CsvSink::new(Vec::new());
+        Sweep::over(&grid)
+            .config(SweepConfig::fast())
+            .threads(threads)
+            .trace_file(OperatorId::Eso, std::sync::Arc::clone(&trace))
+            .sink(&mut csv)
+            .run()
+            .unwrap();
+        csv.into_inner()
+    };
+    let single = run(1);
+    assert!(!single.is_empty());
+    assert_eq!(run(4), single);
+}
